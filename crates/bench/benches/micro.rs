@@ -1,0 +1,152 @@
+//! Criterion microbenchmarks: wall-clock cost of the hot simulation paths.
+//!
+//! These measure the *simulator's* speed (how fast experiments run on your
+//! machine), complementing the experiment binaries which measure *virtual*
+//! device/database performance. Run with `cargo bench -p bench`.
+
+use bench::{durassd_bench, hdd_bench};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use durassd::{Ssd, SsdConfig};
+use relstore::{Engine, EngineConfig};
+use storage::device::{BlockDevice, LOGICAL_PAGE};
+use storage::volume::Volume;
+
+fn bench_ssd_write(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ssd");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("cached_4k_write", |b| {
+        let mut ssd = durassd_bench(true);
+        let page = vec![7u8; LOGICAL_PAGE];
+        let mut now = 0;
+        let mut lpn = 0u64;
+        let span = ssd.capacity_pages() / 2;
+        b.iter(|| {
+            lpn = (lpn + 7919) % span;
+            now = ssd.write(lpn, &page, now).unwrap();
+        });
+    });
+    g.bench_function("read_4k", |b| {
+        let mut ssd = durassd_bench(true);
+        let page = vec![7u8; LOGICAL_PAGE];
+        let mut now = 0;
+        for lpn in 0..4096u64 {
+            now = ssd.write(lpn, &page, now).unwrap();
+        }
+        now = ssd.flush(now).unwrap();
+        let mut buf = vec![0u8; LOGICAL_PAGE];
+        let mut lpn = 0u64;
+        b.iter(|| {
+            lpn = (lpn + 613) % 4096;
+            now = ssd.read(lpn, 1, &mut buf, now).unwrap();
+        });
+    });
+    g.bench_function("flush_after_64_writes", |b| {
+        let mut ssd = durassd_bench(true);
+        let page = vec![7u8; LOGICAL_PAGE];
+        let mut now = 0;
+        let mut lpn = 0u64;
+        b.iter(|| {
+            for _ in 0..64 {
+                lpn = (lpn + 7919) % 65536;
+                now = ssd.write(lpn, &page, now).unwrap();
+            }
+            now = ssd.flush(now).unwrap();
+        });
+    });
+    g.finish();
+}
+
+fn bench_hdd_write(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hdd");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("cached_4k_write", |b| {
+        let mut hdd = hdd_bench(true);
+        let page = vec![7u8; LOGICAL_PAGE];
+        let mut now = 0;
+        let mut lpn = 0u64;
+        b.iter(|| {
+            lpn = (lpn + 7919) % (1 << 20);
+            now = hdd.write(lpn, &page, now).unwrap();
+        });
+    });
+    g.finish();
+}
+
+fn bench_engine_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(1));
+    let mk = || {
+        let cfg = EngineConfig {
+            page_size: 4096,
+            buffer_pool_bytes: 4 * 1024 * 1024,
+            double_write: false,
+            full_page_writes: false,
+            barriers: false,
+            o_dsync: false,
+            data_pages: 64 * 1024,
+            log_files: 2,
+            log_file_blocks: 8192,
+            dwb_pages: 64,
+        };
+        let data = Ssd::new(SsdConfig::durassd(16));
+        let log = Ssd::new(SsdConfig::durassd(16));
+        let (mut e, t0) = Engine::create(data, log, cfg, 0);
+        let (tree, t1) = e.create_tree(t0);
+        let mut now = e.checkpoint(t1);
+        for i in 0..20_000u64 {
+            now = e.put(tree, format!("key{i:08}").as_bytes(), &[b'v'; 100], now);
+        }
+        now = e.commit(now);
+        (e, tree, now)
+    };
+    g.bench_function("put_commit", |b| {
+        let (mut e, tree, mut now) = mk();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 20_000;
+            now = e.put(tree, format!("key{i:08}").as_bytes(), &[b'w'; 100], now);
+            now = e.commit(now);
+        });
+    });
+    g.bench_function("get", |b| {
+        let (mut e, tree, mut now) = mk();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 613) % 20_000;
+            let (v, t) = e.get(tree, format!("key{i:08}").as_bytes(), now);
+            now = t;
+            assert!(v.is_some());
+        });
+    });
+    g.bench_function("scan_20", |b| {
+        let (mut e, tree, mut now) = mk();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 613) % 20_000;
+            let (rows, t) = e.scan(tree, format!("key{i:08}").as_bytes(), 20, now);
+            now = t;
+            assert!(!rows.is_empty());
+        });
+    });
+    g.finish();
+}
+
+fn bench_raw_volume(c: &mut Criterion) {
+    let mut g = c.benchmark_group("volume");
+    g.throughput(Throughput::Bytes(LOGICAL_PAGE as u64));
+    g.bench_function("write_fsync_nobarrier", |b| {
+        let mut vol = Volume::new(durassd_bench(true), false);
+        let page = vec![7u8; LOGICAL_PAGE];
+        let mut now = 0;
+        let mut lpn = 0u64;
+        b.iter(|| {
+            lpn = (lpn + 7919) % 65536;
+            now = vol.write(lpn, &page, now).unwrap();
+            now = vol.fsync(now).unwrap();
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ssd_write, bench_hdd_write, bench_engine_ops, bench_raw_volume);
+criterion_main!(benches);

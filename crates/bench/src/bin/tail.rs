@@ -1,0 +1,96 @@
+//! **Tail latency** — the paper's §1/§2 motivation: read latency varies
+//! wildly when reads queue behind writes and cache flushes; DuraSSD
+//! "alleviates the problem of high tail latency by minimizing write stalls".
+//!
+//! A mixed workload (readers + writers with fsync) runs directly on the
+//! devices; read latency percentiles are reported for:
+//!   * a volatile-cache SSD with barriers (fsync ⇒ FLUSH CACHE stalls), and
+//!   * DuraSSD with `nobarrier` (fsync never reaches the device).
+//!
+//! Run: `cargo run -p bench --release --bin tail [--ops N]`
+
+use bench::{arg_u64, durassd_bench, rule, ssd_a_bench};
+use rand::Rng;
+use simkit::dist::rng;
+use simkit::stats::LatencyStats;
+use simkit::ClosedLoop;
+use storage::device::{BlockDevice, LOGICAL_PAGE};
+use storage::volume::Volume;
+
+fn mixed_run<D: BlockDevice>(dev: D, barriers: bool, ops: u64) -> (LatencyStats, LatencyStats) {
+    let mut vol = Volume::new(dev, barriers);
+    let span = vol.capacity_pages() / 2;
+    // Preload so reads hit media.
+    let page = vec![1u8; LOGICAL_PAGE];
+    let mut t = 0;
+    for lpn in 0..16_384.min(span) {
+        t = vol.write(lpn, &page, t).unwrap();
+    }
+    t = vol.fsync(t).unwrap();
+    // 64 readers + 16 writers, writers fsync every 8 writes.
+    let clients = 80usize;
+    let mut rngs: Vec<_> = (0..clients).map(|c| rng(0xFEED ^ (c as u64) << 20)).collect();
+    let mut since = vec![0u32; clients];
+    let mut reads = LatencyStats::new();
+    let mut writes = LatencyStats::new();
+    let mut rbuf = vec![0u8; LOGICAL_PAGE];
+    let mut driver = ClosedLoop::new(clients, t);
+    driver.run(ops, |c, now| {
+        let r = &mut rngs[c];
+        let lpn = r.gen_range(0..16_384.min(span));
+        if c < 64 {
+            let done = vol.read(lpn, 1, &mut rbuf, now).unwrap();
+            reads.record(done - now);
+            done
+        } else {
+            let mut done = vol.write(lpn, &page, now).unwrap();
+            since[c] += 1;
+            if since[c] >= 8 {
+                since[c] = 0;
+                done = vol.fsync(done).unwrap();
+            }
+            writes.record(done - now);
+            done
+        }
+    });
+    (reads, writes)
+}
+
+fn report(name: &str, reads: &mut LatencyStats, writes: &mut LatencyStats) {
+    let ms = |v: u64| v as f64 / 1e6;
+    println!(
+        "{:<38} reads  p50 {:>7.3}  p99 {:>8.3}  p99.9 {:>8.3}  max {:>8.3} (ms)",
+        name,
+        ms(reads.percentile(50.0)),
+        ms(reads.percentile(99.0)),
+        ms(reads.percentile(99.9)),
+        ms(reads.max())
+    );
+    println!(
+        "{:<38} writes p50 {:>7.3}  p99 {:>8.3}  p99.9 {:>8.3}  max {:>8.3}",
+        "",
+        ms(writes.percentile(50.0)),
+        ms(writes.percentile(99.0)),
+        ms(writes.percentile(99.9)),
+        ms(writes.max())
+    );
+}
+
+fn main() {
+    let ops = arg_u64("--ops", 60_000);
+    println!("Tail latency under mixed read/write load (64 readers, 16 writers, fsync/8)\n");
+    rule(110);
+    let (mut r1, mut w1) = mixed_run(ssd_a_bench(true), true, ops);
+    report("volatile SSD, barriers ON", &mut r1, &mut w1);
+    let (mut r2, mut w2) = mixed_run(durassd_bench(true), false, ops);
+    report("DuraSSD, nobarrier", &mut r2, &mut w2);
+    rule(110);
+    let f = |a: &mut LatencyStats, b: &mut LatencyStats, p: f64| {
+        a.percentile(p) as f64 / b.percentile(p).max(1) as f64
+    };
+    println!(
+        "read-tail improvement: p99 {:.1}x   p99.9 {:.1}x — the paper's tail-tolerance claim",
+        f(&mut r1, &mut r2, 99.0),
+        f(&mut r1, &mut r2, 99.9)
+    );
+}

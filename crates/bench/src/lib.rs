@@ -1,0 +1,90 @@
+//! Shared helpers for the experiment binaries (one per paper table/figure)
+//! and the Criterion microbenches.
+//!
+//! Every binary prints the paper's rows next to the measured values so the
+//! shape comparison is immediate. Scales are chosen so each cell finishes in
+//! seconds of wall-clock time; override with `--scale N` where supported.
+
+use durassd::{Ssd, SsdConfig};
+use hdd::{Hdd, HddConfig};
+
+/// Blocks per plane used by the benchmark SSDs: 16 ⇒ 4GB raw, ~3.4GB
+/// exported — big enough for realistic mapping-table behaviour, small enough
+/// to simulate quickly.
+pub const BENCH_BLOCKS_PER_PLANE: usize = 16;
+
+/// The DuraSSD device at benchmark scale.
+pub fn durassd_bench(cache_on: bool) -> Ssd {
+    let mut cfg = SsdConfig::durassd(BENCH_BLOCKS_PER_PLANE);
+    cfg.cache_enabled = cache_on;
+    Ssd::new(cfg)
+}
+
+/// The SSD-A baseline at benchmark scale.
+pub fn ssd_a_bench(cache_on: bool) -> Ssd {
+    let mut cfg = SsdConfig::ssd_a(BENCH_BLOCKS_PER_PLANE);
+    cfg.cache_enabled = cache_on;
+    Ssd::new(cfg)
+}
+
+/// The SSD-B baseline at benchmark scale.
+pub fn ssd_b_bench(cache_on: bool) -> Ssd {
+    let mut cfg = SsdConfig::ssd_b(BENCH_BLOCKS_PER_PLANE);
+    cfg.cache_enabled = cache_on;
+    Ssd::new(cfg)
+}
+
+/// The Cheetah-class disk at benchmark scale.
+pub fn hdd_bench(cache_on: bool) -> Hdd {
+    let cfg = HddConfig { cache_enabled: cache_on, ..HddConfig::default() };
+    Hdd::new(cfg)
+}
+
+/// Parse `--flag value` style arguments with a default.
+pub fn arg_u64(name: &str, default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Print a rule line for report tables.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Format an IOPS/TPS value with thousands separators.
+pub fn fmt_rate(v: f64) -> String {
+    let n = v.round() as u64;
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_formatting() {
+        assert_eq!(fmt_rate(58.4), "58");
+        assert_eq!(fmt_rate(15319.0), "15,319");
+        assert_eq!(fmt_rate(1234567.0), "1,234,567");
+    }
+
+    #[test]
+    fn devices_construct() {
+        assert!(durassd_bench(true).config().cache_enabled);
+        assert!(!ssd_a_bench(false).config().cache_enabled);
+        assert!(ssd_b_bench(true).config().cache_slots < ssd_a_bench(true).config().cache_slots);
+        assert!(hdd_bench(true).config().cache_enabled);
+    }
+}

@@ -1,0 +1,372 @@
+//! The DRAM write cache (§3.1.1).
+//!
+//! A FIFO of dirty 4KB slots with duplicate-write coalescing: when the host
+//! overwrites a page that is still waiting in the cache, the old copy is
+//! replaced in place — the paper notes this improves endurance because only
+//! the latest version reaches flash.
+//!
+//! Entries move through three states:
+//!
+//! * **dirty** — waiting for the flusher;
+//! * **draining** — a NAND program has been scheduled but has not completed;
+//!   the DRAM slot is still occupied (and still dump-covered on power cut);
+//! * gone — the program completed, the slot was reclaimed (lazy).
+
+use simkit::Nanos;
+use std::collections::{HashMap, VecDeque};
+
+/// One cached 4KB slot.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// Page content (4KB).
+    pub data: Box<[u8]>,
+    /// When `Some(done)`, a NAND program for this entry completes at `done`;
+    /// the slot is reclaimable after that time.
+    pub draining_until: Option<Nanos>,
+    /// The host command's acknowledgement time. The flusher must not pick
+    /// the entry up earlier: an unacknowledged command has to remain fully
+    /// discardable for the atomic writer (§3.2).
+    pub ackable_at: Nanos,
+    /// Generation tag matching this entry to its FIFO reference; entries
+    /// removed (TRIM) or replaced leave stale references behind, which the
+    /// flusher recognises by generation mismatch.
+    gen: u64,
+}
+
+/// The write cache.
+#[derive(Debug, Default)]
+pub struct WriteCache {
+    entries: HashMap<u64, CacheEntry>,
+    /// FIFO of `(lpn, generation)` awaiting drain. May contain stale
+    /// references; `pop_dirty` skips them by generation mismatch.
+    fifo: VecDeque<(u64, u64)>,
+    /// Number of entries not yet handed to the flusher (== live fifo refs).
+    dirty: usize,
+    next_gen: u64,
+}
+
+impl WriteCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total occupied slots (dirty + draining).
+    pub fn occupied(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Slots still occupied at time `t`: entries whose drain has not
+    /// completed by then. Used for flow-control capacity checks *without*
+    /// discarding entries — a completed-but-unreclaimed entry must survive
+    /// in DRAM until the device knows no power cut can predate its program
+    /// (see `Ssd::note_arrival`).
+    pub fn occupied_at(&self, t: Nanos) -> usize {
+        self.entries
+            .values()
+            .filter(|e| e.draining_until.is_none_or(|done| done > t))
+            .count()
+    }
+
+    /// Slots waiting for the flusher.
+    pub fn dirty(&self) -> usize {
+        self.dirty
+    }
+
+    /// Occupied bytes (what the capacitors must be able to dump).
+    pub fn occupied_bytes(&self) -> u64 {
+        self.entries.len() as u64 * 4096
+    }
+
+    /// Look up a slot (read hit path). Draining entries still hit.
+    pub fn get(&self, lpn: u64) -> Option<&[u8]> {
+        self.entries.get(&lpn).map(|e| &*e.data)
+    }
+
+    /// Insert or coalesce a host write whose command acknowledges at
+    /// `ackable_at`. Returns the entry this write replaced, if any (the
+    /// atomic writer keeps it as a pre-image while the command is in
+    /// flight).
+    pub fn insert(&mut self, lpn: u64, data: Box<[u8]>, ackable_at: Nanos) -> Option<CacheEntry> {
+        // Coalescing with a still-dirty copy keeps its FIFO position (same
+        // generation); otherwise the entry gets a fresh reference.
+        let keep_gen = self
+            .entries
+            .get(&lpn)
+            .and_then(|e| if e.draining_until.is_none() { Some(e.gen) } else { None });
+        let gen = keep_gen.unwrap_or_else(|| {
+            self.next_gen += 1;
+            self.next_gen
+        });
+        let prev =
+            self.entries.insert(lpn, CacheEntry { data, draining_until: None, ackable_at, gen });
+        if keep_gen.is_none() {
+            self.fifo.push_back((lpn, gen));
+            self.dirty += 1;
+        }
+        prev
+    }
+
+    /// Undo an in-flight host write at power-cut time: restore the
+    /// pre-image (or remove the entry if the page was not cached before).
+    pub fn rollback(&mut self, lpn: u64, pre: Option<CacheEntry>) {
+        match pre {
+            Some(e) => {
+                let was_dirty =
+                    self.entries.insert(lpn, e).is_none_or(|cur| cur.draining_until.is_none());
+                // The rolled-back entry occupied a dirty FIFO slot that the
+                // restored pre-image now owns; nothing to adjust unless the
+                // new write had created the dirty ref itself.
+                let _ = was_dirty;
+            }
+            None => {
+                if let Some(e) = self.entries.remove(&lpn) {
+                    if e.draining_until.is_none() {
+                        self.dirty = self.dirty.saturating_sub(1);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Take the oldest dirty entry whose command has acknowledged by `now`,
+    /// marking it draining. Returns `(lpn, data)`; the completion time is
+    /// set via [`WriteCache::set_draining`] once the program is scheduled.
+    pub fn pop_dirty(&mut self, now: Nanos) -> Option<(u64, Box<[u8]>)> {
+        while let Some(&(lpn, gen)) = self.fifo.front() {
+            match self.entries.get_mut(&lpn) {
+                Some(e) if e.gen == gen && e.draining_until.is_none() => {
+                    if e.ackable_at > now {
+                        // FIFO order tracks ack order; nothing older exists.
+                        return None;
+                    }
+                    self.fifo.pop_front();
+                    self.dirty -= 1;
+                    return Some((lpn, e.data.clone()));
+                }
+                // Stale reference: removed, replaced or already draining.
+                _ => {
+                    self.fifo.pop_front();
+                }
+            }
+        }
+        None
+    }
+
+    /// Earliest time at which a currently-dirty entry becomes drainable, if
+    /// any entry is still gated on its command acknowledgement.
+    pub fn next_ackable(&self) -> Option<Nanos> {
+        self.entries
+            .values()
+            .filter(|e| e.draining_until.is_none())
+            .map(|e| e.ackable_at)
+            .min()
+    }
+
+    /// Record the NAND completion time for an entry handed out by
+    /// [`WriteCache::pop_dirty`].
+    pub fn set_draining(&mut self, lpn: u64, done: Nanos) {
+        if let Some(e) = self.entries.get_mut(&lpn) {
+            e.draining_until = Some(done);
+        }
+    }
+
+    /// Reclaim slots whose programs completed by `now`.
+    pub fn reclaim(&mut self, now: Nanos) {
+        self.entries.retain(|_, e| match e.draining_until {
+            Some(done) => done > now,
+            None => true,
+        });
+    }
+
+    /// Earliest completion among draining entries (for flow-control waits).
+    pub fn earliest_drain_done(&self) -> Option<Nanos> {
+        self.entries.values().filter_map(|e| e.draining_until).min()
+    }
+
+    /// All occupied entries (dump path).
+    pub fn iter(&self) -> impl Iterator<Item = (&u64, &CacheEntry)> {
+        self.entries.iter()
+    }
+
+    /// Remove an entry outright (TRIM): whatever state it was in, it is
+    /// gone and will not be flushed.
+    pub fn remove(&mut self, lpn: u64) {
+        if let Some(e) = self.entries.remove(&lpn) {
+            if e.draining_until.is_none() {
+                self.dirty = self.dirty.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Re-mark every draining entry as dirty (recovery path: the NAND
+    /// programs they were waiting on sheared when power was cut, so the
+    /// dumped copies must be flushed again). Returns how many were requeued.
+    pub fn requeue_draining(&mut self) -> usize {
+        let mut n = 0;
+        for (lpn, e) in self.entries.iter_mut() {
+            if e.draining_until.take().is_some() {
+                self.next_gen += 1;
+                e.gen = self.next_gen;
+                self.fifo.push_back((*lpn, e.gen));
+                n += 1;
+            }
+        }
+        self.dirty += n;
+        n
+    }
+
+    /// Discard everything (volatile cache on power cut). Returns how many
+    /// slots were lost.
+    pub fn discard_all(&mut self) -> usize {
+        let n = self.entries.len();
+        self.entries.clear();
+        self.fifo.clear();
+        self.dirty = 0;
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(fill: u8) -> Box<[u8]> {
+        vec![fill; 4096].into_boxed_slice()
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut c = WriteCache::new();
+        assert!(c.insert(5, data(1), 0).is_none());
+        assert_eq!(c.get(5).unwrap()[0], 1);
+        assert_eq!(c.occupied(), 1);
+        assert_eq!(c.dirty(), 1);
+    }
+
+    #[test]
+    fn coalescing_keeps_one_copy() {
+        let mut c = WriteCache::new();
+        c.insert(5, data(1), 0);
+        let prev = c.insert(5, data(2), 0).unwrap();
+        assert_eq!(prev.data[0], 1);
+        assert_eq!(c.occupied(), 1);
+        assert_eq!(c.dirty(), 1);
+        assert_eq!(c.get(5).unwrap()[0], 2);
+        // Only the latest version is handed to the flusher.
+        let (lpn, d) = c.pop_dirty(u64::MAX).unwrap();
+        assert_eq!((lpn, d[0]), (5, 2));
+        assert!(c.pop_dirty(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut c = WriteCache::new();
+        c.insert(1, data(1), 0);
+        c.insert(2, data(2), 0);
+        c.insert(3, data(3), 0);
+        assert_eq!(c.pop_dirty(u64::MAX).unwrap().0, 1);
+        assert_eq!(c.pop_dirty(u64::MAX).unwrap().0, 2);
+        assert_eq!(c.pop_dirty(u64::MAX).unwrap().0, 3);
+    }
+
+    #[test]
+    fn draining_entries_still_serve_reads_then_reclaim() {
+        let mut c = WriteCache::new();
+        c.insert(7, data(9), 0);
+        let (lpn, _) = c.pop_dirty(u64::MAX).unwrap();
+        c.set_draining(lpn, 1000);
+        assert_eq!(c.get(7).unwrap()[0], 9);
+        c.reclaim(999);
+        assert!(c.get(7).is_some(), "not reclaimable before completion");
+        c.reclaim(1000);
+        assert!(c.get(7).is_none());
+    }
+
+    #[test]
+    fn rewrite_of_draining_entry_requeues() {
+        let mut c = WriteCache::new();
+        c.insert(7, data(1), 0);
+        let (lpn, _) = c.pop_dirty(u64::MAX).unwrap();
+        c.set_draining(lpn, 1000);
+        assert_eq!(c.dirty(), 0);
+        // Host rewrites the page while the old version is still draining.
+        c.insert(7, data(2), 0);
+        assert_eq!(c.dirty(), 1);
+        let (_, d) = c.pop_dirty(u64::MAX).unwrap();
+        assert_eq!(d[0], 2);
+    }
+
+    #[test]
+    fn rollback_restores_preimage() {
+        let mut c = WriteCache::new();
+        c.insert(7, data(1), 0);
+        let pre = c.insert(7, data(2), 0);
+        c.rollback(7, pre);
+        assert_eq!(c.get(7).unwrap()[0], 1);
+        // Rolling back a fresh insert removes it.
+        let pre2 = c.insert(9, data(3), 0);
+        c.rollback(9, pre2);
+        assert!(c.get(9).is_none());
+        assert_eq!(c.dirty(), 1); // only lpn 7 remains dirty
+    }
+
+    #[test]
+    fn discard_all_clears_everything() {
+        let mut c = WriteCache::new();
+        c.insert(1, data(1), 0);
+        c.insert(2, data(2), 0);
+        assert_eq!(c.discard_all(), 2);
+        assert_eq!(c.occupied(), 0);
+        assert!(c.pop_dirty(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn earliest_drain_done() {
+        let mut c = WriteCache::new();
+        c.insert(1, data(1), 0);
+        c.insert(2, data(2), 0);
+        let (a, _) = c.pop_dirty(u64::MAX).unwrap();
+        c.set_draining(a, 500);
+        let (b, _) = c.pop_dirty(u64::MAX).unwrap();
+        c.set_draining(b, 300);
+        assert_eq!(c.earliest_drain_done(), Some(300));
+    }
+
+    #[test]
+    fn unacked_entries_are_not_drainable() {
+        let mut c = WriteCache::new();
+        c.insert(1, data(1), 100); // acks at t=100
+        assert!(c.pop_dirty(50).is_none(), "flusher must not see unacked data");
+        assert_eq!(c.next_ackable(), Some(100));
+        assert_eq!(c.pop_dirty(100).unwrap().0, 1);
+    }
+
+    #[test]
+    fn ack_gate_blocks_younger_entries_behind_fifo_head() {
+        let mut c = WriteCache::new();
+        c.insert(1, data(1), 100);
+        c.insert(2, data(2), 50);
+        // FIFO head (lpn 1) not ackable at 60: drain stalls even though
+        // lpn 2 acked earlier (ack order == FIFO order in the device).
+        assert!(c.pop_dirty(60).is_none());
+        assert_eq!(c.pop_dirty(100).unwrap().0, 1);
+        assert_eq!(c.pop_dirty(100).unwrap().0, 2);
+    }
+
+    #[test]
+    fn remove_clears_any_state() {
+        let mut c = WriteCache::new();
+        c.insert(1, data(1), 0);
+        c.remove(1);
+        assert!(c.get(1).is_none());
+        assert_eq!(c.dirty(), 0);
+        // Removing a draining entry.
+        c.insert(2, data(2), 0);
+        let (l, _) = c.pop_dirty(10).unwrap();
+        c.set_draining(l, 100);
+        c.remove(2);
+        assert!(c.get(2).is_none());
+        assert_eq!(c.occupied(), 0);
+    }
+}

@@ -1,0 +1,826 @@
+//! The SSD device: host interface, atomic writer, flusher, flush-cache
+//! handling, power-off detection and the recovery manager (§3.2–§3.4).
+
+use crate::cache::{CacheEntry, WriteCache};
+use crate::config::{CacheProtection, SsdConfig};
+use crate::ftl::{Ftl, SlotRead};
+use nand::NandArray;
+use simkit::{Nanos, Timeline};
+use storage::device::{check_io, BlockDevice, DevError, DevResult, DeviceStats, LOGICAL_PAGE};
+
+/// SSD-specific statistics on top of the generic [`DeviceStats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SsdStats {
+    /// Read commands that were served entirely from the write cache.
+    pub cache_hit_reads: u64,
+    /// 4KB slots acknowledged to the host and later destroyed by a power cut
+    /// (volatile caches only; always zero on DuraSSD — that is the claim).
+    pub lost_acked_slots: u64,
+    /// Host reads that found a shorn/corrupt page after recovery.
+    pub shorn_reads: u64,
+    /// Host write commands whose data was discarded because power was cut
+    /// before the transfer completed (correct atomic behaviour).
+    pub aborted_inflight_writes: u64,
+    /// Emergency capacitor dumps performed.
+    pub dumps: u64,
+    /// Bytes written by the largest emergency dump.
+    pub max_dump_bytes: u64,
+    /// Recovery runs at reboot.
+    pub recoveries: u64,
+}
+
+/// A record of a host write whose acknowledgement lies in the future; if
+/// power is cut before `done`, the whole command is rolled back (atomic
+/// writer, §3.2).
+struct InflightWrite {
+    done: Nanos,
+    preimages: Vec<(u64, Option<CacheEntry>)>,
+}
+
+/// The simulated SSD. One type implements DuraSSD and both volatile
+/// baselines; behaviour differences follow from [`SsdConfig`].
+pub struct Ssd {
+    cfg: SsdConfig,
+    nand: NandArray,
+    ftl: Ftl,
+    cache: WriteCache,
+    sata: Timeline,
+    /// Backend dispatch pipeline: caps sustained media-write bandwidth.
+    pipe: Timeline,
+    stats: DeviceStats,
+    xstats: SsdStats,
+    powered: bool,
+    emergency_flag: bool,
+    /// FLUSH CACHE is a barrier: commands that arrive while a flush is in
+    /// progress are held until it completes (paper Fig. 2 — "a database
+    /// system is usually blocked while a fsync call is being processed").
+    barrier_until: Nanos,
+    inflight: Vec<InflightWrite>,
+    /// Monotonically increasing arrival clock (the closed-loop driver feeds
+    /// commands in virtual-time order; asserted in debug builds).
+    last_arrival: Nanos,
+}
+
+impl Ssd {
+    /// Build a device from a configuration.
+    pub fn new(cfg: SsdConfig) -> Self {
+        cfg.validate();
+        Self {
+            nand: NandArray::new(cfg.geometry),
+            ftl: Ftl::new(&cfg),
+            cache: WriteCache::new(),
+            sata: Timeline::new(),
+            pipe: Timeline::new(),
+            stats: DeviceStats::default(),
+            xstats: SsdStats::default(),
+            powered: true,
+            emergency_flag: false,
+            barrier_until: 0,
+            inflight: Vec::new(),
+            last_arrival: 0,
+            cfg,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &SsdConfig {
+        &self.cfg
+    }
+
+    /// SSD-specific statistics.
+    pub fn ssd_stats(&self) -> SsdStats {
+        self.xstats
+    }
+
+    /// FTL statistics (write amplification, GC work).
+    pub fn ftl_stats(&self) -> crate::ftl::FtlStats {
+        self.ftl.stats()
+    }
+
+    /// Dirty + draining slots currently in the write cache.
+    pub fn cache_occupancy(&self) -> usize {
+        self.cache.occupied()
+    }
+
+    /// Mapping entries modified since the last journal write (the crash
+    /// loss window on a volatile device).
+    pub fn unpersisted_mapping_entries(&self) -> usize {
+        self.ftl.unpersisted_entries()
+    }
+
+    /// (min, max) block erase counts — the wear-leveling spread.
+    pub fn wear_spread(&self) -> (u32, u32) {
+        self.ftl.wear_spread(&self.nand)
+    }
+
+    /// Busy-time accounting for saturation diagnosis:
+    /// `(sata_busy, pipe_busy, nand_quiet_at)`.
+    pub fn busy_times(&self) -> (Nanos, Nanos, Nanos) {
+        (self.sata.busy_time(), self.pipe.busy_time(), self.nand.all_quiet())
+    }
+
+    fn note_arrival(&mut self, now: Nanos) {
+        // Command arrival times are *mostly* nondecreasing (the closed-loop
+        // driver dispatches clients in virtual-time order), but an engine
+        // operation issues several commands at advancing internal times, so
+        // the next client's commands can arrive slightly "in the past".
+        // Track the high-water mark and purge with a safety margin.
+        self.last_arrival = self.last_arrival.max(now);
+        let watermark = self.last_arrival.saturating_sub(1_000_000_000);
+        // Acked writes are now stable facts; free the bookkeeping.
+        self.inflight.retain(|w| w.done > watermark);
+        self.cache.reclaim(watermark.min(now));
+        self.sata.purge_before(watermark);
+        self.pipe.purge_before(watermark);
+        self.nand.purge_before(watermark);
+    }
+
+    /// SATA transfer of `bytes` starting no earlier than `now`.
+    fn sata_transfer(&mut self, now: Nanos, bytes: usize) -> Nanos {
+        let t = self.cfg.sata_fixed + (bytes as u64 * 1_000) / self.cfg.sata_bytes_per_us;
+        self.sata.acquire(now, t)
+    }
+
+    /// Drain one pair of dirty slots to NAND at `t`; returns the program's
+    /// completion time, or `None` when the cache holds nothing dirty.
+    fn drain_pair(&mut self, t: Nanos) -> Option<Nanos> {
+        let spp = self.cfg.slots_per_page();
+        let mut batch: Vec<(u64, Box<[u8]>)> = Vec::with_capacity(spp);
+        for _ in 0..spp {
+            match self.cache.pop_dirty(t) {
+                Some((lpn, data)) => batch.push((lpn, data)),
+                None => break,
+            }
+        }
+        if batch.is_empty() {
+            return None;
+        }
+        let bytes = batch.len() as u64 * LOGICAL_PAGE as u64;
+        let grant = self.pipe.acquire(t, bytes * 1_000 / self.cfg.backend_bytes_per_us);
+        let items: Vec<(u64, &[u8])> = batch.iter().map(|(l, d)| (*l, &**d)).collect();
+        let done = self.ftl.program_slots(&mut self.nand, &items, grant);
+        for (lpn, _) in &batch {
+            self.cache.set_draining(*lpn, done);
+        }
+        Some(done)
+    }
+
+    /// Background flusher: push dirty pairs to planes that are already idle
+    /// (models the continuous FIFO flusher of §3.1.1 without an event loop).
+    /// Also journals the mapping once enough entries piled up — every FTL
+    /// does this periodically, bounding how much a power cut can take.
+    fn opportunistic_drain(&mut self, now: Nanos) {
+        while self.cache.dirty() > 0
+            && self.pipe.busy_until() <= now
+            && self.ftl.next_plane_idle(&self.nand, now)
+        {
+            if self.drain_pair(now).is_none() {
+                break;
+            }
+        }
+        if self.ftl.unpersisted_entries() > self.cfg.mapping_journal_threshold {
+            self.ftl.persist_mapping(&mut self.nand, now);
+        }
+    }
+
+    /// Synchronous full drain (FLUSH CACHE path): returns when every cached
+    /// slot is on flash. Entries whose commands acknowledge slightly later
+    /// (overlapping NCQ traffic) are waited for, conservatively.
+    fn drain_all(&mut self, now: Nanos) -> Nanos {
+        let mut t = now;
+        let mut last = now;
+        loop {
+            if let Some(done) = self.drain_pair(t) {
+                last = last.max(done);
+                continue;
+            }
+            if self.cache.dirty() > 0 {
+                if let Some(a) = self.cache.next_ackable() {
+                    if a > t {
+                        t = a;
+                        continue;
+                    }
+                }
+            }
+            break;
+        }
+        // Wait for everything already in flight too.
+        for (_, e) in self.cache.iter() {
+            if let Some(d) = e.draining_until {
+                last = last.max(d);
+            }
+        }
+        let last = last.max(t);
+        self.cache.reclaim(last);
+        last
+    }
+
+    /// Write path with the cache enabled. Commands larger than half the
+    /// cache stream through it in chunks, like any real write-back cache.
+    fn write_cached(&mut self, lpn: u64, data: &[u8], now: Nanos) -> Nanos {
+        let n = data.len() / LOGICAL_PAGE;
+        let chunk_slots = (self.cfg.cache_slots / 2).max(1);
+        if n > chunk_slots {
+            let mut t = now;
+            let mut done = now;
+            for (i, chunk) in data.chunks(chunk_slots * LOGICAL_PAGE).enumerate() {
+                done = self.write_cached(lpn + (i * chunk_slots) as u64, chunk, t);
+                t = done;
+            }
+            return done;
+        }
+        let xfer_done = self.sata_transfer(now, data.len());
+        // Flow control: when the cache is full, admission proceeds at the
+        // backend drain rate. Schedule every needed drain immediately (the
+        // dispatch pipe serialises them at the sustained media rate), then
+        // wait for completions to free slots — the flusher and the host
+        // overlap, as in the real firmware.
+        let mut t = xfer_done;
+        let mut guard = 0u32;
+        loop {
+            if self.cache.occupied_at(t) + n <= self.cfg.cache_slots {
+                break;
+            }
+            guard += 1;
+            assert!(guard < 10_000_000, "flow control cannot make progress");
+            // Push drains without waiting: completions arrive pipelined.
+            while self.cache.dirty() > 0
+                && self.cache.occupied_at(t) + n > self.cfg.cache_slots
+            {
+                if self.drain_pair(t).is_none() {
+                    break;
+                }
+            }
+            // Wait for the next drain completion to free a slot, or for an
+            // ack-gated entry to become drainable.
+            let mut wait = self.cache.earliest_drain_done();
+            if wait.is_none_or(|d| d <= t) {
+                match self.cache.next_ackable() {
+                    Some(a) if a > t => wait = Some(a),
+                    _ => {}
+                }
+            }
+            match wait {
+                Some(w) if w > t => t = w,
+                _ => break,
+            }
+        }
+        // Atomic writer: stage the slots, remembering pre-images until the
+        // command acknowledgement time passes; the flusher ignores the
+        // entries until then.
+        let done = t + self.cfg.host_write_overhead;
+        let mut preimages = Vec::with_capacity(n);
+        for i in 0..n {
+            let slot_lpn = lpn + i as u64;
+            let chunk: Box<[u8]> = data[i * LOGICAL_PAGE..(i + 1) * LOGICAL_PAGE].into();
+            let pre = self.cache.insert(slot_lpn, chunk, done);
+            preimages.push((slot_lpn, pre));
+        }
+        self.inflight.push(InflightWrite { done, preimages });
+        self.opportunistic_drain(now);
+        done
+    }
+
+    /// Write path with the cache disabled: program through to flash and
+    /// journal the mapping before acknowledging.
+    fn write_direct(&mut self, lpn: u64, data: &[u8], now: Nanos) -> Nanos {
+        let n = data.len() / LOGICAL_PAGE;
+        let xfer_done = self.sata_transfer(now, data.len());
+        let spp = self.cfg.slots_per_page();
+        let mut media_done = xfer_done;
+        let mut idx = 0usize;
+        while idx < n {
+            let take = spp.min(n - idx);
+            let items: Vec<(u64, &[u8])> = (0..take)
+                .map(|k| {
+                    let i = idx + k;
+                    (lpn + i as u64, &data[i * LOGICAL_PAGE..(i + 1) * LOGICAL_PAGE])
+                })
+                .collect();
+            let bytes = items.len() as u64 * LOGICAL_PAGE as u64;
+            let grant = self.pipe.acquire(xfer_done, bytes * 1_000 / self.cfg.backend_bytes_per_us);
+            let done = self.ftl.program_slots(&mut self.nand, &items, grant);
+            media_done = media_done.max(done);
+            idx += take;
+        }
+        // Without a durable cache to hold the mapping, careful firmware
+        // journals it before completing the command (§2.3); lazy-journal
+        // firmware (SSD-B) skips this and risks mapping loss.
+        let meta_done = if self.cfg.persist_mapping_on_flush {
+            self.ftl.persist_mapping(&mut self.nand, media_done)
+        } else {
+            media_done
+        };
+        meta_done + self.cfg.host_write_overhead
+    }
+
+    /// Capacitor dump at power-cut time (§3.4.1). The dump itself runs on
+    /// backup power after host time stops, so it costs no virtual time; what
+    /// matters is that it *fits the energy budget* and that the dumped state
+    /// survives in the device (the cache/mapping structures stay intact).
+    fn emergency_dump(&mut self, now: Nanos) {
+        // Only slots not yet on flash need dumping (dirty + still-draining);
+        // completed-but-unreclaimed entries are already safe on media.
+        let live_slots = self.cache.occupied_at(now) as u64;
+        let bytes = live_slots * LOGICAL_PAGE as u64 + self.ftl.unpersisted_entries() as u64 * 8;
+        assert!(
+            bytes <= self.cfg.capacitor_energy_bytes,
+            "dump of {bytes}B exceeds capacitor budget {}B — flow control must bound the cache",
+            self.cfg.capacitor_energy_bytes
+        );
+        self.xstats.dumps += 1;
+        self.xstats.max_dump_bytes = self.xstats.max_dump_bytes.max(bytes);
+        self.emergency_flag = true;
+    }
+}
+
+impl BlockDevice for Ssd {
+    fn capacity_pages(&self) -> u64 {
+        self.cfg.logical_capacity_pages
+    }
+
+    fn read(&mut self, lpn: u64, pages: u32, buf: &mut [u8], now: Nanos) -> DevResult<Nanos> {
+        if !self.powered {
+            return Err(DevError::PoweredOff);
+        }
+        check_io(lpn, pages, buf.len(), self.cfg.logical_capacity_pages)?;
+        self.note_arrival(now);
+        self.stats.reads += 1;
+        let start = now.max(self.barrier_until);
+        let mut media_done = start;
+        let mut all_cached = true;
+        for i in 0..pages as u64 {
+            let off = i as usize * LOGICAL_PAGE;
+            let out = &mut buf[off..off + LOGICAL_PAGE];
+            if let Some(cached) = self.cache.get(lpn + i) {
+                out.copy_from_slice(cached);
+                continue;
+            }
+            all_cached = false;
+            match self.ftl.read_slot(&mut self.nand, lpn + i, out, start) {
+                SlotRead::Ok(done) => media_done = media_done.max(done),
+                SlotRead::Unmapped => {}
+                SlotRead::Shorn => {
+                    self.xstats.shorn_reads += 1;
+                    return Err(DevError::ShornPage { lpn: lpn + i });
+                }
+            }
+        }
+        if all_cached {
+            self.xstats.cache_hit_reads += 1;
+        }
+        let xfer_done = self.sata_transfer(media_done, buf.len());
+        let done = xfer_done + self.cfg.host_read_overhead;
+        self.opportunistic_drain(now);
+        Ok(done)
+    }
+
+    fn write(&mut self, lpn: u64, data: &[u8], now: Nanos) -> DevResult<Nanos> {
+        if !self.powered {
+            return Err(DevError::PoweredOff);
+        }
+        let pages = (data.len() / LOGICAL_PAGE) as u32;
+        check_io(lpn, pages, data.len(), self.cfg.logical_capacity_pages)?;
+        self.note_arrival(now);
+        self.stats.writes += 1;
+        self.stats.pages_written += pages as u64;
+        let start = now.max(self.barrier_until);
+        let done = if self.cfg.cache_enabled {
+            self.write_cached(lpn, data, start)
+        } else {
+            self.write_direct(lpn, data, start)
+        };
+        Ok(done)
+    }
+
+    fn flush(&mut self, now: Nanos) -> DevResult<Nanos> {
+        if !self.powered {
+            return Err(DevError::PoweredOff);
+        }
+        self.note_arrival(now);
+        self.stats.flushes += 1;
+        let start = now.max(self.barrier_until);
+        let drained = self.drain_all(start);
+        let persisted = if self.cfg.persist_mapping_on_flush {
+            self.ftl.persist_mapping(&mut self.nand, drained)
+        } else {
+            drained
+        };
+        let done = persisted + self.cfg.flush_fixed_cost;
+        self.barrier_until = done;
+        Ok(done)
+    }
+
+    fn discard(&mut self, lpn: u64, pages: u32, now: Nanos) -> DevResult<Nanos> {
+        if !self.powered {
+            return Err(DevError::PoweredOff);
+        }
+        if pages == 0 || lpn + pages as u64 > self.cfg.logical_capacity_pages {
+            return Err(DevError::OutOfRange {
+                lpn,
+                pages,
+                capacity: self.cfg.logical_capacity_pages,
+            });
+        }
+        self.note_arrival(now);
+        // Drop cached copies and mappings; the command itself is cheap.
+        for i in 0..pages as u64 {
+            let l = lpn + i;
+            self.cache.remove(l);
+            self.ftl.trim(l);
+        }
+        Ok(now + self.cfg.host_write_overhead / 4)
+    }
+
+    fn power_cut(&mut self, now: Nanos) {
+        if !self.powered {
+            return;
+        }
+        // The simulation applies command effects eagerly, so a cut cannot
+        // travel back before commands the device has already observed: clamp
+        // to the arrival high-water mark. Commands *in flight* at that point
+        // (acknowledgement in the future) are still rolled back below.
+        let now = now.max(self.last_arrival);
+        self.powered = false;
+        self.barrier_until = 0;
+        // 1. In-flight NAND programs shear.
+        self.nand.power_cut(now);
+        // 2. Atomic writer: host commands whose acknowledgement had not been
+        //    sent yet are rolled back entirely — the host must never observe
+        //    a half-applied command (§3.2).
+        let pending: Vec<InflightWrite> = self.inflight.drain(..).collect();
+        for w in pending.into_iter().rev() {
+            if w.done > now {
+                self.xstats.aborted_inflight_writes += 1;
+                for (lpn, pre) in w.preimages.into_iter().rev() {
+                    self.cache.rollback(lpn, pre);
+                }
+            }
+        }
+        match self.cfg.protection {
+            CacheProtection::Volatile => {
+                // 3a. Acked-but-cached data evaporates; un-journalled
+                //     mapping updates roll back.
+                let lost = self.cache.discard_all();
+                self.xstats.lost_acked_slots += lost as u64;
+                self.ftl.rollback_unpersisted();
+            }
+            CacheProtection::CapacitorBacked => {
+                // 3b. The power-off detector fires the dump (§3.4.1).
+                self.emergency_dump(now);
+            }
+        }
+    }
+
+    fn reboot(&mut self, now: Nanos) -> Nanos {
+        if self.powered {
+            return now;
+        }
+        self.powered = true;
+        self.last_arrival = 0;
+        match self.cfg.protection {
+            CacheProtection::CapacitorBacked => {
+                let mut t = now + self.cfg.recharge_time; // recharge first (§3.4.2)
+                if self.emergency_flag {
+                    self.xstats.recoveries += 1;
+                    // Replay the dump: every slot that was in the cache is
+                    // re-queued for the flusher (its pre-cut program may have
+                    // sheared), and the mapping merge is charged as reads of
+                    // the dump area.
+                    let requeued = self.cache.requeue_draining();
+                    let dump_bytes =
+                        self.cache.occupied_bytes() + self.ftl.unpersisted_entries() as u64 * 8;
+                    let read_time = self.cfg.geometry.bus_time(dump_bytes as usize)
+                        + self.cfg.geometry.t_read * (requeued as u64 / 4 + 1);
+                    t += read_time;
+                    self.emergency_flag = false;
+                }
+                self.last_arrival = t;
+                t
+            }
+            CacheProtection::Volatile => {
+                // Mapping was already rolled back to the journalled state at
+                // cut time; charge a boot-time journal scan.
+                self.xstats.recoveries += 1;
+                let t = now + 50_000_000;
+                self.last_arrival = t;
+                t
+            }
+        }
+    }
+
+    fn is_powered(&self) -> bool {
+        self.powered
+    }
+
+    fn stats(&self) -> DeviceStats {
+        let f = self.ftl.stats();
+        let n = self.nand.stats();
+        DeviceStats {
+            media_pages_written: f.slots_programmed + f.meta_programs * 2,
+            gc_erases: f.gc_erases,
+            erases: n.erases,
+            ..self.stats
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(fill: u8) -> Vec<u8> {
+        vec![fill; LOGICAL_PAGE]
+    }
+
+    fn dura() -> Ssd {
+        Ssd::new(SsdConfig::tiny_test())
+    }
+
+    fn volatile() -> Ssd {
+        Ssd::new(SsdConfig::tiny_volatile())
+    }
+
+    #[test]
+    fn write_read_round_trip_through_cache() {
+        let mut d = dura();
+        let t = d.write(3, &page(7), 0).unwrap();
+        let mut buf = page(0);
+        let t2 = d.read(3, 1, &mut buf, t).unwrap();
+        assert_eq!(buf, page(7));
+        assert!(t2 > t);
+        assert_eq!(d.ssd_stats().cache_hit_reads, 1);
+    }
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let mut d = dura();
+        let mut buf = page(9);
+        d.read(100, 1, &mut buf, 0).unwrap();
+        assert_eq!(buf, page(0));
+    }
+
+    #[test]
+    fn cached_ack_is_fast_direct_is_slow() {
+        let mut fast = dura();
+        let t_fast = fast.write(0, &page(1), 0).unwrap();
+        let mut cfg = SsdConfig::tiny_test();
+        cfg.cache_enabled = false;
+        let mut slow = Ssd::new(cfg);
+        let t_slow = slow.write(0, &page(1), 0).unwrap();
+        assert!(
+            t_fast * 5 < t_slow,
+            "cache ack {t_fast} should be much faster than direct {t_slow}"
+        );
+    }
+
+    #[test]
+    fn flush_persists_everything_to_media() {
+        let mut d = dura();
+        let mut t = 0;
+        for i in 0..8u64 {
+            t = d.write(i, &page(i as u8), t).unwrap();
+        }
+        let t = d.flush(t).unwrap();
+        assert_eq!(d.cache_occupancy(), 0);
+        assert!(d.ftl_stats().slots_programmed >= 8);
+        // Still readable from media.
+        let mut buf = page(0);
+        d.read(5, 1, &mut buf, t).unwrap();
+        assert_eq!(buf, page(5));
+    }
+
+    #[test]
+    fn durable_cache_survives_power_cut() {
+        let mut d = dura();
+        let t = d.write(3, &page(7), 0).unwrap();
+        d.power_cut(t + 1); // acked, still in DRAM
+        let t2 = d.reboot(t + 1_000_000);
+        let mut buf = page(0);
+        d.read(3, 1, &mut buf, t2).unwrap();
+        assert_eq!(buf, page(7), "acked write must survive on DuraSSD");
+        assert_eq!(d.ssd_stats().lost_acked_slots, 0);
+        assert_eq!(d.ssd_stats().dumps, 1);
+        assert_eq!(d.ssd_stats().recoveries, 1);
+    }
+
+    #[test]
+    fn volatile_cache_loses_acked_write() {
+        let mut d = volatile();
+        let t = d.write(3, &page(7), 0).unwrap();
+        d.power_cut(t + 1);
+        let t2 = d.reboot(t + 1_000_000);
+        let mut buf = page(9);
+        d.read(3, 1, &mut buf, t2).unwrap();
+        assert_eq!(buf, page(0), "acked write is gone on a volatile cache");
+        assert_eq!(d.ssd_stats().lost_acked_slots, 1);
+    }
+
+    #[test]
+    fn volatile_cache_keeps_flushed_write() {
+        let mut d = volatile();
+        let t = d.write(3, &page(7), 0).unwrap();
+        let t = d.flush(t).unwrap();
+        d.power_cut(t + 1);
+        let t2 = d.reboot(t + 1_000_000);
+        let mut buf = page(0);
+        d.read(3, 1, &mut buf, t2).unwrap();
+        assert_eq!(buf, page(7), "flushed write must survive everywhere");
+    }
+
+    #[test]
+    fn inflight_write_is_atomically_discarded() {
+        let mut d = dura();
+        // Establish an old value and flush it down.
+        let t = d.write(3, &page(1), 0).unwrap();
+        let t = d.flush(t).unwrap();
+        // New write; cut power before its ack time.
+        let t2 = d.write(3, &page(2), t).unwrap();
+        d.power_cut(t2 - 1);
+        let t3 = d.reboot(t2 + 1_000_000);
+        let mut buf = page(0);
+        d.read(3, 1, &mut buf, t3).unwrap();
+        assert_eq!(buf, page(1), "unacked write must fully roll back");
+        assert_eq!(d.ssd_stats().aborted_inflight_writes, 1);
+    }
+
+    #[test]
+    fn multi_page_write_is_atomic_under_cut() {
+        let mut d = dura();
+        let mut init = Vec::new();
+        for i in 0..4u8 {
+            init.extend_from_slice(&page(i + 10));
+        }
+        let t = d.write(0, &init, 0).unwrap();
+        let t = d.flush(t).unwrap();
+        let mut update = Vec::new();
+        for i in 0..4u8 {
+            update.extend_from_slice(&page(i + 20));
+        }
+        let t2 = d.write(0, &update, t).unwrap();
+        d.power_cut(t2 - 1); // mid-command
+        let t3 = d.reboot(t2 + 1_000_000);
+        let mut buf = vec![0u8; 4 * LOGICAL_PAGE];
+        d.read(0, 4, &mut buf, t3).unwrap();
+        for i in 0..4usize {
+            assert_eq!(
+                buf[i * LOGICAL_PAGE],
+                (i + 10) as u8,
+                "page {i}: old value expected, no tearing"
+            );
+        }
+    }
+
+    #[test]
+    fn sustained_writes_trigger_backpressure_and_gc() {
+        let mut d = dura();
+        let cap = d.capacity_pages();
+        let mut t = 0;
+        // Write far more than the raw device capacity with overwrites.
+        for i in 0..(cap * 6) {
+            t = d.write(i % cap, &page((i % 200) as u8), t).unwrap();
+        }
+        assert!(d.ftl_stats().gc_erases > 0, "GC must have run");
+        // Everything still readable and consistent.
+        let mut buf = page(0);
+        let lpn = (cap * 6 - 1) % cap;
+        d.read(lpn, 1, &mut buf, t).unwrap();
+        assert_eq!(buf[0], ((cap * 6 - 1) % 200) as u8);
+    }
+
+    #[test]
+    fn flush_of_clean_device_is_cheap_but_nonzero() {
+        let mut d = dura();
+        let t = d.flush(0).unwrap();
+        assert!(t >= d.config().flush_fixed_cost);
+        assert!(t < 100 * d.config().flush_fixed_cost);
+    }
+
+    #[test]
+    fn out_of_range_io_rejected() {
+        let mut d = dura();
+        let cap = d.capacity_pages();
+        assert!(matches!(
+            d.write(cap, &page(1), 0),
+            Err(DevError::OutOfRange { .. })
+        ));
+        let mut buf = page(0);
+        assert!(matches!(d.read(cap - 1, 2, &mut buf, 0), Err(DevError::OutOfRange { .. })));
+    }
+
+    #[test]
+    fn powered_off_device_rejects_io() {
+        let mut d = dura();
+        d.power_cut(0);
+        assert!(matches!(d.write(0, &page(1), 1), Err(DevError::PoweredOff)));
+        let mut buf = page(0);
+        assert!(matches!(d.read(0, 1, &mut buf, 1), Err(DevError::PoweredOff)));
+        assert!(matches!(d.flush(1), Err(DevError::PoweredOff)));
+    }
+
+    #[test]
+    fn write_amplification_visible_in_stats() {
+        let mut d = dura();
+        let mut t = 0;
+        for i in 0..32u64 {
+            t = d.write(i % 8, &page(i as u8), t).unwrap();
+        }
+        let t = d.flush(t).unwrap();
+        let _ = t;
+        let s = d.stats();
+        assert_eq!(s.pages_written, 32);
+        // Coalescing in the cache means fewer media writes than host writes.
+        assert!(
+            s.media_pages_written < 32 + 8,
+            "coalescing should absorb rewrites: media={}",
+            s.media_pages_written
+        );
+    }
+
+    #[test]
+    fn volatile_rollback_can_corrupt_unflushed_overwrites() {
+        // The Zheng-style anomaly: overwrite an already-persisted page, GC
+        // the old version away, then cut power before the mapping journal
+        // catches up. The persisted mapping points into erased flash.
+        let mut cfg = SsdConfig::tiny_volatile();
+        cfg.cache_enabled = true;
+        let mut d = Ssd::new(cfg);
+        let cap = d.capacity_pages();
+        let mut t = 0;
+        for i in 0..cap {
+            t = d.write(i, &page(1), t).unwrap();
+        }
+        t = d.flush(t).unwrap();
+        // Heavy churn without any flush: GC erases blocks whose slots the
+        // journalled mapping still references.
+        for round in 0..6u64 {
+            for i in 0..cap {
+                t = d.write(i, &page(round as u8 + 2), t).unwrap();
+            }
+        }
+        d.power_cut(t);
+        let t2 = d.reboot(t + 1);
+        let mut corrupt = 0;
+        let mut stale = 0;
+        let mut buf = page(0);
+        for i in 0..cap {
+            match d.read(i, 1, &mut buf, t2 + i) {
+                Err(DevError::ShornPage { .. }) => corrupt += 1,
+                Ok(_) if buf[0] != 7 => stale += 1,
+                _ => {}
+            }
+        }
+        assert!(
+            corrupt + stale > 0,
+            "a volatile device must exhibit lost/corrupt data in this scenario"
+        );
+    }
+
+    #[test]
+    fn discard_unmaps_and_reads_zero() {
+        let mut d = dura();
+        let t = d.write(3, &page(7), 0).unwrap();
+        let t = d.flush(t).unwrap();
+        let t2 = d.discard(3, 1, t).unwrap();
+        let mut buf = page(9);
+        d.read(3, 1, &mut buf, t2).unwrap();
+        assert_eq!(buf, page(0), "trimmed page reads as zero");
+        // And it stays zero across a power cycle.
+        d.power_cut(t2 + 1);
+        let t3 = d.reboot(t2 + 2);
+        d.read(3, 1, &mut buf, t3).unwrap();
+        assert_eq!(buf, page(0));
+    }
+
+    #[test]
+    fn discard_of_cached_write_cancels_it() {
+        let mut d = dura();
+        let t = d.write(5, &page(1), 0).unwrap();
+        let t2 = d.discard(5, 1, t).unwrap();
+        let mut buf = page(9);
+        d.read(5, 1, &mut buf, t2).unwrap();
+        assert_eq!(buf, page(0));
+    }
+
+    #[test]
+    fn wear_stays_bounded_under_skewed_churn() {
+        // Hammer a handful of logical pages; wear-aware GC must spread the
+        // erases rather than thrash a single block forever.
+        let mut d = dura();
+        let mut t = 0;
+        for i in 0..6_000u64 {
+            t = d.write(i % 8, &page(i as u8), t).unwrap();
+        }
+        let s = d.ftl_stats();
+        assert!(s.gc_erases > 0, "churn must GC");
+        let (min, max) = d.wear_spread();
+        // Greedy GC with wear tie-breaking keeps the spread bounded: the
+        // most-erased data block stays within a constant band of the total.
+        assert!(max >= 1);
+        assert!(
+            (max - min) as u64 <= s.gc_erases,
+            "wear spread {max}-{min} too wide for {} erases",
+            s.gc_erases
+        );
+    }
+}

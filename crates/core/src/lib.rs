@@ -1,0 +1,31 @@
+//! DuraSSD: the paper's contribution — a flash SSD whose DRAM write cache is
+//! made durable with tantalum capacitors, plus the firmware that exploits it.
+//!
+//! The crate implements a complete SSD firmware simulator on top of the raw
+//! [`nand`] array:
+//!
+//! * [`config`] — device profiles: `DuraSSD` (capacitor-backed cache), and
+//!   the volatile-cache baselines `SSD-A` / `SSD-B` from the paper's Table 1.
+//! * [`ftl`] — flash translation layer with **4KB mapping over 8KB NAND
+//!   pages** (§3.1.2), per-plane write frontiers, garbage collection with a
+//!   reserved always-clean dump area (§3.4.1), and incremental mapping
+//!   journaling.
+//! * [`cache`] — the DRAM write cache: FIFO with duplicate-write coalescing
+//!   (§3.1.1), flow control against the backend flusher.
+//! * [`device`] — the [`Ssd`] device: host interface (SATA bus + NCQ),
+//!   atomic writer (§3.2), flush-cache handling (§3.3), power-off detection
+//!   with capacitor-powered dump, and the recovery manager (§3.4).
+//!
+//! The same [`Ssd`] type implements every SSD in the paper; profiles differ
+//! in cache protection (volatile vs capacitor-backed), cache size and
+//! interface timing. The durability consequences — what survives a power
+//! cut — follow from the protection mode, not from special-cased logic.
+
+pub mod cache;
+pub mod config;
+pub mod device;
+pub mod ftl;
+
+pub use config::{CacheProtection, SsdConfig};
+pub use device::{Ssd, SsdStats};
+pub use ftl::Ftl;

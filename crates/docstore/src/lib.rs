@@ -1,0 +1,773 @@
+//! `docstore` — a Couchbase-like document store (the paper's §4.3.3).
+//!
+//! Couchbase's storage engine (couchstore) is append-only: an update writes
+//! the document, then rewrites every B-tree node on the root-to-leaf path,
+//! and appends a header; durability comes from an fsync every `batch_size`
+//! updates ("Couchbase can adjust the fsync frequency in order to trade
+//! durability for performance"). With the paper's numbers — 1KB documents, a
+//! ~4-level tree of 4KB nodes — each update writes ~20KB.
+//!
+//! This crate reproduces that design:
+//!
+//! * [`append::AppendSpace`] — the append-only file substrate,
+//! * [`cowtree`] — immutable (copy-on-write) node encoding,
+//! * [`DocStore`] — the store: memory-first document cache (the memcached
+//!   layer), COW updates, batched fsync, block-aligned headers, backward
+//!   header scan on recovery, and compaction.
+
+pub mod append;
+pub mod cowtree;
+
+use append::{AppendSpace, BLOCK};
+use cowtree::{
+    decode_node, encode_node, node_size, route, split_entries, Entry, KIND_INTERNAL, KIND_LEAF,
+    NODE_CAP,
+};
+use simkit::{crc32, Nanos};
+use std::collections::HashMap;
+use storage::device::BlockDevice;
+use storage::file::PageFile;
+use storage::volume::{Volume, VolumeManager};
+
+const HEADER_MAGIC: u64 = 0x434f_5543_4848_4452;
+
+/// Store configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DocStoreConfig {
+    /// fsync every `batch_size` updates (Table 5 sweeps 1, 2, 5, 10, 100).
+    pub batch_size: u32,
+    /// Write barriers on the volume (fsync ⇒ FLUSH CACHE).
+    pub barriers: bool,
+    /// File size in 4KB blocks.
+    pub file_blocks: u64,
+    /// Auto-compact when the append file exceeds this fraction (percent) of
+    /// its capacity — Couchbase's fragmentation-threshold auto-compaction.
+    /// 0 disables.
+    pub auto_compact_pct: u8,
+}
+
+impl DocStoreConfig {
+    /// Defaults: fsync every update, barriers on, 64MB file, auto-compact
+    /// at 75% fill.
+    pub fn new() -> Self {
+        Self { batch_size: 1, barriers: true, file_blocks: 16_384, auto_compact_pct: 75 }
+    }
+}
+
+impl Default for DocStoreConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Store statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DocStats {
+    /// Set (insert/update) operations.
+    pub sets: u64,
+    /// Get operations.
+    pub gets: u64,
+    /// Deletes.
+    pub deletes: u64,
+    /// Gets served from the in-memory object cache.
+    pub cache_hits: u64,
+    /// fsync batches (headers written).
+    pub headers: u64,
+    /// Bytes appended (docs + nodes + headers).
+    pub bytes_appended: u64,
+    /// Unreadable nodes/documents encountered (post-crash corruption).
+    pub corrupt_reads: u64,
+    /// Compactions run.
+    pub compactions: u64,
+}
+
+/// The document store over a block device.
+pub struct DocStore<D: BlockDevice> {
+    vol: Volume<D>,
+    space: AppendSpace,
+    root: Option<(u64, u32)>,
+    depth: u32,
+    seq: u64,
+    cfg: DocStoreConfig,
+    /// Memory-first object cache (Couchbase's managed-cache layer).
+    doc_cache: HashMap<Vec<u8>, Option<Vec<u8>>>,
+    /// Immutable node cache (OS page cache stand-in; nodes never change).
+    node_cache: HashMap<u64, (u8, Vec<Entry>)>,
+    updates_since_sync: u32,
+    stats: DocStats,
+}
+
+/// Frame a document for the append space: `[len u32][crc u32][bytes]`.
+fn frame_doc(doc: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + doc.len());
+    out.extend_from_slice(&(doc.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(doc).to_le_bytes());
+    out.extend_from_slice(doc);
+    out
+}
+
+impl<D: BlockDevice> DocStore<D> {
+    /// Create a fresh (empty) store on `dev`.
+    pub fn create(dev: D, cfg: DocStoreConfig) -> Self {
+        let vol = Volume::new(dev, cfg.barriers);
+        let mut vm = VolumeManager::new(vol.capacity_pages());
+        let file = PageFile::create(&mut vm, cfg.file_blocks.min(vol.capacity_pages()), BLOCK);
+        Self {
+            vol,
+            space: AppendSpace::new(file),
+            root: None,
+            depth: 0,
+            seq: 0,
+            cfg,
+            doc_cache: HashMap::new(),
+            node_cache: HashMap::new(),
+            updates_since_sync: 0,
+            stats: DocStats::default(),
+        }
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> DocStats {
+        self.stats
+    }
+
+    /// Tree depth (levels of internal nodes above the leaves).
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Header sequence number (monotone commit counter).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Device statistics of the underlying volume.
+    pub fn device_stats(&self) -> storage::device::DeviceStats {
+        self.vol.device_stats()
+    }
+
+    /// Bytes appended so far.
+    pub fn file_len(&self) -> u64 {
+        self.space.len()
+    }
+
+    /// Drop the in-memory object cache (test hook: forces tree walks).
+    pub fn clear_object_cache(&mut self) {
+        self.doc_cache.clear();
+    }
+
+    fn read_node(&mut self, ptr: u64, len: u32, now: Nanos) -> (Option<(u8, Vec<Entry>)>, Nanos) {
+        if let Some(n) = self.node_cache.get(&ptr) {
+            return (Some(n.clone()), now);
+        }
+        match self.space.read(&mut self.vol, ptr, len as usize, now) {
+            Ok((bytes, t)) => match decode_node(&bytes) {
+                Some(node) => {
+                    self.node_cache.insert(ptr, node.clone());
+                    (Some(node), t)
+                }
+                None => {
+                    self.stats.corrupt_reads += 1;
+                    (None, t)
+                }
+            },
+            Err(_) => {
+                self.stats.corrupt_reads += 1;
+                (None, now)
+            }
+        }
+    }
+
+    fn append_node(&mut self, kind: u8, entries: &[Entry]) -> (u64, u32) {
+        let bytes = encode_node(kind, entries);
+        let ptr = self.space.append(&bytes);
+        self.stats.bytes_appended += bytes.len() as u64;
+        self.node_cache.insert(ptr, (kind, entries.to_vec()));
+        (ptr, bytes.len() as u32)
+    }
+
+    /// Recursive COW insert. Returns the replacement entries for this
+    /// subtree (1 normally, more after splits).
+    fn insert_rec(
+        &mut self,
+        ptr: u64,
+        len: u32,
+        level: u32,
+        key: &[u8],
+        doc_entry: &Entry,
+        now: Nanos,
+    ) -> (Vec<Entry>, Nanos) {
+        let (node, t) = self.read_node(ptr, len, now);
+        let Some((kind, mut entries)) = node else {
+            // Corrupt node: rebuild this subtree as a single-leaf with the
+            // new entry (data under it is lost; counted in corrupt_reads).
+            let (p, l) = self.append_node(KIND_LEAF, std::slice::from_ref(doc_entry));
+            return (vec![Entry { key: key.to_vec(), ptr: p, len: l }], now);
+        };
+        if level == 0 {
+            debug_assert_eq!(kind, KIND_LEAF);
+            match entries.binary_search_by(|e| e.key.as_slice().cmp(key)) {
+                Ok(i) => entries[i] = doc_entry.clone(),
+                Err(i) => entries.insert(i, doc_entry.clone()),
+            }
+            let chunks = split_entries(entries);
+            let out = chunks
+                .into_iter()
+                .map(|c| {
+                    let max_key = c.last().expect("chunks non-empty").key.clone();
+                    let (p, l) = self.append_node(KIND_LEAF, &c);
+                    Entry { key: max_key, ptr: p, len: l }
+                })
+                .collect();
+            (out, t)
+        } else {
+            debug_assert_eq!(kind, KIND_INTERNAL);
+            let idx = route(&entries, key);
+            let child = entries[idx].clone();
+            let (repl, t) = self.insert_rec(child.ptr, child.len, level - 1, key, doc_entry, t);
+            entries.splice(idx..idx + 1, repl);
+            let chunks = split_entries(entries);
+            let out = chunks
+                .into_iter()
+                .map(|c| {
+                    let max_key = c.last().expect("chunks non-empty").key.clone();
+                    let (p, l) = self.append_node(KIND_INTERNAL, &c);
+                    Entry { key: max_key, ptr: p, len: l }
+                })
+                .collect();
+            (out, t)
+        }
+    }
+
+    fn apply_tree_update(&mut self, key: &[u8], doc_entry: Entry, now: Nanos) -> Nanos {
+        let mut t = now;
+        let replacements = match self.root {
+            None => {
+                let (p, l) = self.append_node(KIND_LEAF, std::slice::from_ref(&doc_entry));
+                vec![Entry { key: key.to_vec(), ptr: p, len: l }]
+            }
+            Some((rp, rl)) => {
+                let depth = self.depth;
+                let (repl, t2) = self.insert_rec(rp, rl, depth, key, &doc_entry, now);
+                t = t2;
+                repl
+            }
+        };
+        // Grow the root while the replacement set does not fit one node.
+        let mut tops = replacements;
+        while tops.len() > 1 {
+            if node_size(&tops) <= NODE_CAP {
+                let max_key = tops.last().expect("non-empty").key.clone();
+                let (p, l) = self.append_node(KIND_INTERNAL, &tops);
+                tops = vec![Entry { key: max_key, ptr: p, len: l }];
+                self.depth += 1;
+            } else {
+                let chunks = split_entries(tops);
+                tops = chunks
+                    .into_iter()
+                    .map(|c| {
+                        let max_key = c.last().expect("non-empty").key.clone();
+                        let (p, l) = self.append_node(KIND_INTERNAL, &c);
+                        Entry { key: max_key, ptr: p, len: l }
+                    })
+                    .collect();
+                self.depth += 1;
+            }
+        }
+        let top = &tops[0];
+        self.root = Some((top.ptr, top.len));
+        t
+    }
+
+    /// After a mutation: push bytes to the device, fsync per batch size, and
+    /// auto-compact once the append file is mostly garbage.
+    fn finish_update(&mut self, now: Nanos) -> Nanos {
+        let t = self.space.write_out(&mut self.vol, now);
+        self.updates_since_sync += 1;
+        let t = if self.updates_since_sync >= self.cfg.batch_size {
+            self.commit_header(t)
+        } else {
+            t
+        };
+        if self.cfg.auto_compact_pct > 0
+            && self.space.len() * 100 > self.space.capacity() * self.cfg.auto_compact_pct as u64
+        {
+            return self.compact(t);
+        }
+        t
+    }
+
+    /// Append a header block and fsync (the commit point).
+    pub fn commit_header(&mut self, now: Nanos) -> Nanos {
+        self.seq += 1;
+        self.space.align_to_block();
+        let mut hdr = vec![0u8; BLOCK];
+        hdr[..8].copy_from_slice(&HEADER_MAGIC.to_le_bytes());
+        hdr[8..16].copy_from_slice(&self.seq.to_le_bytes());
+        let (rp, rl) = self.root.unwrap_or((u64::MAX, 0));
+        hdr[16..24].copy_from_slice(&rp.to_le_bytes());
+        hdr[24..28].copy_from_slice(&rl.to_le_bytes());
+        hdr[28..32].copy_from_slice(&self.depth.to_le_bytes());
+        let crc = crc32(&hdr[..32]);
+        hdr[32..36].copy_from_slice(&crc.to_le_bytes());
+        self.space.append(&hdr);
+        self.stats.bytes_appended += hdr.len() as u64;
+        self.stats.headers += 1;
+        self.updates_since_sync = 0;
+        self.space.sync(&mut self.vol, now)
+    }
+
+    /// Insert or update a document. Returns the completion time.
+    pub fn set(&mut self, key: &[u8], doc: &[u8], now: Nanos) -> Nanos {
+        self.stats.sets += 1;
+        let framed = frame_doc(doc);
+        let ptr = self.space.append(&framed);
+        self.stats.bytes_appended += framed.len() as u64;
+        let entry = Entry { key: key.to_vec(), ptr, len: framed.len() as u32 };
+        let t = self.apply_tree_update(key, entry, now);
+        self.doc_cache.insert(key.to_vec(), Some(doc.to_vec()));
+        self.finish_update(t)
+    }
+
+    /// Delete a document (tombstone entry).
+    pub fn delete(&mut self, key: &[u8], now: Nanos) -> Nanos {
+        self.stats.deletes += 1;
+        let entry = Entry { key: key.to_vec(), ptr: 0, len: 0 };
+        let t = self.apply_tree_update(key, entry, now);
+        self.doc_cache.insert(key.to_vec(), None);
+        self.finish_update(t)
+    }
+
+    /// Fetch a document. Memory-first: the object cache serves hot keys; a
+    /// miss walks the on-disk tree.
+    pub fn get(&mut self, key: &[u8], now: Nanos) -> (Option<Vec<u8>>, Nanos) {
+        self.stats.gets += 1;
+        if let Some(v) = self.doc_cache.get(key) {
+            self.stats.cache_hits += 1;
+            // Object-cache hit: sub-microsecond.
+            return (v.clone(), now + 500);
+        }
+        let Some((mut ptr, mut len)) = self.root else {
+            return (None, now);
+        };
+        let mut t = now;
+        loop {
+            let (node, t2) = self.read_node(ptr, len, t);
+            t = t2;
+            let Some((kind, entries)) = node else {
+                return (None, t);
+            };
+            if kind == KIND_LEAF {
+                let found = match entries.binary_search_by(|e| e.key.as_slice().cmp(key)) {
+                    Ok(i) => {
+                        let e = &entries[i];
+                        if e.len == 0 {
+                            None // tombstone
+                        } else {
+                            match self.space.read(&mut self.vol, e.ptr, e.len as usize, t) {
+                                Ok((framed, t2)) => {
+                                    t = t2;
+                                    let dlen =
+                                        u32::from_le_bytes(framed[..4].try_into().expect("frame"))
+                                            as usize;
+                                    let crc = u32::from_le_bytes(
+                                        framed[4..8].try_into().expect("frame"),
+                                    );
+                                    let body = &framed[8..8 + dlen.min(framed.len() - 8)];
+                                    if crc == crc32(body) {
+                                        Some(body.to_vec())
+                                    } else {
+                                        self.stats.corrupt_reads += 1;
+                                        None
+                                    }
+                                }
+                                Err(_) => {
+                                    self.stats.corrupt_reads += 1;
+                                    None
+                                }
+                            }
+                        }
+                    }
+                    Err(_) => None,
+                };
+                if let Some(doc) = &found {
+                    self.doc_cache.insert(key.to_vec(), Some(doc.clone()));
+                }
+                return (found, t);
+            }
+            if entries.is_empty() {
+                return (None, t);
+            }
+            let idx = route(&entries, key);
+            // A key greater than every max-key cannot be in the tree.
+            if key > entries[idx].key.as_slice() {
+                return (None, t);
+            }
+            ptr = entries[idx].ptr;
+            len = entries[idx].len;
+        }
+    }
+
+    /// All live `(key, doc)` pairs in order (compaction walk).
+    #[allow(clippy::type_complexity)]
+    fn collect_live(&mut self, now: Nanos) -> (Vec<(Vec<u8>, Vec<u8>)>, Nanos) {
+        let Some((rp, rl)) = self.root else {
+            return (Vec::new(), now);
+        };
+        let mut out = Vec::new();
+        let mut t = now;
+        let mut stack = vec![(rp, rl, self.depth)];
+        while let Some((ptr, len, level)) = stack.pop() {
+            let (node, t2) = self.read_node(ptr, len, t);
+            t = t2;
+            let Some((kind, entries)) = node else { continue };
+            if kind == KIND_LEAF {
+                for e in entries {
+                    if e.len == 0 {
+                        continue;
+                    }
+                    if let Ok((framed, t3)) =
+                        self.space.read(&mut self.vol, e.ptr, e.len as usize, t)
+                    {
+                        t = t3;
+                        let dlen =
+                            u32::from_le_bytes(framed[..4].try_into().expect("frame")) as usize;
+                        if framed.len() >= 8 + dlen {
+                            out.push((e.key, framed[8..8 + dlen].to_vec()));
+                        }
+                    }
+                }
+            } else {
+                for e in entries.into_iter().rev() {
+                    stack.push((e.ptr, e.len, level.saturating_sub(1)));
+                }
+            }
+        }
+        (out, t)
+    }
+
+    /// Compaction: rewrite the live data as a fresh, dense tree at the start
+    /// of the file (modelling couchstore's copy-compaction into a new file),
+    /// then TRIM the reclaimed tail so the SSD can drop the stale blocks.
+    pub fn compact(&mut self, now: Nanos) -> Nanos {
+        self.stats.compactions += 1;
+        let old_len = self.space.len();
+        let (live, t) = self.collect_live(now);
+        // Fresh space over the same region.
+        let file = self.space_file();
+        self.space = AppendSpace::new(file);
+        self.node_cache.clear();
+        self.root = None;
+        self.depth = 0;
+        // Bulk-load bottom-up: docs + leaves, then internal levels.
+        let mut level_entries: Vec<Entry> = Vec::new();
+        for (key, doc) in &live {
+            let framed = frame_doc(doc);
+            let ptr = self.space.append(&framed);
+            self.stats.bytes_appended += framed.len() as u64;
+            level_entries.push(Entry { key: key.clone(), ptr, len: framed.len() as u32 });
+        }
+        if !level_entries.is_empty() {
+            let mut kind = KIND_LEAF;
+            loop {
+                let chunks = split_entries(level_entries);
+                let mut next: Vec<Entry> = Vec::with_capacity(chunks.len());
+                for c in chunks {
+                    let max_key = c.last().expect("non-empty").key.clone();
+                    let (p, l) = self.append_node(kind, &c);
+                    next.push(Entry { key: max_key, ptr: p, len: l });
+                }
+                if next.len() == 1 {
+                    self.root = Some((next[0].ptr, next[0].len));
+                    break;
+                }
+                level_entries = next;
+                kind = KIND_INTERNAL;
+                self.depth += 1;
+            }
+        }
+        let t = self.commit_header(t);
+        // TRIM everything between the new end of file and the old one.
+        let new_blocks = self.space.len().div_ceil(BLOCK as u64);
+        let old_blocks = old_len.div_ceil(BLOCK as u64);
+        
+        if old_blocks > new_blocks {
+            self.vol
+                .discard(new_blocks, (old_blocks - new_blocks) as u32, t)
+                .unwrap_or(t)
+        } else {
+            t
+        }
+    }
+
+    fn space_file(&self) -> PageFile {
+        // The layout is deterministic: one file at the start of the volume.
+        let mut vm = VolumeManager::new(self.vol.capacity_pages());
+        PageFile::create(&mut vm, self.cfg.file_blocks.min(self.vol.capacity_pages()), BLOCK)
+    }
+
+    /// Crash: cut device power and surrender the device.
+    pub fn crash(mut self, now: Nanos) -> D {
+        self.vol.power_cut(now);
+        self.vol.into_device()
+    }
+
+    /// Recover a store from a device: reboot, scan backwards for the newest
+    /// valid header, resume after it. Updates past the last header are lost
+    /// (that is couchstore's contract).
+    pub fn recover(dev: D, cfg: DocStoreConfig, now: Nanos) -> (Self, Nanos) {
+        let mut vol = Volume::new(dev, cfg.barriers);
+        let mut t = now;
+        if !vol.device().is_powered() {
+            t = vol.reboot(t);
+        }
+        let mut vm = VolumeManager::new(vol.capacity_pages());
+        let file = PageFile::create(&mut vm, cfg.file_blocks.min(vol.capacity_pages()), BLOCK);
+        let mut found: Option<(u64, u64, u32, u32, u64)> = None; // block, root, len, depth, seq
+        let mut buf = vec![0u8; BLOCK];
+        for blk in (0..file.pages()).rev() {
+            match file.read_page(&mut vol, blk, &mut buf, t) {
+                Ok(t2) => t = t2,
+                Err(_) => continue,
+            }
+            if u64::from_le_bytes(buf[..8].try_into().expect("hdr")) != HEADER_MAGIC {
+                continue;
+            }
+            let crc = u32::from_le_bytes(buf[32..36].try_into().expect("hdr"));
+            if crc != crc32(&buf[..32]) {
+                continue;
+            }
+            let seq = u64::from_le_bytes(buf[8..16].try_into().expect("hdr"));
+            let root = u64::from_le_bytes(buf[16..24].try_into().expect("hdr"));
+            let len = u32::from_le_bytes(buf[24..28].try_into().expect("hdr"));
+            let depth = u32::from_le_bytes(buf[28..32].try_into().expect("hdr"));
+            found = Some((blk, root, len, depth, seq));
+            break;
+        }
+        let (space, root, depth, seq) = match found {
+            Some((blk, root, len, depth, seq)) => {
+                let resume = (blk + 1) * BLOCK as u64;
+                let space = AppendSpace::reopen(file, resume, vec![0u8; BLOCK]);
+                let root = if root == u64::MAX { None } else { Some((root, len)) };
+                (space, root, depth, seq)
+            }
+            None => (AppendSpace::new(file), None, 0, 0),
+        };
+        (
+            Self {
+                vol,
+                space,
+                root,
+                depth,
+                seq,
+                cfg,
+                doc_cache: HashMap::new(),
+                node_cache: HashMap::new(),
+                updates_since_sync: 0,
+                stats: DocStats::default(),
+            },
+            t,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use durassd::{Ssd, SsdConfig};
+    use storage::testdev::MemDevice;
+
+    fn store(batch: u32) -> DocStore<MemDevice> {
+        let cfg = DocStoreConfig { batch_size: batch, barriers: true, file_blocks: 8192, auto_compact_pct: 0 };
+        DocStore::create(MemDevice::new(8192), cfg)
+    }
+
+    fn doc(i: u64) -> Vec<u8> {
+        format!("document-{i}-{}", "d".repeat(200)).into_bytes()
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut s = store(1);
+        let t = s.set(b"k1", &doc(1), 0);
+        let (v, _) = s.get(b"k1", t);
+        assert_eq!(v.unwrap(), doc(1));
+        let (v, _) = s.get(b"nope", t);
+        assert!(v.is_none());
+    }
+
+    #[test]
+    fn updates_overwrite() {
+        let mut s = store(1);
+        let t = s.set(b"k", b"old", 0);
+        let t = s.set(b"k", b"new", t);
+        let (v, _) = s.get(b"k", t);
+        assert_eq!(v.unwrap(), b"new");
+    }
+
+    #[test]
+    fn tree_grows_and_finds_everything() {
+        let mut s = store(100);
+        let mut t = 0;
+        for i in 0..2000u64 {
+            t = s.set(format!("key{:06}", i * 37 % 2000).as_bytes(), &doc(i), t);
+        }
+        assert!(s.depth() >= 1, "2000 docs must split the root leaf");
+        // Clear the object cache to force tree walks.
+        s.clear_object_cache();
+        for i in (0..2000u64).step_by(97) {
+            let (v, t2) = s.get(format!("key{:06}", i).as_bytes(), t);
+            t = t2;
+            assert!(v.is_some(), "missing key {i}");
+        }
+        assert_eq!(s.stats().corrupt_reads, 0);
+    }
+
+    #[test]
+    fn delete_leaves_tombstone() {
+        let mut s = store(1);
+        let t = s.set(b"k", &doc(1), 0);
+        let t = s.delete(b"k", t);
+        s.clear_object_cache();
+        let (v, _) = s.get(b"k", t);
+        assert!(v.is_none());
+    }
+
+    #[test]
+    fn batch_size_controls_fsync_frequency() {
+        let mut s1 = store(1);
+        let mut s100 = store(100);
+        let mut t1 = 0;
+        let mut t100 = 0;
+        for i in 0..100u64 {
+            t1 = s1.set(format!("k{i}").as_bytes(), &doc(i), t1);
+            t100 = s100.set(format!("k{i}").as_bytes(), &doc(i), t100);
+        }
+        assert_eq!(s1.stats().headers, 100);
+        assert_eq!(s100.stats().headers, 1);
+        assert!(s1.device_stats().flushes > s100.device_stats().flushes);
+    }
+
+    #[test]
+    fn synced_updates_survive_recovery() {
+        let cfg = DocStoreConfig { batch_size: 1, barriers: true, file_blocks: 8192, auto_compact_pct: 0 };
+        let mut s = DocStore::create(MemDevice::new(8192), cfg);
+        let mut t = 0;
+        for i in 0..50u64 {
+            t = s.set(format!("k{i:03}").as_bytes(), &doc(i), t);
+        }
+        let dev = s.crash(t);
+        let (mut s2, mut t2) = DocStore::recover(dev, cfg, t + 1);
+        assert_eq!(s2.seq(), 50);
+        for i in 0..50u64 {
+            let (v, t3) = s2.get(format!("k{i:03}").as_bytes(), t2);
+            t2 = t3;
+            assert_eq!(v.unwrap(), doc(i), "k{i:03}");
+        }
+    }
+
+    #[test]
+    fn unsynced_tail_is_lost_on_recovery() {
+        let cfg = DocStoreConfig { batch_size: 10, barriers: true, file_blocks: 8192, auto_compact_pct: 0 };
+        let mut s = DocStore::create(MemDevice::new(8192), cfg);
+        let mut t = 0;
+        for i in 0..10u64 {
+            t = s.set(format!("synced{i}").as_bytes(), &doc(i), t);
+        }
+        // 3 more updates, no header yet (batch of 10).
+        for i in 0..3u64 {
+            t = s.set(format!("tail{i}").as_bytes(), &doc(i), t);
+        }
+        let dev = s.crash(t);
+        let (mut s2, t2) = DocStore::recover(dev, cfg, t + 1);
+        let (v, t3) = s2.get(b"synced5", t2);
+        assert!(v.is_some(), "synced batch must survive");
+        let (v, _) = s2.get(b"tail0", t3);
+        assert!(v.is_none(), "unsynced tail must be gone");
+    }
+
+    #[test]
+    fn compaction_preserves_data_and_shrinks_file() {
+        let mut s = store(100);
+        let mut t = 0;
+        for round in 0..5u64 {
+            for i in 0..200u64 {
+                t = s.set(format!("k{i:04}").as_bytes(), &doc(round * 1000 + i), t);
+            }
+        }
+        let before = s.file_len();
+        t = s.compact(t);
+        assert!(s.file_len() < before / 2, "compaction should reclaim garbage");
+        s.clear_object_cache();
+        for i in (0..200u64).step_by(11) {
+            let (v, t2) = s.get(format!("k{i:04}").as_bytes(), t);
+            t = t2;
+            assert_eq!(v.unwrap(), doc(4000 + i));
+        }
+    }
+
+    #[test]
+    fn works_on_durassd_without_barriers() {
+        let cfg = DocStoreConfig { batch_size: 1, barriers: false, file_blocks: 1024, auto_compact_pct: 0 };
+        let mut s = DocStore::create(Ssd::new(SsdConfig::tiny_test()), cfg);
+        let mut t = 0;
+        for i in 0..20u64 {
+            t = s.set(format!("k{i}").as_bytes(), &doc(i), t);
+        }
+        let dev = s.crash(t);
+        let (mut s2, mut t2) = DocStore::recover(dev, cfg, t + 1);
+        for i in 0..20u64 {
+            let (v, t3) = s2.get(format!("k{i}").as_bytes(), t2);
+            t2 = t3;
+            assert!(v.is_some(), "durable cache must preserve acked batch k{i}");
+        }
+    }
+
+    #[test]
+    fn volatile_device_without_barriers_loses_data() {
+        let cfg = DocStoreConfig { batch_size: 1, barriers: false, file_blocks: 1024, auto_compact_pct: 0 };
+        let mut s = DocStore::create(Ssd::new(SsdConfig::tiny_volatile()), cfg);
+        let mut t = 0;
+        for i in 0..20u64 {
+            t = s.set(format!("k{i}").as_bytes(), &doc(i), t);
+        }
+        let dev = s.crash(t);
+        let (mut s2, mut t2) = DocStore::recover(dev, cfg, t + 1);
+        let mut lost = 0;
+        for i in 0..20u64 {
+            let (v, t3) = s2.get(format!("k{i}").as_bytes(), t2);
+            t2 = t3;
+            if v != Some(doc(i)) {
+                lost += 1;
+            }
+        }
+        assert!(lost > 0, "nobarrier on a volatile cache must lose acked updates");
+    }
+
+    #[test]
+    fn auto_compaction_keeps_file_bounded() {
+        // Small file + heavy rewrite churn: auto-compaction must fire and
+        // keep the append cursor within the file while preserving data.
+        let cfg = DocStoreConfig {
+            batch_size: 10,
+            barriers: true,
+            file_blocks: 512, // 2MB
+            auto_compact_pct: 60,
+        };
+        let mut s = DocStore::create(MemDevice::new(1024), cfg);
+        let mut t = 0;
+        for round in 0..40u64 {
+            for i in 0..40u64 {
+                t = s.set(format!("k{i:02}").as_bytes(), &doc(round * 100 + i), t);
+            }
+        }
+        assert!(s.stats().compactions > 0, "churn must trigger auto-compaction");
+        assert!(s.file_len() < 512 * 4096, "file stayed within bounds");
+        s.clear_object_cache();
+        for i in 0..40u64 {
+            let (v, t2) = s.get(format!("k{i:02}").as_bytes(), t);
+            t = t2;
+            assert_eq!(v.unwrap(), doc(3900 + i), "k{i:02} after auto-compaction");
+        }
+    }
+}

@@ -1,0 +1,461 @@
+//! The NAND array: state, timing and failure model.
+
+use crate::geometry::{Geometry, Ppn};
+use simkit::{Nanos, Timeline};
+use std::collections::HashMap;
+
+/// Errors raised by raw NAND operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NandError {
+    /// Program targeted a page other than the block's next free page
+    /// (NAND requires strictly sequential in-block programming).
+    OutOfOrderProgram { block: u32, expected: u32, got: u32 },
+    /// Program targeted a page in a block that is full.
+    BlockFull { block: u32 },
+    /// Read of a page that was never programmed (or was erased).
+    Unwritten { ppn: Ppn },
+    /// Read of a page damaged by a power cut mid-program.
+    Shorn { ppn: Ppn },
+    /// Block or page index beyond the geometry.
+    OutOfRange,
+    /// Buffer size does not match the physical page size.
+    BadLength { expected: usize, got: usize },
+}
+
+impl std::fmt::Display for NandError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NandError::OutOfOrderProgram { block, expected, got } => write!(
+                f,
+                "out-of-order program in block {block}: expected page {expected}, got {got}"
+            ),
+            NandError::BlockFull { block } => write!(f, "block {block} is full"),
+            NandError::Unwritten { ppn } => write!(f, "read of unwritten page {ppn}"),
+            NandError::Shorn { ppn } => write!(f, "read of shorn page {ppn}"),
+            NandError::OutOfRange => write!(f, "address out of range"),
+            NandError::BadLength { expected, got } => {
+                write!(f, "buffer length {got}, physical page is {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NandError {}
+
+/// Cumulative NAND statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NandStats {
+    /// Page reads performed.
+    pub reads: u64,
+    /// Page programs performed.
+    pub programs: u64,
+    /// Block erases performed.
+    pub erases: u64,
+    /// Pages destroyed by power cuts mid-program.
+    pub shorn_pages: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BlockState {
+    next_page: u32,
+    erase_count: u32,
+    /// An erase was in flight when power was cut; the block must be erased
+    /// again before use.
+    torn_erase: bool,
+}
+
+#[derive(Debug, Clone)]
+struct PageState {
+    data: Box<[u8]>,
+    shorn: bool,
+}
+
+/// The flash array.
+///
+/// All operations take "now" and return the virtual completion time.
+/// Contention is modelled with one [`Timeline`] per channel bus and one per
+/// plane (cell operations occupy exactly one plane).
+pub struct NandArray {
+    geo: Geometry,
+    blocks: Vec<BlockState>,
+    pages: HashMap<Ppn, PageState>,
+    channel_bus: Vec<Timeline>,
+    planes: Vec<Timeline>,
+    stats: NandStats,
+    /// Programs/erases whose completion may still be in the future; purged
+    /// lazily. Used to shear pages on power cuts.
+    inflight_programs: Vec<(Ppn, Nanos)>,
+    inflight_erases: Vec<(u32, Nanos)>,
+}
+
+impl NandArray {
+    /// A pristine (all-erased) array with the given geometry.
+    pub fn new(geo: Geometry) -> Self {
+        Self {
+            blocks: vec![BlockState::default(); geo.blocks()],
+            pages: HashMap::new(),
+            channel_bus: vec![Timeline::new(); geo.channels],
+            planes: vec![Timeline::new(); geo.planes()],
+            geo,
+            stats: NandStats::default(),
+            inflight_programs: Vec::new(),
+            inflight_erases: Vec::new(),
+        }
+    }
+
+    /// The array's geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geo
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> NandStats {
+        self.stats
+    }
+
+    /// Erase count of one block (wear-leveling instrumentation).
+    pub fn erase_count(&self, block: u32) -> u32 {
+        self.blocks[block as usize].erase_count
+    }
+
+    /// Next free page index in a block (`pages_per_block` when full).
+    pub fn next_free_page(&self, block: u32) -> u32 {
+        self.blocks[block as usize].next_page
+    }
+
+    /// Whether an interrupted erase left this block unusable until re-erased.
+    pub fn has_torn_erase(&self, block: u32) -> bool {
+        self.blocks[block as usize].torn_erase
+    }
+
+    fn purge_inflight(&mut self, now: Nanos) {
+        self.inflight_programs.retain(|&(_, done)| done > now);
+        self.inflight_erases.retain(|&(_, done)| done > now);
+    }
+
+    /// Read one physical page. Completion = plane cell-read, then bus
+    /// transfer out.
+    pub fn read(&mut self, ppn: Ppn, buf: &mut [u8], now: Nanos) -> Result<Nanos, NandError> {
+        if ppn >= self.geo.total_pages() {
+            return Err(NandError::OutOfRange);
+        }
+        if buf.len() != self.geo.page_size {
+            return Err(NandError::BadLength { expected: self.geo.page_size, got: buf.len() });
+        }
+        let (block, _) = self.geo.split_ppn(ppn);
+        let plane = self.geo.plane_of_block(block);
+        let channel = self.geo.channel_of_block(block);
+        let cell_done = self.planes[plane].acquire(now, self.geo.t_read);
+        let done = self.channel_bus[channel].acquire(cell_done, self.geo.bus_time(buf.len()));
+        self.stats.reads += 1;
+        match self.pages.get(&ppn) {
+            None => Err(NandError::Unwritten { ppn }),
+            Some(p) if p.shorn => Err(NandError::Shorn { ppn }),
+            Some(p) => {
+                buf.copy_from_slice(&p.data);
+                Ok(done)
+            }
+        }
+    }
+
+    /// Program one physical page. Pages within a block must be programmed in
+    /// order. Completion = bus transfer in, then plane cell-program.
+    pub fn program(&mut self, ppn: Ppn, data: &[u8], now: Nanos) -> Result<Nanos, NandError> {
+        if ppn >= self.geo.total_pages() {
+            return Err(NandError::OutOfRange);
+        }
+        if data.len() != self.geo.page_size {
+            return Err(NandError::BadLength { expected: self.geo.page_size, got: data.len() });
+        }
+        self.purge_inflight(now);
+        let (block, page) = self.geo.split_ppn(ppn);
+        let st = &mut self.blocks[block as usize];
+        if st.torn_erase {
+            // Must erase again before programming.
+            return Err(NandError::OutOfOrderProgram { block, expected: u32::MAX, got: page });
+        }
+        if st.next_page as usize >= self.geo.pages_per_block {
+            return Err(NandError::BlockFull { block });
+        }
+        if page != st.next_page {
+            return Err(NandError::OutOfOrderProgram { block, expected: st.next_page, got: page });
+        }
+        st.next_page += 1;
+        let plane = self.geo.plane_of_block(block);
+        let channel = self.geo.channel_of_block(block);
+        let xfer_done = self.channel_bus[channel].acquire(now, self.geo.bus_time(data.len()));
+        let done = self.planes[plane].acquire(xfer_done, self.geo.t_program);
+        self.pages.insert(ppn, PageState { data: data.into(), shorn: false });
+        self.inflight_programs.push((ppn, done));
+        self.stats.programs += 1;
+        Ok(done)
+    }
+
+    /// Erase a block: all its pages become unwritten and it may be
+    /// programmed again from page 0.
+    pub fn erase(&mut self, block: u32, now: Nanos) -> Result<Nanos, NandError> {
+        if block as usize >= self.geo.blocks() {
+            return Err(NandError::OutOfRange);
+        }
+        self.purge_inflight(now);
+        let plane = self.geo.plane_of_block(block);
+        let done = self.planes[plane].acquire(now, self.geo.t_erase);
+        let st = &mut self.blocks[block as usize];
+        st.next_page = 0;
+        st.erase_count += 1;
+        st.torn_erase = false;
+        let first = self.geo.make_ppn(block, 0);
+        for p in 0..self.geo.pages_per_block as u64 {
+            self.pages.remove(&(first + p));
+        }
+        self.inflight_erases.push((block, done));
+        self.stats.erases += 1;
+        Ok(done)
+    }
+
+    /// Cut power at `now`: programs still in flight shear their target page,
+    /// erases in flight leave the block needing a fresh erase. (NAND cells
+    /// themselves are non-volatile, so nothing else is lost.)
+    pub fn power_cut(&mut self, now: Nanos) {
+        let shear: Vec<Ppn> = self
+            .inflight_programs
+            .iter()
+            .filter(|&&(_, done)| done > now)
+            .map(|&(ppn, _)| ppn)
+            .collect();
+        for ppn in shear {
+            if let Some(p) = self.pages.get_mut(&ppn) {
+                p.shorn = true;
+                self.stats.shorn_pages += 1;
+            }
+        }
+        let torn: Vec<u32> = self
+            .inflight_erases
+            .iter()
+            .filter(|&&(_, done)| done > now)
+            .map(|&(b, _)| b)
+            .collect();
+        for b in torn {
+            self.blocks[b as usize].torn_erase = true;
+        }
+        self.inflight_programs.clear();
+        self.inflight_erases.clear();
+        // Whatever the controller had queued on buses/planes is abandoned.
+        for t in &mut self.channel_bus {
+            t.reset();
+        }
+        for t in &mut self.planes {
+            t.reset();
+        }
+    }
+
+    /// When a given plane becomes free (for backend idle checks).
+    pub fn plane_busy_until(&self, plane: usize) -> Nanos {
+        self.planes[plane].busy_until()
+    }
+
+    /// Inform the array that no future operation will be scheduled before
+    /// `t` (host arrival watermark): old busy intervals can be dropped.
+    pub fn purge_before(&mut self, t: Nanos) {
+        for p in &mut self.planes {
+            p.purge_before(t);
+        }
+        for c in &mut self.channel_bus {
+            c.purge_before(t);
+        }
+    }
+
+    /// Virtual time at which every queued plane/bus operation has drained.
+    pub fn all_quiet(&self) -> Nanos {
+        let p = self.planes.iter().map(Timeline::busy_until).max().unwrap_or(0);
+        let c = self.channel_bus.iter().map(Timeline::busy_until).max().unwrap_or(0);
+        p.max(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn array() -> NandArray {
+        NandArray::new(Geometry::tiny())
+    }
+
+    fn page(fill: u8) -> Vec<u8> {
+        vec![fill; 8192]
+    }
+
+    #[test]
+    fn program_then_read_round_trips() {
+        let mut a = array();
+        let done = a.program(0, &page(7), 0).unwrap();
+        assert!(done >= 900_000);
+        let mut buf = page(0);
+        a.read(0, &mut buf, done).unwrap();
+        assert_eq!(buf, page(7));
+    }
+
+    #[test]
+    fn read_unwritten_fails() {
+        let mut a = array();
+        let mut buf = page(0);
+        assert!(matches!(a.read(5, &mut buf, 0), Err(NandError::Unwritten { ppn: 5 })));
+    }
+
+    #[test]
+    fn in_block_programs_must_be_sequential() {
+        let mut a = array();
+        a.program(0, &page(1), 0).unwrap();
+        // Skipping page 1 is rejected.
+        assert!(matches!(
+            a.program(2, &page(2), 0),
+            Err(NandError::OutOfOrderProgram { expected: 1, got: 2, .. })
+        ));
+        a.program(1, &page(2), 0).unwrap();
+    }
+
+    #[test]
+    fn no_reprogram_without_erase() {
+        let mut a = array();
+        let g = *a.geometry();
+        for p in 0..g.pages_per_block as u64 {
+            a.program(p, &page(p as u8), 0).unwrap();
+        }
+        // Any further program to the full block is rejected.
+        assert!(matches!(a.program(0, &page(9), 0), Err(NandError::BlockFull { block: 0 })));
+        assert!(matches!(
+            a.program(g.pages_per_block as u64 - 1, &page(9), 0),
+            Err(NandError::BlockFull { block: 0 })
+        ));
+    }
+
+    #[test]
+    fn erase_frees_block_and_counts_wear() {
+        let mut a = array();
+        a.program(0, &page(1), 0).unwrap();
+        let done = a.erase(0, 1_000_000).unwrap();
+        assert!(done >= 4_000_000);
+        assert_eq!(a.erase_count(0), 1);
+        assert_eq!(a.next_free_page(0), 0);
+        let mut buf = page(0);
+        assert!(matches!(a.read(0, &mut buf, done), Err(NandError::Unwritten { .. })));
+        // Programmable again from page 0.
+        a.program(0, &page(2), done).unwrap();
+    }
+
+    #[test]
+    fn parallel_blocks_use_different_planes() {
+        let mut a = array();
+        let g = *a.geometry();
+        // Blocks 0 and 1 are on different planes and channels.
+        let d0 = a.program(g.make_ppn(0, 0), &page(1), 0).unwrap();
+        let d1 = a.program(g.make_ppn(1, 0), &page(2), 0).unwrap();
+        // Full overlap: both finish around t_program + transfer, not 2x.
+        assert!(d1 < d0 + g.t_program / 2, "no overlap: d0={d0} d1={d1}");
+    }
+
+    #[test]
+    fn same_plane_blocks_serialise() {
+        let mut a = array();
+        let g = *a.geometry();
+        let planes = g.planes() as u32;
+        // Blocks 0 and `planes` are on the same plane.
+        let d0 = a.program(g.make_ppn(0, 0), &page(1), 0).unwrap();
+        let d1 = a.program(g.make_ppn(planes, 0), &page(2), 0).unwrap();
+        assert!(d1 >= d0 + g.t_program, "same-plane ops must serialise");
+    }
+
+    #[test]
+    fn power_cut_shears_inflight_program() {
+        let mut a = array();
+        let done = a.program(0, &page(1), 0).unwrap();
+        a.power_cut(done / 2); // mid-program
+        let mut buf = page(0);
+        assert!(matches!(a.read(0, &mut buf, done), Err(NandError::Shorn { ppn: 0 })));
+        assert_eq!(a.stats().shorn_pages, 1);
+    }
+
+    #[test]
+    fn power_cut_after_completion_is_safe() {
+        let mut a = array();
+        let done = a.program(0, &page(1), 0).unwrap();
+        a.power_cut(done); // exactly at completion: data is stable
+        let mut buf = page(0);
+        a.read(0, &mut buf, done).unwrap();
+        assert_eq!(buf, page(1));
+    }
+
+    #[test]
+    fn torn_erase_blocks_until_reerased() {
+        let mut a = array();
+        a.program(0, &page(1), 0).unwrap();
+        let done = a.erase(0, 2_000_000).unwrap();
+        a.power_cut(done - 1);
+        assert!(a.has_torn_erase(0));
+        assert!(a.program(0, &page(2), done).is_err());
+        let d2 = a.erase(0, done).unwrap();
+        a.program(0, &page(2), d2).unwrap();
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut a = array();
+        a.program(0, &page(1), 0).unwrap();
+        let mut buf = page(0);
+        let _ = a.read(0, &mut buf, 10_000_000);
+        a.erase(1, 0).unwrap();
+        let s = a.stats();
+        assert_eq!((s.programs, s.reads, s.erases), (1, 1, 1));
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Model-based test: arbitrary interleavings of program/erase across
+        /// blocks behave like a per-block append-log with erase reset.
+        #[test]
+        fn random_program_erase_matches_model() {
+            proptest!(|(ops in proptest::collection::vec((0u32..8, any::<bool>(), any::<u8>()), 1..300))| {
+                let mut a = NandArray::new(Geometry::tiny());
+                let g = *a.geometry();
+                // Model: per block, a vec of programmed page contents.
+                let mut model: Vec<Vec<u8>> = vec![Vec::new(); 8];
+                let mut t = 0u64;
+                for (block, is_erase, fill) in ops {
+                    if is_erase {
+                        t = a.erase(block, t).unwrap();
+                        model[block as usize].clear();
+                    } else if model[block as usize].len() < g.pages_per_block {
+                        let page_idx = model[block as usize].len() as u32;
+                        let ppn = g.make_ppn(block, page_idx);
+                        t = a.program(ppn, &vec![fill; g.page_size], t).unwrap();
+                        model[block as usize].push(fill);
+                    } else {
+                        // Full block: program must fail.
+                        let ppn = g.make_ppn(block, 0);
+                        prop_assert!(a.program(ppn, &vec![fill; g.page_size], t).is_err());
+                    }
+                }
+                // Read-back check, far enough in the future that all
+                // programs are stable.
+                t += 1_000_000_000;
+                let mut buf = vec![0u8; g.page_size];
+                for (b, pages) in model.iter().enumerate() {
+                    for (i, fill) in pages.iter().enumerate() {
+                        let ppn = g.make_ppn(b as u32, i as u32);
+                        a.read(ppn, &mut buf, t).unwrap();
+                        prop_assert!(buf.iter().all(|x| x == fill));
+                    }
+                    // The next page is unwritten.
+                    if pages.len() < g.pages_per_block {
+                        let ppn = g.make_ppn(b as u32, pages.len() as u32);
+                        let unwritten =
+                            matches!(a.read(ppn, &mut buf, t), Err(NandError::Unwritten { .. }));
+                        prop_assert!(unwritten);
+                    }
+                }
+            });
+        }
+    }
+}

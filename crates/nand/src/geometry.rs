@@ -1,0 +1,175 @@
+//! NAND geometry and physical addressing.
+
+/// Physical page number: a linear index over all NAND pages in the array.
+pub type Ppn = u64;
+
+/// The shape and timing of a NAND array.
+///
+/// Blocks are striped across planes: global block `b` lives on plane
+/// `b % planes()`, so consecutively allocated blocks land on different
+/// channels and the FTL gets channel parallelism for free from sequential
+/// block allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Independent channels (buses) between the controller and packages.
+    pub channels: usize,
+    /// Flash packages per channel.
+    pub packages_per_channel: usize,
+    /// Dies (chips) per package.
+    pub chips_per_package: usize,
+    /// Planes per chip; planes operate in parallel.
+    pub planes_per_chip: usize,
+    /// Erase blocks per plane.
+    pub blocks_per_plane: usize,
+    /// Pages per erase block.
+    pub pages_per_block: usize,
+    /// Physical page size in bytes (8KB for the paper's enterprise NAND).
+    pub page_size: usize,
+    /// Cell read time (ns).
+    pub t_read: u64,
+    /// Cell program time (ns).
+    pub t_program: u64,
+    /// Block erase time (ns).
+    pub t_erase: u64,
+    /// Channel bus bandwidth in bytes per microsecond (e.g. 200 MB/s = 200).
+    pub bus_bytes_per_us: u64,
+}
+
+impl Geometry {
+    /// The paper's example configuration (§2.3): 8 channels, 4 packages per
+    /// channel, 4 chips per package, 2 planes per chip — 256-way parallel —
+    /// with 8KB pages and MLC-class timings. The number of blocks is small
+    /// here; experiments override `blocks_per_plane` to set capacity.
+    pub fn paper_example(blocks_per_plane: usize) -> Self {
+        Self {
+            channels: 8,
+            packages_per_channel: 4,
+            chips_per_package: 4,
+            planes_per_chip: 2,
+            blocks_per_plane,
+            pages_per_block: 128,
+            page_size: 8192,
+            t_read: 70_000,       // 70us
+            t_program: 900_000,   // 900us
+            t_erase: 3_000_000,   // 3ms
+            bus_bytes_per_us: 200,
+        }
+    }
+
+    /// A small geometry for unit tests: 2 channels × 1 × 1 × 2 planes.
+    pub fn tiny() -> Self {
+        Self {
+            channels: 2,
+            packages_per_channel: 1,
+            chips_per_package: 1,
+            planes_per_chip: 2,
+            blocks_per_plane: 16,
+            pages_per_block: 16,
+            page_size: 8192,
+            t_read: 70_000,
+            t_program: 900_000,
+            t_erase: 3_000_000,
+            bus_bytes_per_us: 200,
+        }
+    }
+
+    /// Total planes (the theoretical parallelism of §2.3).
+    pub fn planes(&self) -> usize {
+        self.channels * self.packages_per_channel * self.chips_per_package * self.planes_per_chip
+    }
+
+    /// Total erase blocks.
+    pub fn blocks(&self) -> usize {
+        self.planes() * self.blocks_per_plane
+    }
+
+    /// Total physical pages.
+    pub fn total_pages(&self) -> u64 {
+        self.blocks() as u64 * self.pages_per_block as u64
+    }
+
+    /// Raw capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.total_pages() * self.page_size as u64
+    }
+
+    /// The plane a block lives on.
+    pub fn plane_of_block(&self, block: u32) -> usize {
+        block as usize % self.planes()
+    }
+
+    /// The channel a block's plane hangs off.
+    pub fn channel_of_block(&self, block: u32) -> usize {
+        // Planes are numbered so that consecutive planes alternate channels.
+        self.plane_of_block(block) % self.channels
+    }
+
+    /// Decompose a physical page number into (block, page-in-block).
+    pub fn split_ppn(&self, ppn: Ppn) -> (u32, u32) {
+        (
+            (ppn / self.pages_per_block as u64) as u32,
+            (ppn % self.pages_per_block as u64) as u32,
+        )
+    }
+
+    /// Compose a physical page number from block and page-in-block.
+    pub fn make_ppn(&self, block: u32, page: u32) -> Ppn {
+        debug_assert!((page as usize) < self.pages_per_block);
+        block as u64 * self.pages_per_block as u64 + page as u64
+    }
+
+    /// Time to move `bytes` over one channel bus.
+    pub fn bus_time(&self, bytes: usize) -> u64 {
+        (bytes as u64 * 1_000).div_ceil(self.bus_bytes_per_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_parallelism_is_256() {
+        let g = Geometry::paper_example(64);
+        assert_eq!(g.planes(), 256);
+        assert_eq!(g.blocks(), 256 * 64);
+        assert_eq!(g.total_pages(), 256 * 64 * 128);
+    }
+
+    #[test]
+    fn ppn_round_trips() {
+        let g = Geometry::tiny();
+        for block in [0u32, 1, 7, 31] {
+            for page in [0u32, 1, 15] {
+                let ppn = g.make_ppn(block, page);
+                assert_eq!(g.split_ppn(ppn), (block, page));
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_stripe_across_planes_and_channels() {
+        let g = Geometry::tiny(); // 4 planes, 2 channels
+        assert_eq!(g.plane_of_block(0), 0);
+        assert_eq!(g.plane_of_block(1), 1);
+        assert_eq!(g.plane_of_block(4), 0);
+        assert_eq!(g.channel_of_block(0), 0);
+        assert_eq!(g.channel_of_block(1), 1);
+        assert_eq!(g.channel_of_block(2), 0);
+    }
+
+    #[test]
+    fn bus_time_scales_with_bytes() {
+        let g = Geometry::tiny(); // 200 B/us
+        assert_eq!(g.bus_time(8192), 8192 * 1000 / 200);
+        assert_eq!(g.bus_time(0), 0);
+        // Rounds up.
+        assert_eq!(g.bus_time(1), 5);
+    }
+
+    #[test]
+    fn capacity_bytes() {
+        let g = Geometry::tiny();
+        assert_eq!(g.capacity_bytes(), g.total_pages() * 8192);
+    }
+}

@@ -1,0 +1,21 @@
+//! NAND flash array model.
+//!
+//! This is the raw-media substrate underneath the SSD firmware in the
+//! `durassd` crate. It models the properties the paper's arguments rest on:
+//!
+//! * **Geometry and parallelism** (§2.3): channels × packages × chips ×
+//!   planes. Cell operations (read/program/erase) occupy a *plane*; data
+//!   transfers occupy the plane's *channel bus*. The product of planes is the
+//!   device's theoretical parallelism (256 in the paper's example).
+//! * **Erase-before-program**: pages within a block must be programmed
+//!   sequentially and cannot be reprogrammed until the block is erased.
+//! * **Shorn writes** (§2.1, §5.2): a program or erase in flight when power
+//!   is cut leaves the page/block in a detectable corrupt state.
+//! * **Wear**: per-block erase counts, so endurance effects (the paper's
+//!   claim that avoiding redundant writes prolongs SSD life) are measurable.
+
+pub mod array;
+pub mod geometry;
+
+pub use array::{NandArray, NandError, NandStats};
+pub use geometry::{Geometry, Ppn};

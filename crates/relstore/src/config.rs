@@ -1,0 +1,107 @@
+//! Engine configuration: the knobs the paper's experiments turn.
+
+/// Relational storage-engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Database page size: 4096, 8192 or 16384 (the paper's tuning axis).
+    pub page_size: usize,
+    /// Buffer-pool size in bytes (converted to frames of `page_size`).
+    pub buffer_pool_bytes: u64,
+    /// InnoDB-style double-write buffer for torn-page protection. The
+    /// `OFF` settings are only safe on a device with atomic page writes
+    /// (DuraSSD §2.1).
+    pub double_write: bool,
+    /// PostgreSQL-style alternative to the double-write buffer (§2.1): log
+    /// the full image of each page on its first modification after a
+    /// checkpoint. Protects against torn pages at the cost of log volume.
+    pub full_page_writes: bool,
+    /// Write barriers on the *data* volume (fsync ⇒ device FLUSH CACHE).
+    pub barriers: bool,
+    /// O_DSYNC mode: the commercial-DBMS behaviour of §4.3.2 — every data
+    /// page write is followed by an fsync of the data volume.
+    pub o_dsync: bool,
+    /// Tablespace size in pages.
+    pub data_pages: u64,
+    /// Number of redo log files (paper: 3).
+    pub log_files: usize,
+    /// Size of each log file in 4KB blocks.
+    pub log_file_blocks: u64,
+    /// Double-write buffer area size in pages (InnoDB: 2MB).
+    pub dwb_pages: u64,
+}
+
+impl EngineConfig {
+    /// MySQL-flavoured defaults at a given page size, scaled for simulation.
+    pub fn mysql_like(page_size: usize) -> Self {
+        Self {
+            page_size,
+            buffer_pool_bytes: 64 * 1024 * 1024,
+            double_write: true,
+            full_page_writes: false,
+            barriers: true,
+            o_dsync: false,
+            data_pages: 0, // caller sizes the tablespace
+            log_files: 3,
+            log_file_blocks: 4096, // 16MB per file
+            dwb_pages: (2 * 1024 * 1024 / page_size) as u64,
+        }
+    }
+
+    /// The commercial-DBMS configuration of §4.3.2: small buffer pool and a
+    /// barrier request on every page write (O_DSYNC).
+    pub fn commercial_like(page_size: usize) -> Self {
+        Self {
+            o_dsync: true,
+            double_write: false, // O_DSYNC engine writes each page synchronously
+            buffer_pool_bytes: 16 * 1024 * 1024,
+            ..Self::mysql_like(page_size)
+        }
+    }
+
+    /// Buffer-pool frames implied by the byte budget.
+    pub fn pool_frames(&self) -> usize {
+        ((self.buffer_pool_bytes / self.page_size as u64) as usize).max(4)
+    }
+
+    /// Check internal consistency; called by the engine constructor.
+    pub fn validate(&self) {
+        assert!(
+            matches!(self.page_size, 4096 | 8192 | 16384),
+            "page size must be 4, 8 or 16KB"
+        );
+        assert!(self.data_pages > 8, "tablespace too small");
+        assert!(self.log_files >= 1 && self.log_file_blocks >= 4, "log too small");
+        assert!(self.dwb_pages >= 1, "double-write area too small");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        let mut c = EngineConfig::mysql_like(16384);
+        c.data_pages = 1024;
+        c.validate();
+        let mut c = EngineConfig::commercial_like(4096);
+        c.data_pages = 1024;
+        c.validate();
+        assert!(c.o_dsync);
+    }
+
+    #[test]
+    fn pool_frames_from_bytes() {
+        let mut c = EngineConfig::mysql_like(4096);
+        c.buffer_pool_bytes = 40960;
+        assert_eq!(c.pool_frames(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "page size")]
+    fn odd_page_size_rejected() {
+        let mut c = EngineConfig::mysql_like(5000);
+        c.data_pages = 1024;
+        c.validate();
+    }
+}

@@ -1,0 +1,228 @@
+//! Redo-record encoding.
+//!
+//! One WAL record per engine operation. A record is *atomic*: it carries the
+//! logical operation **and** full images of every page the operation
+//! restructured (B+-tree splits, root changes). Because the WAL layer CRCs
+//! whole records, a torn tail drops the entire operation — together with the
+//! engine's rule that a restructured page may not reach the data volume
+//! before its record is durable, any recoverable log prefix corresponds to a
+//! structurally consistent tree.
+
+/// Logical operation kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Insert or overwrite `key` in `tree`.
+    Put { tree: u32, key: Vec<u8>, value: Vec<u8> },
+    /// Delete `key` from `tree`.
+    Delete { tree: u32, key: Vec<u8> },
+}
+
+/// A full redo record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RedoRecord {
+    /// The logical operation.
+    pub op: Op,
+    /// Page images captured when the operation restructured the tree:
+    /// `(page_no, logical page bytes)`.
+    pub images: Vec<(u64, Vec<u8>)>,
+    /// Root/height change, if the operation moved a tree's root:
+    /// `(tree, new_root, new_height)`.
+    pub root_change: Option<(u32, u64, u8)>,
+}
+
+impl RedoRecord {
+    /// Serialise to the WAL payload format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.images.iter().map(|(_, b)| b.len() + 12).sum::<usize>());
+        match &self.op {
+            Op::Put { tree, key, value } => {
+                out.push(1u8);
+                out.extend_from_slice(&tree.to_le_bytes());
+                out.extend_from_slice(&(key.len() as u16).to_le_bytes());
+                out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+                out.extend_from_slice(key);
+                out.extend_from_slice(value);
+            }
+            Op::Delete { tree, key } => {
+                out.push(2u8);
+                out.extend_from_slice(&tree.to_le_bytes());
+                out.extend_from_slice(&(key.len() as u16).to_le_bytes());
+                out.extend_from_slice(key);
+            }
+        }
+        out.extend_from_slice(&(self.images.len() as u32).to_le_bytes());
+        for (page, bytes) in &self.images {
+            out.extend_from_slice(&page.to_le_bytes());
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(bytes);
+        }
+        match self.root_change {
+            Some((tree, root, height)) => {
+                out.push(1u8);
+                out.extend_from_slice(&tree.to_le_bytes());
+                out.extend_from_slice(&root.to_le_bytes());
+                out.push(height);
+            }
+            None => out.push(0u8),
+        }
+        out
+    }
+
+    /// Parse a WAL payload; `None` on malformed input (treated as log
+    /// corruption by recovery).
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+            if *pos + n > buf.len() {
+                return None;
+            }
+            let s = &buf[*pos..*pos + n];
+            *pos += n;
+            Some(s)
+        };
+        let kind = take(&mut pos, 1)?[0];
+        let op = match kind {
+            1 => {
+                let tree = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?);
+                let klen = u16::from_le_bytes(take(&mut pos, 2)?.try_into().ok()?) as usize;
+                let vlen = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+                let key = take(&mut pos, klen)?.to_vec();
+                let value = take(&mut pos, vlen)?.to_vec();
+                Op::Put { tree, key, value }
+            }
+            2 => {
+                let tree = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?);
+                let klen = u16::from_le_bytes(take(&mut pos, 2)?.try_into().ok()?) as usize;
+                let key = take(&mut pos, klen)?.to_vec();
+                Op::Delete { tree, key }
+            }
+            _ => return None,
+        };
+        let n_images = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+        if n_images > 1024 {
+            return None; // implausible: corrupt
+        }
+        let mut images = Vec::with_capacity(n_images);
+        for _ in 0..n_images {
+            let page = u64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?);
+            let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+            if len > 64 * 1024 {
+                return None;
+            }
+            images.push((page, take(&mut pos, len)?.to_vec()));
+        }
+        let root_change = match take(&mut pos, 1)?[0] {
+            0 => None,
+            1 => {
+                let tree = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?);
+                let root = u64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?);
+                let height = take(&mut pos, 1)?[0];
+                Some((tree, root, height))
+            }
+            _ => return None,
+        };
+        if pos != buf.len() {
+            return None;
+        }
+        Some(Self { op, images, root_change })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_round_trips() {
+        let r = RedoRecord {
+            op: Op::Put { tree: 3, key: b"k".to_vec(), value: b"v1".to_vec() },
+            images: vec![],
+            root_change: None,
+        };
+        assert_eq!(RedoRecord::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn delete_round_trips() {
+        let r = RedoRecord {
+            op: Op::Delete { tree: 9, key: b"gone".to_vec() },
+            images: vec![],
+            root_change: None,
+        };
+        assert_eq!(RedoRecord::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn images_and_root_change_round_trip() {
+        let r = RedoRecord {
+            op: Op::Put { tree: 0, key: b"x".to_vec(), value: vec![7; 100] },
+            images: vec![(5, vec![1; 4080]), (9, vec![2; 4080])],
+            root_change: Some((0, 9, 2)),
+        };
+        assert_eq!(RedoRecord::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let r = RedoRecord {
+            op: Op::Put { tree: 0, key: b"x".to_vec(), value: vec![7; 100] },
+            images: vec![(5, vec![1; 100])],
+            root_change: None,
+        };
+        let enc = r.encode();
+        for cut in [1, 5, 20, enc.len() - 1] {
+            assert!(RedoRecord::decode(&enc[..cut]).is_none(), "cut at {cut}");
+        }
+        // Trailing garbage also rejected.
+        let mut padded = enc.clone();
+        padded.push(0);
+        assert!(RedoRecord::decode(&padded).is_none());
+    }
+
+    #[test]
+    fn garbage_kind_rejected() {
+        assert!(RedoRecord::decode(&[99, 0, 0, 0]).is_none());
+        assert!(RedoRecord::decode(&[]).is_none());
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_record() -> impl Strategy<Value = RedoRecord> {
+            let op = prop_oneof![
+                (any::<u32>(), proptest::collection::vec(any::<u8>(), 0..40),
+                 proptest::collection::vec(any::<u8>(), 0..200))
+                    .prop_map(|(t, k, v)| Op::Put { tree: t, key: k, value: v }),
+                (any::<u32>(), proptest::collection::vec(any::<u8>(), 0..40))
+                    .prop_map(|(t, k)| Op::Delete { tree: t, key: k }),
+            ];
+            let images = proptest::collection::vec(
+                (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..300)),
+                0..4,
+            );
+            let root = proptest::option::of((any::<u32>(), any::<u64>(), any::<u8>()));
+            (op, images, root).prop_map(|(op, images, root_change)| RedoRecord {
+                op,
+                images,
+                root_change,
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn codec_round_trips(rec in arb_record()) {
+                let enc = rec.encode();
+                prop_assert_eq!(RedoRecord::decode(&enc).unwrap(), rec);
+            }
+
+            #[test]
+            fn truncations_never_panic_or_misparse(rec in arb_record(), cut in 0usize..100) {
+                let enc = rec.encode();
+                let cut = cut.min(enc.len().saturating_sub(1));
+                // Any strict prefix must be rejected, never mis-decoded.
+                prop_assert!(RedoRecord::decode(&enc[..cut]).is_none());
+            }
+        }
+    }
+}

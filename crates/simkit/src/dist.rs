@@ -1,0 +1,236 @@
+//! Random distributions used by the workload generators.
+//!
+//! * [`Zipfian`] — the YCSB request-key distribution (Gray's method with a
+//!   precomputed zeta).
+//! * [`ScrambledZipfian`] — zipfian with FNV scrambling so popular items are
+//!   spread across the key space (what YCSB actually uses).
+//! * [`PowerLaw`] — discrete bounded power-law for LinkBench link fanout.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Create a deterministic RNG from a 64-bit seed.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Zipfian distribution over `0..n` with exponent `theta` (YCSB default
+/// 0.99), using the rejection-inversion approximation from Gray et al. as
+/// implemented in YCSB's `ZipfianGenerator`.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2theta: f64,
+}
+
+impl Zipfian {
+    /// Zipfian over `0..n` with the YCSB default skew 0.99.
+    pub fn new(n: u64) -> Self {
+        Self::with_theta(n, 0.99)
+    }
+
+    /// Zipfian over `0..n` with exponent `theta` in (0, 1).
+    pub fn with_theta(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipfian needs a non-empty domain");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0,1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2theta = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan);
+        Self { n, theta, alpha, zetan, eta, zeta2theta }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct sum; domains in this repo are at most a few million.
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draw a sample in `0..n` (0 is the most popular item).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = ((self.eta * u - self.eta + 1.0).powf(self.alpha) * self.n as f64) as u64;
+        v.min(self.n - 1)
+    }
+
+    /// Exponent of the distribution.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Used by tests: the normalisation constant.
+    pub fn zetan(&self) -> f64 {
+        self.zetan
+    }
+
+    /// Kept for parity with YCSB's generator internals (used when growing the
+    /// domain incrementally).
+    pub fn zeta2theta(&self) -> f64 {
+        self.zeta2theta
+    }
+}
+
+/// Zipfian whose ranks are scrambled across the domain with an FNV-1a hash,
+/// like YCSB's `ScrambledZipfianGenerator`: item popularity follows a
+/// zipfian, but the popular items are spread uniformly over `0..n`.
+#[derive(Debug, Clone)]
+pub struct ScrambledZipfian {
+    inner: Zipfian,
+    n: u64,
+}
+
+impl ScrambledZipfian {
+    /// Scrambled zipfian over `0..n` with the YCSB default skew.
+    pub fn new(n: u64) -> Self {
+        Self { inner: Zipfian::new(n), n }
+    }
+
+    /// Draw a sample in `0..n`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let rank = self.inner.sample(rng);
+        fnv1a(rank) % self.n
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+}
+
+/// 64-bit FNV-1a of a u64, used for rank scrambling.
+pub fn fnv1a(v: u64) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    for i in 0..8 {
+        h ^= (v >> (i * 8)) & 0xff;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Discrete bounded power-law over `min..=max` with exponent `gamma` (> 1),
+/// sampled by inverse transform. LinkBench uses this shape for the number of
+/// links per node.
+#[derive(Debug, Clone)]
+pub struct PowerLaw {
+    min: u64,
+    max: u64,
+    gamma: f64,
+}
+
+impl PowerLaw {
+    /// Power law over `min..=max` (both ≥ 1) with exponent `gamma > 1`.
+    pub fn new(min: u64, max: u64, gamma: f64) -> Self {
+        assert!(min >= 1 && max >= min, "need 1 <= min <= max");
+        assert!(gamma > 1.0, "gamma must exceed 1");
+        Self { min, max, gamma }
+    }
+
+    /// Draw a sample in `min..=max`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let g1 = 1.0 - self.gamma;
+        let lo = (self.min as f64).powf(g1);
+        let hi = ((self.max + 1) as f64).powf(g1);
+        let x = (lo + u * (hi - lo)).powf(1.0 / g1);
+        (x as u64).clamp(self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipfian_is_skewed_and_in_range() {
+        let z = Zipfian::new(1000);
+        let mut r = rng(7);
+        let mut head = 0u64;
+        const N: u64 = 20_000;
+        for _ in 0..N {
+            let v = z.sample(&mut r);
+            assert!(v < 1000);
+            if v < 10 {
+                head += 1;
+            }
+        }
+        // With theta=0.99 the top-10 of 1000 items draw a large share
+        // (analytically ~39%); uniform would be 1%.
+        assert!(head > N / 5, "head share too small: {head}/{N}");
+    }
+
+    #[test]
+    fn scrambled_zipfian_spreads_popular_keys() {
+        let z = ScrambledZipfian::new(1000);
+        let mut r = rng(3);
+        let mut below_half = 0u64;
+        const N: u64 = 10_000;
+        for _ in 0..N {
+            if z.sample(&mut r) < 500 {
+                below_half += 1;
+            }
+        }
+        // Scrambling should put roughly half the mass in each half.
+        let frac = below_half as f64 / N as f64;
+        assert!(frac > 0.3 && frac < 0.7, "scramble skewed: {frac}");
+    }
+
+    #[test]
+    fn power_law_bounds_and_skew() {
+        let p = PowerLaw::new(1, 1000, 2.0);
+        let mut r = rng(11);
+        let mut small = 0u64;
+        const N: u64 = 10_000;
+        for _ in 0..N {
+            let v = p.sample(&mut r);
+            assert!((1..=1000).contains(&v));
+            if v <= 3 {
+                small += 1;
+            }
+        }
+        // gamma=2 puts most of the mass at the low end.
+        assert!(small > N / 2, "power law not skewed low: {small}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let z = Zipfian::new(100);
+        let a: Vec<u64> = {
+            let mut r = rng(42);
+            (0..32).map(|_| z.sample(&mut r)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = rng(42);
+            (0..32).map(|_| z.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fnv_distinct() {
+        assert_ne!(fnv1a(0), fnv1a(1));
+        assert_ne!(fnv1a(1), fnv1a(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty domain")]
+    fn zipfian_empty_domain_rejected() {
+        Zipfian::new(0);
+    }
+}

@@ -1,0 +1,164 @@
+//! The block-device abstraction all simulated hardware implements.
+
+use simkit::Nanos;
+
+/// The logical sector size every device in this repository exposes: 4KB, the
+/// flash-page granularity the paper argues databases should adopt (§2.4).
+/// Larger database pages are written as runs of consecutive logical pages.
+pub const LOGICAL_PAGE: usize = 4096;
+
+/// Errors a device can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DevError {
+    /// Address or address+length beyond the device capacity.
+    OutOfRange { lpn: u64, pages: u32, capacity: u64 },
+    /// Buffer length is not a multiple of [`LOGICAL_PAGE`] or doesn't match
+    /// the requested page count.
+    BadLength { expected: usize, got: usize },
+    /// The device is powered off; I/O is impossible until `reboot`.
+    PoweredOff,
+    /// A read found a page damaged by an interrupted program operation
+    /// (a *shorn write*, §2.1 / §5.2): the caller sees a mix of old and new
+    /// sectors and must treat the page as corrupt.
+    ShornPage { lpn: u64 },
+}
+
+impl std::fmt::Display for DevError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DevError::OutOfRange { lpn, pages, capacity } => {
+                write!(f, "I/O at lpn {lpn} (+{pages}) beyond capacity {capacity}")
+            }
+            DevError::BadLength { expected, got } => {
+                write!(f, "buffer length {got} does not match expected {expected}")
+            }
+            DevError::PoweredOff => write!(f, "device is powered off"),
+            DevError::ShornPage { lpn } => write!(f, "shorn (partially programmed) page at lpn {lpn}"),
+        }
+    }
+}
+
+impl std::error::Error for DevError {}
+
+/// Result alias for device operations.
+pub type DevResult<T> = Result<T, DevError>;
+
+/// Cumulative device statistics, used by the experiment harnesses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Host read commands served.
+    pub reads: u64,
+    /// Host write commands served.
+    pub writes: u64,
+    /// Logical pages written by the host (a 16KB write counts 4).
+    pub pages_written: u64,
+    /// FLUSH CACHE commands served.
+    pub flushes: u64,
+    /// Physical media writes, in logical-page units. The ratio
+    /// `media_pages_written / pages_written` is the write amplification the
+    /// paper's §1 bullet 4 talks about (redundant writes shorten SSD life).
+    pub media_pages_written: u64,
+    /// Garbage-collection block erases (SSD only).
+    pub gc_erases: u64,
+    /// Total block erases (SSD only).
+    pub erases: u64,
+}
+
+/// A simulated block device.
+///
+/// All methods take the caller's current virtual time and return the virtual
+/// time at which the operation completes (the host blocks until then; the
+/// device may keep doing background work afterwards).
+pub trait BlockDevice {
+    /// Number of addressable logical pages.
+    fn capacity_pages(&self) -> u64;
+
+    /// Read `pages` logical pages starting at `lpn` into `buf`
+    /// (`buf.len() == pages * LOGICAL_PAGE`).
+    fn read(&mut self, lpn: u64, pages: u32, buf: &mut [u8], now: Nanos) -> DevResult<Nanos>;
+
+    /// Write `data` (a whole number of logical pages) at `lpn`. Completion
+    /// means the device *acknowledged* the write — for write-back caches that
+    /// is when data reached device DRAM, not media.
+    fn write(&mut self, lpn: u64, data: &[u8], now: Nanos) -> DevResult<Nanos>;
+
+    /// FLUSH CACHE: returns when everything acknowledged so far is on stable
+    /// media (or, for a durable cache, when the device decides it is safe —
+    /// DuraSSD§3.3 completes this quickly without draining to flash).
+    fn flush(&mut self, now: Nanos) -> DevResult<Nanos>;
+
+    /// Cut power at `now`. Volatile state is lost according to the device
+    /// model; in-flight programs shear.
+    fn power_cut(&mut self, now: Nanos);
+
+    /// Power the device back on; runs the device's recovery procedure.
+    /// Returns the virtual time at which the device is ready.
+    fn reboot(&mut self, now: Nanos) -> Nanos;
+
+    /// Whether the device is currently powered.
+    fn is_powered(&self) -> bool;
+
+    /// TRIM/DISCARD `pages` logical pages at `lpn`: the contents become
+    /// undefined (read as zero here) and the device may reclaim the space.
+    /// Default: unsupported no-op (disks).
+    fn discard(&mut self, lpn: u64, pages: u32, now: Nanos) -> DevResult<Nanos> {
+        let _ = (lpn, pages);
+        Ok(now)
+    }
+
+    /// Cumulative statistics.
+    fn stats(&self) -> DeviceStats;
+}
+
+/// Validate an I/O request against a device capacity; shared by the device
+/// implementations.
+pub fn check_io(lpn: u64, pages: u32, buf_len: usize, capacity: u64) -> DevResult<()> {
+    if pages == 0 || lpn.checked_add(pages as u64).is_none_or(|end| end > capacity) {
+        return Err(DevError::OutOfRange { lpn, pages, capacity });
+    }
+    let expected = pages as usize * LOGICAL_PAGE;
+    if buf_len != expected {
+        return Err(DevError::BadLength { expected, got: buf_len });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_io_accepts_valid() {
+        assert!(check_io(0, 1, LOGICAL_PAGE, 10).is_ok());
+        assert!(check_io(6, 4, 4 * LOGICAL_PAGE, 10).is_ok());
+    }
+
+    #[test]
+    fn check_io_rejects_out_of_range() {
+        assert!(matches!(
+            check_io(7, 4, 4 * LOGICAL_PAGE, 10),
+            Err(DevError::OutOfRange { .. })
+        ));
+        assert!(matches!(check_io(0, 0, 0, 10), Err(DevError::OutOfRange { .. })));
+        // Overflow must not wrap.
+        assert!(matches!(
+            check_io(u64::MAX, 2, 2 * LOGICAL_PAGE, 10),
+            Err(DevError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn check_io_rejects_bad_length() {
+        assert!(matches!(
+            check_io(0, 2, LOGICAL_PAGE, 10),
+            Err(DevError::BadLength { expected, got })
+                if expected == 2 * LOGICAL_PAGE && got == LOGICAL_PAGE
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DevError::ShornPage { lpn: 9 };
+        assert!(e.to_string().contains("shorn"));
+    }
+}

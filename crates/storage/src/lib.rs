@@ -1,0 +1,24 @@
+//! Host-side I/O stack.
+//!
+//! This crate is the boundary between the database engines and the simulated
+//! storage hardware. It provides:
+//!
+//! * [`BlockDevice`] — the trait every device model (HDD, volatile-cache SSD,
+//!   DuraSSD) implements. Addressing is in fixed 4KB *logical pages*, the
+//!   sector granularity the paper's devices expose.
+//! * [`Volume`] — a device plus the host's write-barrier policy. `fsync`
+//!   translates to a device FLUSH CACHE command only when barriers are on,
+//!   exactly the knob the paper's experiments toggle
+//!   (`barrier=0` mount option / `nobarrier`).
+//! * [`PageFile`] — a contiguous extent of a volume accessed with direct I/O
+//!   in multiples of the logical page (4/8/16KB database pages).
+//! * [`VolumeManager`] — a trivial extent allocator handing out page files.
+
+pub mod device;
+pub mod file;
+pub mod testdev;
+pub mod volume;
+
+pub use device::{DevError, DevResult, DeviceStats, BlockDevice, LOGICAL_PAGE};
+pub use file::PageFile;
+pub use volume::{Volume, VolumeManager};

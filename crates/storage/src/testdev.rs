@@ -1,0 +1,120 @@
+//! A minimal, zero-latency-model in-memory block device.
+//!
+//! Used by unit tests across the workspace wherever the test exercises logic
+//! *above* the device (buffer pool, WAL, B+-tree, engines) and the device's
+//! timing/durability model is irrelevant. It has a write-back "cache" only in
+//! the sense that it tracks whether a flush happened after the last write,
+//! which several ordering tests assert on.
+
+use crate::device::{check_io, BlockDevice, DevResult, DeviceStats, LOGICAL_PAGE};
+use simkit::Nanos;
+
+/// Fixed service times, small but non-zero so virtual time still advances.
+const READ_NS: Nanos = 10_000;
+const WRITE_NS: Nanos = 20_000;
+const FLUSH_NS: Nanos = 100_000;
+
+/// In-memory device: every write is immediately durable, no failure model.
+pub struct MemDevice {
+    data: Vec<u8>,
+    capacity: u64,
+    stats: DeviceStats,
+    clean: bool,
+    powered: bool,
+}
+
+impl MemDevice {
+    /// A device of `capacity` logical (4KB) pages.
+    pub fn new(capacity: u64) -> Self {
+        Self {
+            data: vec![0; capacity as usize * LOGICAL_PAGE],
+            capacity,
+            stats: DeviceStats::default(),
+            clean: true,
+            powered: true,
+        }
+    }
+
+    /// Whether a flush has been issued since the last write (for ordering
+    /// assertions in tests).
+    pub fn is_clean(&self) -> bool {
+        self.clean
+    }
+}
+
+impl BlockDevice for MemDevice {
+    fn capacity_pages(&self) -> u64 {
+        self.capacity
+    }
+
+    fn read(&mut self, lpn: u64, pages: u32, buf: &mut [u8], now: Nanos) -> DevResult<Nanos> {
+        check_io(lpn, pages, buf.len(), self.capacity)?;
+        let off = lpn as usize * LOGICAL_PAGE;
+        buf.copy_from_slice(&self.data[off..off + buf.len()]);
+        self.stats.reads += 1;
+        Ok(now + READ_NS)
+    }
+
+    fn write(&mut self, lpn: u64, data: &[u8], now: Nanos) -> DevResult<Nanos> {
+        let pages = (data.len() / LOGICAL_PAGE) as u32;
+        check_io(lpn, pages, data.len(), self.capacity)?;
+        let off = lpn as usize * LOGICAL_PAGE;
+        self.data[off..off + data.len()].copy_from_slice(data);
+        self.stats.writes += 1;
+        self.stats.pages_written += pages as u64;
+        self.stats.media_pages_written += pages as u64;
+        self.clean = false;
+        Ok(now + WRITE_NS)
+    }
+
+    fn flush(&mut self, now: Nanos) -> DevResult<Nanos> {
+        self.stats.flushes += 1;
+        self.clean = true;
+        Ok(now + FLUSH_NS)
+    }
+
+    fn power_cut(&mut self, _now: Nanos) {
+        self.powered = false;
+    }
+
+    fn reboot(&mut self, now: Nanos) -> Nanos {
+        self.powered = true;
+        now
+    }
+
+    fn is_powered(&self) -> bool {
+        self.powered
+    }
+
+    fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_stats() {
+        let mut d = MemDevice::new(8);
+        let w = vec![9u8; LOGICAL_PAGE * 2];
+        d.write(2, &w, 0).unwrap();
+        let mut r = vec![0u8; LOGICAL_PAGE * 2];
+        d.read(2, 2, &mut r, 100).unwrap();
+        assert_eq!(r, w);
+        assert_eq!(d.stats().writes, 1);
+        assert_eq!(d.stats().pages_written, 2);
+        assert_eq!(d.stats().reads, 1);
+    }
+
+    #[test]
+    fn clean_tracking() {
+        let mut d = MemDevice::new(4);
+        assert!(d.is_clean());
+        d.write(0, &vec![0u8; LOGICAL_PAGE], 0).unwrap();
+        assert!(!d.is_clean());
+        d.flush(10).unwrap();
+        assert!(d.is_clean());
+    }
+}

@@ -1,0 +1,643 @@
+//! Write-ahead redo log with group commit.
+//!
+//! The paper's database setups put the log on its own device, flush the log
+//! tail on every transaction commit, and use three log files "to minimize
+//! the interference from logging" (§4.2). This crate reproduces that:
+//!
+//! * Records are framed `[len][lsn][crc]payload` and appended to an
+//!   in-memory tail buffer; `commit(lsn)` makes everything up to `lsn`
+//!   durable by writing whole 4KB log blocks sequentially and calling
+//!   `fsync` on the log volume (which turns into a device FLUSH only when
+//!   barriers are on — exactly the knob the paper evaluates).
+//! * **Group commit** falls out of the timing model: while one flush is in
+//!   flight, later committers wait for it and the next flush covers all of
+//!   their records at once.
+//! * The physical log is a circular space over the configured files; a
+//!   header block records the checkpoint LSN so recovery knows where to
+//!   start scanning. Torn tails are detected by CRC.
+//!
+//! Durability is *honest*: log blocks travel through the simulated device,
+//! so a power cut takes with it whatever the device's cache model loses —
+//! running the log with barriers off on a volatile-cache SSD really does
+//! lose committed transactions, which is the paper's §2.2 warning.
+//!
+//! ## Group commit and the simulation
+//!
+//! In a real engine, threads that arrive while a flush is in progress
+//! append their records and *join the next flush together*. A conservative
+//! discrete-event simulation executes clients one at a time in virtual-time
+//! order, so the joint flush cannot literally contain records that have not
+//! been generated yet. [`Wal::set_group_commit`] enables a faithful
+//! throughput model: a committer that finds a flush in flight is
+//! acknowledged at the *estimated* completion of the next (batched) flush,
+//! and the physical flush is issued as soon as the in-flight one completes.
+//! The cost: an acknowledgement may precede media durability by at most one
+//! flush window, so durability-sensitive tests either keep the strict mode
+//! (default) or call [`Wal::quiesce`] before inspecting the device.
+
+use simkit::{crc32, Nanos};
+use storage::device::{BlockDevice, LOGICAL_PAGE};
+use storage::file::PageFile;
+use storage::volume::{Volume, VolumeManager};
+
+/// Log sequence number: byte offset in the infinite log stream.
+pub type Lsn = u64;
+
+/// Record header: len (u32) + lsn (u64) + crc (u32).
+const REC_HDR: usize = 16;
+/// Log block size.
+const BLOCK: usize = LOGICAL_PAGE;
+/// Magic for the log header block.
+const HDR_MAGIC: u64 = 0x57414c_4844523031;
+
+/// A recovered log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// The record's LSN (stream offset of its header).
+    pub lsn: Lsn,
+    /// Record payload.
+    pub payload: Vec<u8>,
+}
+
+/// Log statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WalStats {
+    /// Records appended.
+    pub appends: u64,
+    /// Commit calls.
+    pub commits: u64,
+    /// Physical flushes (write+fsync batches).
+    pub flushes: u64,
+    /// Commits satisfied by an already-running or completed flush.
+    pub piggybacked_commits: u64,
+    /// Commits that joined a batched group flush (group-commit mode).
+    pub group_joins: u64,
+    /// Log bytes written to the device (including block padding rewrites).
+    pub bytes_written: u64,
+}
+
+/// The write-ahead log.
+pub struct Wal {
+    files: Vec<PageFile>,
+    data_blocks: u64,
+    buf: Vec<u8>,
+    /// Stream offset of the first byte in `buf`.
+    buf_start: Lsn,
+    next_lsn: Lsn,
+    durable_lsn: Lsn,
+    /// A flush in flight: (completion time, covers-up-to LSN).
+    inflight: Option<(Nanos, Lsn)>,
+    /// Group-commit mode (see module docs).
+    group_commit: bool,
+    /// Promised completion of the queued (not yet physical) group flush.
+    group_end: Option<Nanos>,
+    /// Duration of the most recent physical flush (group-ack estimator).
+    last_flush_dur: Nanos,
+    checkpoint_lsn: Lsn,
+    /// Content of the current partial tail block, as durable on disk.
+    tail_image: Vec<u8>,
+    stats: WalStats,
+}
+
+impl Wal {
+    /// Create a fresh log over `files_n` files of `file_blocks` 4KB blocks
+    /// each, allocated from `vm`, and write the initial header.
+    pub fn create<D: BlockDevice>(
+        vol: &mut Volume<D>,
+        vm: &mut VolumeManager,
+        files_n: usize,
+        file_blocks: u64,
+        now: Nanos,
+    ) -> (Self, Nanos) {
+        assert!(files_n >= 1 && file_blocks >= 2, "log too small");
+        let files: Vec<PageFile> =
+            (0..files_n).map(|_| PageFile::create(vm, file_blocks, BLOCK)).collect();
+        // Block 0 of file 0 is the header; the rest is the circular data area.
+        let data_blocks = files_n as u64 * file_blocks - 1;
+        let mut wal = Self {
+            files,
+            data_blocks,
+            buf: Vec::new(),
+            buf_start: 0,
+            next_lsn: 0,
+            durable_lsn: 0,
+            inflight: None,
+            group_commit: false,
+            group_end: None,
+            last_flush_dur: 1_000_000,
+            checkpoint_lsn: 0,
+            tail_image: vec![0u8; BLOCK],
+            stats: WalStats::default(),
+        };
+        let t = wal.write_header(vol, now);
+        (wal, t)
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> WalStats {
+        self.stats
+    }
+
+    /// Next LSN to be assigned.
+    pub fn next_lsn(&self) -> Lsn {
+        self.next_lsn
+    }
+
+    /// Everything up to (exclusive) this LSN has been handed to the device
+    /// and fsynced.
+    pub fn durable_lsn(&self) -> Lsn {
+        self.durable_lsn
+    }
+
+    /// Capacity of the circular data area in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.data_blocks * BLOCK as u64
+    }
+
+    /// Live (un-checkpointed) log length in bytes.
+    pub fn live_bytes(&self) -> u64 {
+        self.next_lsn - self.checkpoint_lsn
+    }
+
+    /// Whether the engine should checkpoint soon (live log > 3/4 capacity).
+    pub fn needs_checkpoint(&self) -> bool {
+        self.live_bytes() > self.capacity_bytes() * 3 / 4
+    }
+
+    /// Append a record; returns its LSN. Not yet durable.
+    pub fn append(&mut self, payload: &[u8]) -> Lsn {
+        let lsn = self.next_lsn;
+        let mut rec = Vec::with_capacity(REC_HDR + payload.len());
+        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&lsn.to_le_bytes());
+        rec.extend_from_slice(&crc32(payload).to_le_bytes());
+        rec.extend_from_slice(payload);
+        self.next_lsn += rec.len() as u64;
+        assert!(
+            self.live_bytes() < self.capacity_bytes(),
+            "log overflow: checkpoint was not taken in time"
+        );
+        self.buf.extend_from_slice(&rec);
+        self.stats.appends += 1;
+        lsn
+    }
+
+    /// Translate a stream block index to (file, block-in-file), skipping the
+    /// header block.
+    fn locate(&self, stream_block: u64) -> (usize, u64) {
+        let pos = 1 + (stream_block % self.data_blocks);
+        let per_file = self.files[0].pages();
+        ((pos / per_file) as usize, pos % per_file)
+    }
+
+    /// Write all buffered bytes as whole blocks and fsync. Returns
+    /// completion time. Caller manages `inflight`/`durable_lsn`.
+    fn flush_buffer<D: BlockDevice>(&mut self, vol: &mut Volume<D>, now: Nanos) -> Nanos {
+        debug_assert!(!self.buf.is_empty());
+        let start_block = self.buf_start / BLOCK as u64;
+        let start_off = (self.buf_start % BLOCK as u64) as usize;
+        let end = self.buf_start + self.buf.len() as u64;
+        let end_block = end.div_ceil(BLOCK as u64);
+        // Materialise the block run: durable prefix of the first block, the
+        // buffered bytes, zero padding to the block boundary.
+        let nblocks = (end_block - start_block) as usize;
+        let mut run = vec![0u8; nblocks * BLOCK];
+        run[..start_off].copy_from_slice(&self.tail_image[..start_off]);
+        run[start_off..start_off + self.buf.len()].copy_from_slice(&self.buf);
+        // Issue per-block-run writes, splitting at file boundaries and wrap.
+        let mut t = now;
+        let mut b = 0usize;
+        while b < nblocks {
+            let (file, in_file) = self.locate(start_block + b as u64);
+            // Contiguous run within this file.
+            let mut len = 1usize;
+            while b + len < nblocks {
+                let (f2, if2) = self.locate(start_block + (b + len) as u64);
+                if f2 != file || if2 != in_file + len as u64 {
+                    break;
+                }
+                len += 1;
+            }
+            let data = &run[b * BLOCK..(b + len) * BLOCK];
+            t = self.files[file]
+                .write_pages(vol, in_file, data, t)
+                .expect("log geometry is static");
+            self.stats.bytes_written += (len * BLOCK) as u64;
+            b += len;
+        }
+        let t = vol.fsync(t).expect("log device reachable");
+        // Remember the new partial tail image.
+        let tail_off = (end % BLOCK as u64) as usize;
+        if tail_off == 0 {
+            self.tail_image.fill(0);
+        } else {
+            let last = &run[(nblocks - 1) * BLOCK..];
+            self.tail_image[..tail_off].copy_from_slice(&last[..tail_off]);
+            self.tail_image[tail_off..].fill(0);
+        }
+        self.buf_start = end;
+        self.buf.clear();
+        self.stats.flushes += 1;
+        t
+    }
+
+    /// Enable or disable the group-commit throughput model (see module
+    /// docs). Strict mode (false, the default) never acknowledges a commit
+    /// before its flush completes.
+    pub fn set_group_commit(&mut self, on: bool) {
+        self.group_commit = on;
+    }
+
+    /// Retire a completed in-flight flush and, in group-commit mode, fire
+    /// the queued group flush.
+    fn advance<D: BlockDevice>(&mut self, vol: &mut Volume<D>, now: Nanos) {
+        if let Some((end, upto)) = self.inflight {
+            if end <= now {
+                self.durable_lsn = self.durable_lsn.max(upto);
+                self.inflight = None;
+                if self.group_end.take().is_some() && !self.buf.is_empty() {
+                    // The queued group flush starts right where the previous
+                    // one ended.
+                    let covers = self.next_lsn;
+                    let done = self.flush_buffer(vol, end);
+                    self.last_flush_dur = done.saturating_sub(end).max(1);
+                    self.inflight = Some((done, covers));
+                    self.durable_lsn = covers;
+                }
+            }
+        }
+    }
+
+    /// Make everything up to `lsn` durable; returns the completion time.
+    /// Implements group commit: a commit whose records are covered by a
+    /// flush already in flight just waits for it; in group-commit mode, a
+    /// commit whose records are *not* covered joins the next batched flush.
+    pub fn commit<D: BlockDevice>(&mut self, vol: &mut Volume<D>, lsn: Lsn, now: Nanos) -> Nanos {
+        self.stats.commits += 1;
+        self.advance(vol, now);
+        if lsn < self.durable_lsn {
+            self.stats.piggybacked_commits += 1;
+            return now;
+        }
+        let mut t = now;
+        if let Some((end, upto)) = self.inflight {
+            if lsn < upto {
+                self.stats.piggybacked_commits += 1;
+                return t.max(end);
+            }
+            if self.group_commit {
+                // Join the next batched flush; acknowledged at its estimated
+                // completion.
+                self.stats.group_joins += 1;
+                let est = end + self.last_flush_dur;
+                let promised = self.group_end.map_or(est, |g| g.max(est)).max(now);
+                self.group_end = Some(promised);
+                return promised;
+            }
+            // Strict mode: wait out the in-flight flush.
+            t = t.max(end);
+            self.durable_lsn = self.durable_lsn.max(upto);
+            self.inflight = None;
+            if lsn < self.durable_lsn {
+                self.stats.piggybacked_commits += 1;
+                return t;
+            }
+        }
+        if self.buf.is_empty() {
+            // Everything appended so far was flushed by an earlier commit or
+            // by the engine's eviction-time WAL-rule flush.
+            self.durable_lsn = self.durable_lsn.max(self.next_lsn);
+            self.stats.piggybacked_commits += 1;
+            return t;
+        }
+        let covers = self.next_lsn;
+        let done = self.flush_buffer(vol, t);
+        self.last_flush_dur = done.saturating_sub(t).max(1);
+        self.inflight = Some((done, covers));
+        self.durable_lsn = covers; // durable as of `done`, which we return
+        done
+    }
+
+    /// Force every appended record onto the device and wait for it: used by
+    /// checkpoints and by crash harnesses that need strict durability under
+    /// group-commit mode. Returns the completion time.
+    pub fn quiesce<D: BlockDevice>(&mut self, vol: &mut Volume<D>, now: Nanos) -> Nanos {
+        let mut t = now;
+        if let Some((end, upto)) = self.inflight.take() {
+            t = t.max(end);
+            self.durable_lsn = self.durable_lsn.max(upto);
+        }
+        self.group_end = None;
+        if !self.buf.is_empty() {
+            let covers = self.next_lsn;
+            t = self.flush_buffer(vol, t);
+            self.durable_lsn = covers;
+        }
+        t
+    }
+
+    /// Record a checkpoint at `lsn`: everything older may be overwritten.
+    /// Persists the header (write + fsync).
+    pub fn checkpoint<D: BlockDevice>(
+        &mut self,
+        vol: &mut Volume<D>,
+        lsn: Lsn,
+        now: Nanos,
+    ) -> Nanos {
+        assert!(lsn <= self.next_lsn);
+        self.checkpoint_lsn = self.checkpoint_lsn.max(lsn);
+        self.write_header(vol, now)
+    }
+
+    fn write_header<D: BlockDevice>(&mut self, vol: &mut Volume<D>, now: Nanos) -> Nanos {
+        let mut hdr = vec![0u8; BLOCK];
+        hdr[..8].copy_from_slice(&HDR_MAGIC.to_le_bytes());
+        hdr[8..16].copy_from_slice(&self.checkpoint_lsn.to_le_bytes());
+        let crc = crc32(&hdr[..16]);
+        hdr[16..20].copy_from_slice(&crc.to_le_bytes());
+        let t = self.files[0].write_page(vol, 0, &hdr, now).expect("header block exists");
+        vol.fsync(t).expect("log device reachable")
+    }
+
+    /// Recover the log from a volume after a crash: read the header, scan
+    /// records from the checkpoint LSN, stop at the first torn/invalid
+    /// record. Returns the recovered log (positioned at the end of the valid
+    /// suffix), the surviving records, and the completion time.
+    pub fn recover<D: BlockDevice>(
+        vol: &mut Volume<D>,
+        files: Vec<PageFile>,
+        now: Nanos,
+    ) -> (Self, Vec<Record>, Nanos) {
+        let data_blocks = files.len() as u64 * files[0].pages() - 1;
+        let mut wal = Self {
+            files,
+            data_blocks,
+            buf: Vec::new(),
+            buf_start: 0,
+            next_lsn: 0,
+            durable_lsn: 0,
+            inflight: None,
+            group_commit: false,
+            group_end: None,
+            last_flush_dur: 1_000_000,
+            checkpoint_lsn: 0,
+            tail_image: vec![0u8; BLOCK],
+            stats: WalStats::default(),
+        };
+        let mut hdr = vec![0u8; BLOCK];
+        let mut t = wal.files[0].read_page(vol, 0, &mut hdr, now).expect("header block");
+        let magic = u64::from_le_bytes(hdr[..8].try_into().unwrap());
+        let ckpt = u64::from_le_bytes(hdr[8..16].try_into().unwrap());
+        let crc = u32::from_le_bytes(hdr[16..20].try_into().unwrap());
+        if magic != HDR_MAGIC || crc != crc32(&hdr[..16]) {
+            // Unformatted or corrupt header: empty log.
+            return (wal, Vec::new(), t);
+        }
+        wal.checkpoint_lsn = ckpt;
+        // Scan forward from the checkpoint.
+        let mut records = Vec::new();
+        let mut lsn = ckpt;
+        let mut block_cache: Option<(u64, Vec<u8>)> = None;
+        let mut read_byte = |wal: &Wal, vol: &mut Volume<D>, off: u64, t: &mut Nanos| -> u8 {
+            let blk = off / BLOCK as u64;
+            if block_cache.as_ref().map(|(b, _)| *b) != Some(blk) {
+                let (file, in_file) = wal.locate(blk);
+                let mut buf = vec![0u8; BLOCK];
+                *t = wal.files[file].read_page(vol, in_file, &mut buf, *t).expect("log block");
+                block_cache = Some((blk, buf));
+            }
+            block_cache.as_ref().unwrap().1[(off % BLOCK as u64) as usize]
+        };
+        loop {
+            // A record never exceeds the remaining capacity; stop when the
+            // scan has covered a full circle.
+            if lsn - ckpt >= wal.capacity_bytes() {
+                break;
+            }
+            let mut hdr_bytes = [0u8; REC_HDR];
+            for (i, b) in hdr_bytes.iter_mut().enumerate() {
+                *b = read_byte(&wal, vol, lsn + i as u64, &mut t);
+            }
+            let len = u32::from_le_bytes(hdr_bytes[..4].try_into().unwrap()) as usize;
+            let rec_lsn = u64::from_le_bytes(hdr_bytes[4..12].try_into().unwrap());
+            let crc = u32::from_le_bytes(hdr_bytes[12..16].try_into().unwrap());
+            if rec_lsn != lsn || len == 0 || len as u64 > wal.capacity_bytes() {
+                break;
+            }
+            let mut payload = vec![0u8; len];
+            for (i, b) in payload.iter_mut().enumerate() {
+                *b = read_byte(&wal, vol, lsn + (REC_HDR + i) as u64, &mut t);
+            }
+            if crc32(&payload) != crc {
+                break; // torn tail
+            }
+            records.push(Record { lsn, payload });
+            lsn += (REC_HDR + len) as u64;
+        }
+        wal.next_lsn = lsn;
+        wal.durable_lsn = lsn;
+        wal.buf_start = lsn;
+        // Rebuild the partial tail image so appends continue seamlessly.
+        let tail_off = (lsn % BLOCK as u64) as usize;
+        if tail_off != 0 {
+            let blk = lsn / BLOCK as u64;
+            let (file, in_file) = wal.locate(blk);
+            let mut buf = vec![0u8; BLOCK];
+            t = wal.files[file].read_page(vol, in_file, &mut buf, t).expect("log block");
+            wal.tail_image[..tail_off].copy_from_slice(&buf[..tail_off]);
+            wal.tail_image[tail_off..].fill(0);
+        }
+        (wal, records, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storage::testdev::MemDevice;
+
+    fn setup(files: usize, blocks: u64) -> (Volume<MemDevice>, Wal) {
+        let mut vol = Volume::new(MemDevice::new(4096), true);
+        let mut vm = VolumeManager::new(4096);
+        let (wal, _) = Wal::create(&mut vol, &mut vm, files, blocks, 0);
+        (vol, wal)
+    }
+
+    #[test]
+    fn append_assigns_monotonic_lsns() {
+        let (_, mut wal) = setup(3, 16);
+        let a = wal.append(b"one");
+        let b = wal.append(b"two!");
+        assert_eq!(a, 0);
+        assert_eq!(b, (REC_HDR + 3) as u64);
+        assert_eq!(wal.next_lsn(), b + (REC_HDR + 4) as u64);
+    }
+
+    #[test]
+    fn commit_makes_records_durable_and_counts_flush() {
+        let (mut vol, mut wal) = setup(3, 16);
+        let lsn = wal.append(b"hello");
+        let t = wal.commit(&mut vol, lsn, 1000);
+        assert!(t > 1000);
+        assert!(wal.durable_lsn() > lsn);
+        assert_eq!(wal.stats().flushes, 1);
+        assert!(vol.device_stats().flushes >= 1);
+    }
+
+    #[test]
+    fn committed_records_survive_recovery() {
+        let (mut vol, mut wal) = setup(3, 16);
+        let mut lsns = Vec::new();
+        for i in 0..10u8 {
+            lsns.push(wal.append(&[i; 100]));
+        }
+        let t = wal.commit(&mut vol, *lsns.last().unwrap(), 0);
+        let files = wal.files.clone();
+        drop(wal);
+        let (wal2, records, _) = Wal::recover(&mut vol, files, t);
+        assert_eq!(records.len(), 10);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.payload, vec![i as u8; 100]);
+            assert_eq!(r.lsn, lsns[i]);
+        }
+        assert_eq!(wal2.next_lsn(), records.last().unwrap().lsn + (REC_HDR + 100) as u64);
+    }
+
+    #[test]
+    fn uncommitted_tail_does_not_survive() {
+        let (mut vol, mut wal) = setup(3, 16);
+        let a = wal.append(b"committed");
+        wal.commit(&mut vol, a, 0);
+        let _ = wal.append(b"lost");
+        // No commit for the second record: crash now.
+        let files = wal.files.clone();
+        let (_, records, _) = Wal::recover(&mut vol, files, 0);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].payload, b"committed");
+    }
+
+    #[test]
+    fn group_commit_piggybacks() {
+        let (mut vol, mut wal) = setup(3, 64);
+        let a = wal.append(b"a");
+        let t1 = wal.commit(&mut vol, a, 0);
+        // Two more records appended "while the flush runs" (arrival before
+        // t1): the second commit of the pair piggybacks on the first.
+        let b = wal.append(b"b");
+        let c = wal.append(b"c");
+        let t2 = wal.commit(&mut vol, c, t1 / 2);
+        let t3 = wal.commit(&mut vol, b, t1 / 2 + 1);
+        assert!(t2 >= t1, "second flush after the first");
+        assert_eq!(t3, t1 / 2 + 1, "b was covered by c's flush");
+        assert_eq!(wal.stats().piggybacked_commits, 1);
+        assert_eq!(wal.stats().flushes, 2);
+    }
+
+    #[test]
+    fn appends_continue_after_recovery() {
+        let (mut vol, mut wal) = setup(3, 16);
+        let a = wal.append(b"first");
+        let t = wal.commit(&mut vol, a, 0);
+        let files = wal.files.clone();
+        let (mut wal2, _, t2) = Wal::recover(&mut vol, files.clone(), t);
+        let b = wal2.append(b"second");
+        let t3 = wal2.commit(&mut vol, b, t2);
+        let (_, records, _) = Wal::recover(&mut vol, files, t3);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].payload, b"second");
+    }
+
+    #[test]
+    fn wraps_around_the_circular_space() {
+        let (mut vol, mut wal) = setup(2, 4); // 7 data blocks = 28KB
+        let mut t = 0;
+        // Write ~3 capacities' worth with checkpoints to allow reuse.
+        for round in 0..12u64 {
+            let payload = vec![round as u8; 2000];
+            let lsn = wal.append(&payload);
+            t = wal.commit(&mut vol, lsn, t);
+            // Checkpoint aggressively so the circle never overflows.
+            t = wal.checkpoint(&mut vol, wal.next_lsn(), t);
+        }
+        let files = wal.files.clone();
+        let ckpt = wal.checkpoint_lsn;
+        let (wal2, records, _) = Wal::recover(&mut vol, files, t);
+        // Everything after the final checkpoint (nothing) scans cleanly.
+        assert_eq!(wal2.checkpoint_lsn, ckpt);
+        assert!(records.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_threshold_reporting() {
+        let (mut vol, mut wal) = setup(2, 4);
+        assert!(!wal.needs_checkpoint());
+        let mut t = 0;
+        let mut lsn = 0;
+        for _ in 0..11 {
+            lsn = wal.append(&[9u8; 2000]);
+            t = wal.commit(&mut vol, lsn, t);
+        }
+        assert!(wal.needs_checkpoint());
+        wal.checkpoint(&mut vol, lsn, t);
+        assert!(!wal.needs_checkpoint());
+    }
+
+    #[test]
+    #[should_panic(expected = "log overflow")]
+    fn overflow_without_checkpoint_panics() {
+        let (_, mut wal) = setup(2, 4);
+        for _ in 0..40 {
+            wal.append(&[1u8; 2000]);
+        }
+    }
+
+    #[test]
+    fn recovery_of_unformatted_volume_is_empty() {
+        let mut vol = Volume::new(MemDevice::new(256), true);
+        let mut vm = VolumeManager::new(256);
+        let files = vec![PageFile::create(&mut vm, 8, BLOCK)];
+        let (wal, records, _) = Wal::recover(&mut vol, files, 0);
+        assert!(records.is_empty());
+        assert_eq!(wal.next_lsn(), 0);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+        use storage::testdev::MemDevice;
+
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+            /// Arbitrary append/commit interleavings recover exactly the
+            /// committed prefix.
+            #[test]
+            fn committed_prefix_recovers(
+                recs in proptest::collection::vec(
+                    (proptest::collection::vec(any::<u8>(), 1..400), any::<bool>()), 1..40)
+            ) {
+                let mut vol = Volume::new(MemDevice::new(8192), true);
+                let mut vm = VolumeManager::new(8192);
+                let (mut wal, mut t) = Wal::create(&mut vol, &mut vm, 2, 256, 0);
+                let mut committed = Vec::new();
+                let mut pending = Vec::new();
+                for (payload, commit) in recs {
+                    let lsn = wal.append(&payload);
+                    pending.push((lsn, payload));
+                    if commit {
+                        t = wal.commit(&mut vol, lsn, t);
+                        committed.append(&mut pending);
+                    }
+                }
+                let files = wal.files.clone();
+                drop(wal);
+                let (_, records, _) = Wal::recover(&mut vol, files, t);
+                prop_assert_eq!(records.len(), committed.len());
+                for (r, (lsn, payload)) in records.iter().zip(committed.iter()) {
+                    prop_assert_eq!(r.lsn, *lsn);
+                    prop_assert_eq!(&r.payload, payload);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Host CPU model for the database drivers.
+//!
+//! The paper's host is a 32-core Xeon; at the throughput levels of Fig. 5 a
+//! MySQL operation costs roughly a core-millisecond of software time
+//! (parsing, handler calls, latching), which is what bounds the OFF/OFF
+//! configurations. The simulated engines execute in zero virtual time, so
+//! the drivers charge an explicit per-operation CPU cost against a pool of
+//! cores. Without this, barrier-free configurations run unboundedly fast
+//! and the paper's crossovers disappear.
+
+use simkit::{MultiServer, Nanos};
+
+/// A pool of CPU cores with a fixed per-operation software cost.
+pub struct CpuModel {
+    cores: MultiServer,
+    per_op: Nanos,
+}
+
+impl CpuModel {
+    /// `cores` cores, `per_op` nanoseconds of software time per operation.
+    pub fn new(cores: usize, per_op: Nanos) -> Self {
+        Self { cores: MultiServer::new(cores), per_op }
+    }
+
+    /// Charge one operation's software time starting at `now`; returns when
+    /// the CPU work completes (I/O then starts).
+    pub fn charge(&mut self, now: Nanos) -> Nanos {
+        if self.per_op == 0 {
+            return now;
+        }
+        self.cores.acquire(now, self.per_op)
+    }
+
+    /// The configured per-operation cost.
+    pub fn per_op(&self) -> Nanos {
+        self.per_op
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cores_bound_throughput() {
+        let mut cpu = CpuModel::new(2, 100);
+        // Four simultaneous ops on two cores: two waves.
+        let mut dones: Vec<Nanos> = (0..4).map(|_| cpu.charge(0)).collect();
+        dones.sort_unstable();
+        assert_eq!(dones, vec![100, 100, 200, 200]);
+    }
+
+    #[test]
+    fn zero_cost_is_free() {
+        let mut cpu = CpuModel::new(1, 0);
+        assert_eq!(cpu.charge(77), 77);
+    }
+}

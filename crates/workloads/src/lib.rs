@@ -1,0 +1,16 @@
+//! Workload generators and closed-loop drivers for every benchmark in the
+//! paper's evaluation:
+//!
+//! * [`fio`] — the raw-device micro-benchmark behind Tables 1 and 2
+//!   (random reads/writes, page-size and fsync-frequency sweeps).
+//! * [`linkbench`] — the Facebook social-graph benchmark behind Fig. 5,
+//!   Fig. 6 and Table 3, running on the `relstore` engine.
+//! * [`ycsb`] — YCSB workload-A behind Table 5, running on `docstore`.
+//! * [`tpcc`] — the TPC-C benchmark behind Table 4, running on `relstore`
+//!   in its commercial-DBMS configuration.
+
+pub mod cpu;
+pub mod fio;
+pub mod linkbench;
+pub mod tpcc;
+pub mod ycsb;

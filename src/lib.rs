@@ -1,0 +1,14 @@
+//! Root crate of the DuraSSD reproduction workspace.
+//!
+//! This package holds only the cross-crate integration tests (`tests/`) and
+//! the runnable examples (`examples/`); all functionality lives in the
+//! crates under `crates/`:
+//!
+//! * [`simkit`] → [`nand`]/[`hdd`] → [`durassd`] → [`storage`] — the
+//!   simulated hardware stack;
+//! * [`bufferpool`] + [`wal`] + [`btree`] → [`relstore`], and [`docstore`]
+//!   — the database engines;
+//! * [`workloads`] — fio / LinkBench / YCSB / TPC-C drivers.
+//!
+//! See `README.md` for the tour and `DESIGN.md`/`EXPERIMENTS.md` for the
+//! reproduction methodology and results.

@@ -1,0 +1,184 @@
+//! Cross-crate crash/recovery integration tests: the paper's durability
+//! claims as assertions.
+
+use durassd::{Ssd, SsdConfig};
+use hdd::{Hdd, HddConfig};
+use relstore::{Engine, EngineConfig, RecoveryError};
+use storage::device::BlockDevice;
+
+const KEYS: u64 = 300;
+
+fn engine_cfg(safe: bool) -> EngineConfig {
+    EngineConfig {
+        page_size: 4096,
+        buffer_pool_bytes: 64 * 4096,
+        double_write: safe,
+        full_page_writes: false,
+        barriers: safe,
+        o_dsync: false,
+        data_pages: 8192,
+        log_files: 2,
+        log_file_blocks: 1024,
+        dwb_pages: 64,
+    }
+}
+
+/// Run a committed workload, crash, recover; return Ok(lost) or the
+/// recovery error.
+fn crash_trial<D: BlockDevice, L: BlockDevice>(
+    data: D,
+    log: L,
+    safe: bool,
+) -> Result<u64, RecoveryError> {
+    let cfg = engine_cfg(safe);
+    let (mut e, t0) = Engine::create(data, log, cfg, 0);
+    let (tree, t1) = e.create_tree(t0);
+    let mut now = e.checkpoint(t1);
+    for i in 0..KEYS {
+        now = e.put(tree, format!("k{i:04}").as_bytes(), format!("v{i}").as_bytes(), now);
+        now = e.commit(now);
+    }
+    let (d, l) = e.crash(now + 1);
+    let (mut e2, mut t2) = Engine::recover(d, l, cfg, now + 2)?;
+    let mut lost = 0;
+    for i in 0..KEYS {
+        let (v, t3) = e2.get(tree, format!("k{i:04}").as_bytes(), t2);
+        t2 = t3;
+        if v.as_deref() != Some(format!("v{i}").as_bytes()) {
+            lost += 1;
+        }
+    }
+    Ok(lost)
+}
+
+fn durassd() -> Ssd {
+    Ssd::new(SsdConfig::durassd(8))
+}
+
+fn volatile_ssd() -> Ssd {
+    Ssd::new(SsdConfig::ssd_a(8))
+}
+
+fn disk() -> Hdd {
+    Hdd::new(HddConfig { capacity_pages: 64 * 1024, ..HddConfig::default() })
+}
+
+#[test]
+fn durassd_lean_config_loses_nothing() {
+    // The paper's thesis: barriers OFF + double-write OFF is fully safe on a
+    // capacitor-backed cache.
+    assert_eq!(crash_trial(durassd(), durassd(), false), Ok(0));
+}
+
+#[test]
+fn durassd_safe_config_loses_nothing() {
+    assert_eq!(crash_trial(durassd(), durassd(), true), Ok(0));
+}
+
+#[test]
+fn volatile_ssd_safe_config_loses_nothing() {
+    // Barriers + double-write protect even a volatile cache (slowly).
+    assert_eq!(crash_trial(volatile_ssd(), volatile_ssd(), true), Ok(0));
+}
+
+#[test]
+fn volatile_ssd_lean_config_loses_data() {
+    if let Ok(lost) = crash_trial(volatile_ssd(), volatile_ssd(), false) {
+        // Total metadata loss (Err) is an acceptable — worse — outcome.
+        assert!(lost > 0, "volatile cache must lose acknowledged commits");
+    }
+}
+
+#[test]
+fn disk_safe_config_loses_nothing() {
+    assert_eq!(crash_trial(disk(), disk(), true), Ok(0));
+}
+
+#[test]
+fn disk_lean_config_loses_data() {
+    if let Ok(lost) = crash_trial(disk(), disk(), false) { assert!(lost > 0, "disk write cache must lose acknowledged commits") }
+}
+
+#[test]
+fn repeated_crashes_converge() {
+    // Crash, recover, write more, crash again: recovery must be idempotent
+    // and stack across generations (DuraSSD, lean config).
+    let cfg = engine_cfg(false);
+    let (mut e, t0) = Engine::create(durassd(), durassd(), cfg, 0);
+    let (tree, t1) = e.create_tree(t0);
+    let mut now = e.checkpoint(t1);
+    let mut expected = 0u64;
+    for generation in 0..3u64 {
+        for i in 0..100u64 {
+            let k = format!("g{generation}k{i:03}");
+            now = e.put(tree, k.as_bytes(), b"v", now);
+            now = e.commit(now);
+        }
+        expected += 100;
+        let (d, l) = e.crash(now + 1);
+        let (e2, t2) = Engine::recover(d, l, cfg, now + 2).expect("recover");
+        e = e2;
+        now = t2;
+    }
+    // Every key from every generation present.
+    let mut found = 0;
+    for generation in 0..3u64 {
+        for i in 0..100u64 {
+            let k = format!("g{generation}k{i:03}");
+            let (v, t) = e.get(tree, k.as_bytes(), now);
+            now = t;
+            if v.is_some() {
+                found += 1;
+            }
+        }
+    }
+    assert_eq!(found, expected);
+}
+
+#[test]
+fn double_write_repairs_torn_pages_on_volatile_ssd() {
+    // Force heavy eviction churn with barriers ON so in-flight NAND
+    // programs exist at the cut; the DWB must repair any torn home pages.
+    let cfg = EngineConfig {
+        buffer_pool_bytes: 16 * 4096, // tiny pool: constant eviction
+        ..engine_cfg(true)
+    };
+    let (mut e, t0) = Engine::create(volatile_ssd(), volatile_ssd(), cfg, 0);
+    let (tree, t1) = e.create_tree(t0);
+    let mut now = e.checkpoint(t1);
+    for i in 0..KEYS {
+        now = e.put(tree, format!("k{i:04}").as_bytes(), &[b'x'; 120], now);
+        now = e.commit(now);
+    }
+    let (d, l) = e.crash(now + 1);
+    let (mut e2, mut t2) = Engine::recover(d, l, cfg, now + 2).expect("recover");
+    for i in 0..KEYS {
+        let (v, t3) = e2.get(tree, format!("k{i:04}").as_bytes(), t2);
+        t2 = t3;
+        assert_eq!(v.unwrap(), vec![b'x'; 120], "key {i} after DWB repair");
+    }
+}
+
+#[test]
+fn uncommitted_work_never_reappears_after_crash() {
+    let cfg = engine_cfg(true);
+    let (mut e, t0) = Engine::create(durassd(), durassd(), cfg, 0);
+    let (tree, t1) = e.create_tree(t0);
+    let mut now = e.checkpoint(t1);
+    now = e.put(tree, b"committed", b"1", now);
+    now = e.commit(now);
+    // A large uncommitted batch.
+    for i in 0..50u64 {
+        now = e.put(tree, format!("un{i}").as_bytes(), b"2", now);
+    }
+    let (d, l) = e.crash(now + 1);
+    let (mut e2, mut t2) = Engine::recover(d, l, cfg, now + 2).expect("recover");
+    let (v, t3) = e2.get(tree, b"committed", t2);
+    t2 = t3;
+    assert_eq!(v.unwrap(), b"1");
+    for i in 0..50u64 {
+        let (v, t3) = e2.get(tree, format!("un{i}").as_bytes(), t2);
+        t2 = t3;
+        assert!(v.is_none(), "uncommitted un{i} reappeared");
+    }
+}

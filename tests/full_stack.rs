@@ -1,0 +1,196 @@
+//! End-to-end integration: each of the paper's workloads runs on the full
+//! simulated stack (engine → host I/O → SSD firmware → NAND) and yields
+//! sane, internally consistent results.
+
+use durassd::{Ssd, SsdConfig};
+use relstore::{Engine, EngineConfig};
+use docstore::{DocStore, DocStoreConfig};
+use workloads::{linkbench, tpcc, ycsb};
+
+fn dura() -> Ssd {
+    Ssd::new(SsdConfig::durassd(16))
+}
+
+#[test]
+fn linkbench_on_durassd_end_to_end() {
+    let nodes = 3_000u64;
+    let ops = 2_000u64;
+    let est = nodes * 900;
+    let cfg = EngineConfig {
+        page_size: 8192,
+        buffer_pool_bytes: est / 10,
+        double_write: true,
+        full_page_writes: false,
+        barriers: true,
+        o_dsync: false,
+        data_pages: (est * 4 / 8192).max(8192),
+        log_files: 2,
+        log_file_blocks: 4096,
+        dwb_pages: 256,
+    };
+    let (mut e, t0) = Engine::create(dura(), dura(), cfg, 0);
+    let mut spec = linkbench::LinkBenchSpec::scaled(nodes, ops);
+    spec.clients = 16;
+    spec.warmup_ops = 200;
+    let (mut g, t1) = linkbench::load(&mut e, &spec, t0);
+    let rep = linkbench::run(&mut e, &mut g, &spec, t1);
+    assert_eq!(rep.ops, ops);
+    assert!(rep.tps > 100.0, "implausibly low TPS: {}", rep.tps);
+    // All ten op types sampled, latencies ordered sensibly.
+    for (op, s) in &rep.per_type {
+        if s.count == 0 {
+            continue;
+        }
+        assert!(s.p25 <= s.p50 && s.p50 <= s.p75 && s.p75 <= s.p99 && s.p99 <= s.max,
+            "percentiles out of order for {}", op.label());
+    }
+    // The engine remained consistent: no corrupt pages, graph readable.
+    assert_eq!(e.stats().corrupt_reads, 0);
+    let (rows, _) = e.scan(g.nodes, b"n", 10, rep.elapsed * 2);
+    assert!(!rows.is_empty());
+}
+
+#[test]
+fn tpcc_money_conservation() {
+    // Payment moves money from customers into warehouse+district YTD.
+    // After a run, total YTD must equal total customer balance reduction.
+    let spec = tpcc::TpccSpec {
+        warehouses: 2,
+        districts: 2,
+        customers: 30,
+        items: 100,
+        clients: 8,
+        warmup_txns: 0,
+        txns: 400,
+        seed: 77,
+        cores: 8,
+        cpu_per_txn: 50_000,
+    };
+    let est: u64 = 4 * 1024 * 1024;
+    let cfg = EngineConfig {
+        page_size: 4096,
+        buffer_pool_bytes: est,
+        double_write: false,
+        full_page_writes: false,
+        barriers: false,
+        o_dsync: false,
+        data_pages: 32 * 1024,
+        log_files: 2,
+        log_file_blocks: 4096,
+        dwb_pages: 64,
+    };
+    let (mut e, t0) = Engine::create(dura(), dura(), cfg, 0);
+    let (mut db, t1) = tpcc::load(&mut e, &spec, t0);
+    let rep = tpcc::run(&mut e, &mut db, &spec, t1);
+    let total = rep.counts.new_orders
+        + rep.counts.payments
+        + rep.counts.order_status
+        + rep.counts.deliveries
+        + rep.counts.stock_levels;
+    assert_eq!(total, spec.txns);
+    assert!(rep.tpmc > 0.0);
+    // Standard mix sanity.
+    assert!(rep.counts.new_orders as f64 / total as f64 > 0.35);
+    assert!(rep.counts.payments as f64 / total as f64 > 0.33);
+    assert_eq!(e.stats().corrupt_reads, 0);
+}
+
+#[test]
+fn ycsb_results_survive_crash_when_synced() {
+    let cfg = DocStoreConfig { batch_size: 1, barriers: false, file_blocks: 50_000, auto_compact_pct: 0 };
+    let mut s = DocStore::create(dura(), cfg);
+    let spec = ycsb::YcsbSpec::workload_a(500, 600);
+    let t = ycsb::load(&mut s, &spec, 0);
+    let rep = ycsb::run(&mut s, &spec, t);
+    assert_eq!(rep.ops, 600);
+    let sets = s.stats().sets;
+    // Crash on DuraSSD with barriers off: every batch-1-synced update holds.
+    let dev = s.crash(rep.finished_at + 1);
+    let (mut s2, t2) = DocStore::recover(dev, cfg, rep.finished_at + 2);
+    assert!(s2.seq() >= sets, "every update was its own commit point ({} vs {sets})", s2.seq());
+    let (v, _) = s2.get(b"user000000000001", t2);
+    assert!(v.is_some());
+    assert_eq!(s2.stats().corrupt_reads, 0);
+}
+
+#[test]
+fn engine_checkpoint_cycles_under_load() {
+    // Long-running load with a small log: checkpoints must cycle the log
+    // without data loss or overflow panics.
+    let cfg = EngineConfig {
+        page_size: 4096,
+        buffer_pool_bytes: 128 * 4096,
+        double_write: true,
+        full_page_writes: false,
+        barriers: true,
+        o_dsync: false,
+        data_pages: 16 * 1024,
+        log_files: 2,
+        log_file_blocks: 96, // <1MB total: forces frequent checkpoints
+        dwb_pages: 64,
+    };
+    let (mut e, t0) = Engine::create(dura(), dura(), cfg, 0);
+    let (tree, t1) = e.create_tree(t0);
+    let mut now = e.checkpoint(t1);
+    for i in 0..4_000u64 {
+        now = e.put(tree, format!("k{:05}", i % 1500).as_bytes(), &[b'v'; 100], now);
+        if i % 20 == 0 {
+            now = e.commit(now);
+        }
+        if e.needs_checkpoint() {
+            now = e.checkpoint(now);
+        }
+    }
+    assert!(e.stats().checkpoints >= 2, "log pressure must force checkpoints");
+    for i in (0..1500u64).step_by(97) {
+        let (v, t) = e.get(tree, format!("k{:05}", i).as_bytes(), now);
+        now = t;
+        assert!(v.is_some(), "k{i:05} missing after checkpoint cycling");
+    }
+}
+
+#[test]
+fn ssd_gc_under_database_load_preserves_data() {
+    // A deliberately small SSD (the tiny 4-plane geometry, 4MB logical) so
+    // database churn forces device GC.
+    let ssd_cfg = SsdConfig::tiny_test();
+    let data = Ssd::new(ssd_cfg);
+    let log = Ssd::new(ssd_cfg);
+    let cfg = EngineConfig {
+        page_size: 4096,
+        buffer_pool_bytes: 32 * 4096,
+        double_write: false,
+        full_page_writes: false,
+        barriers: false,
+        o_dsync: false,
+        data_pages: 800,
+        log_files: 2,
+        log_file_blocks: 100,
+        dwb_pages: 16,
+    };
+    let (mut e, t0) = Engine::create(data, log, cfg, 0);
+    let (tree, t1) = e.create_tree(t0);
+    let mut now = e.checkpoint(t1);
+    for round in 0..40u64 {
+        for i in 0..400u64 {
+            now = e.put(tree, format!("k{i:04}").as_bytes(), &vec![round as u8; 300], now);
+            if i % 50 == 0 && e.needs_checkpoint() {
+                now = e.checkpoint(now);
+            }
+        }
+        now = e.commit(now);
+        if e.needs_checkpoint() {
+            now = e.checkpoint(now);
+        }
+    }
+    assert!(
+        e.data_volume().device().ftl_stats().gc_erases > 0,
+        "churn should trigger device GC"
+    );
+    for i in (0..400u64).step_by(41) {
+        let (v, t) = e.get(tree, format!("k{i:04}").as_bytes(), now);
+        now = t;
+        assert_eq!(v.unwrap(), vec![39u8; 300], "k{i:04} after GC");
+    }
+    assert_eq!(e.stats().corrupt_reads, 0);
+}

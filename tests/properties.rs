@@ -1,0 +1,224 @@
+//! Property-based tests over the core invariants, per module and across the
+//! stack:
+//!
+//! * the B+-tree agrees with a `BTreeMap` model under arbitrary op streams;
+//! * the engine agrees with a model **across crash/recovery cycles**
+//!   (committed data survives; uncommitted data never resurrects partially);
+//! * the document store agrees with a model across crashes;
+//! * DuraSSD never loses an acknowledged write under arbitrary power cuts,
+//!   while reads always return either a full old or full new page
+//!   (atomicity — no torn 16KB reads).
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+use btree::{BTree, MemStore};
+use docstore::{DocStore, DocStoreConfig};
+use durassd::{Ssd, SsdConfig};
+use relstore::{Engine, EngineConfig};
+use storage::device::{BlockDevice, LOGICAL_PAGE};
+
+#[derive(Debug, Clone)]
+enum TreeOp {
+    Put(u16, u8, u8),
+    Delete(u16),
+    Get(u16),
+}
+
+fn tree_op() -> impl Strategy<Value = TreeOp> {
+    prop_oneof![
+        (any::<u16>(), any::<u8>(), any::<u8>()).prop_map(|(k, v, l)| TreeOp::Put(k, v, l)),
+        any::<u16>().prop_map(TreeOp::Delete),
+        any::<u16>().prop_map(TreeOp::Get),
+    ]
+}
+
+fn key_bytes(k: u16) -> Vec<u8> {
+    format!("key{:05}", k % 2_000).into_bytes()
+}
+
+fn val_bytes(v: u8, len: u8) -> Vec<u8> {
+    let mut out = vec![v; 8 + (len as usize % 120)];
+    out[0] = v;
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn btree_matches_model(ops in proptest::collection::vec(tree_op(), 1..400)) {
+        let mut store = MemStore::new(4096);
+        let (mut tree, _) = BTree::create(&mut store, 0);
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for op in ops {
+            match op {
+                TreeOp::Put(k, v, l) => {
+                    let (key, val) = (key_bytes(k), val_bytes(v, l));
+                    tree.put(&mut store, &key, &val, 0);
+                    model.insert(key, val);
+                }
+                TreeOp::Delete(k) => {
+                    let key = key_bytes(k);
+                    let (a, _) = tree.delete(&mut store, &key, 0);
+                    let b = model.remove(&key).is_some();
+                    prop_assert_eq!(a, b);
+                }
+                TreeOp::Get(k) => {
+                    let key = key_bytes(k);
+                    let (got, _) = tree.get(&mut store, &key, 0);
+                    prop_assert_eq!(got.as_deref(), model.get(&key).map(|v| v.as_slice()));
+                }
+            }
+        }
+        let (count, _) = tree.check(&mut store, 0);
+        prop_assert_eq!(count as usize, model.len());
+        // Ordered iteration agrees with the model.
+        let mut scanned = Vec::new();
+        tree.scan(&mut store, b"", 0, |k, _| {
+            scanned.push(k.to_vec());
+            true
+        });
+        let expected: Vec<Vec<u8>> = model.keys().cloned().collect();
+        prop_assert_eq!(scanned, expected);
+    }
+
+    #[test]
+    fn engine_survives_crashes_like_model(
+        batches in proptest::collection::vec(
+            proptest::collection::vec((any::<u16>(), any::<u8>()), 1..40), 1..5)
+    ) {
+        let cfg = EngineConfig {
+            page_size: 4096,
+            buffer_pool_bytes: 48 * 4096,
+            double_write: false,
+            full_page_writes: false,
+            barriers: false,
+            o_dsync: false,
+            data_pages: 900,
+            log_files: 2,
+            log_file_blocks: 128,
+            dwb_pages: 8,
+        };
+        let mk = || Ssd::new(SsdConfig::tiny_test());
+        let (mut e, t0) = Engine::create(mk(), mk(), cfg, 0);
+        let (tree, t1) = e.create_tree(t0);
+        let mut now = e.checkpoint(t1);
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for batch in batches {
+            for (k, v) in batch {
+                let (key, val) = (key_bytes(k), val_bytes(v, v));
+                now = e.put(tree, &key, &val, now);
+                model.insert(key, val);
+            }
+            now = e.commit(now);
+            // Crash and recover: the committed model state must hold.
+            let (d, l) = e.crash(now + 1);
+            let (e2, t2) = Engine::recover(d, l, cfg, now + 2).expect("durable recovery");
+            e = e2;
+            now = t2;
+            for (key, val) in &model {
+                let (got, t3) = e.get(tree, key, now);
+                now = t3;
+                prop_assert_eq!(got.as_deref(), Some(val.as_slice()));
+            }
+        }
+    }
+
+    #[test]
+    fn docstore_crash_recovery_matches_model(
+        batches in proptest::collection::vec(
+            proptest::collection::vec((any::<u16>(), any::<u8>()), 1..30), 1..4)
+    ) {
+        let cfg = DocStoreConfig { batch_size: 1, barriers: false, file_blocks: 1500, auto_compact_pct: 0 };
+        let mut s = DocStore::create(Ssd::new(SsdConfig::tiny_test()), cfg);
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        let mut now = 0;
+        for batch in batches {
+            for (k, v) in batch {
+                let (key, val) = (key_bytes(k), val_bytes(v, v));
+                now = s.set(&key, &val, now);
+                model.insert(key, val);
+            }
+            let dev = s.crash(now + 1);
+            let (s2, t2) = DocStore::recover(dev, cfg, now + 2);
+            s = s2;
+            now = t2;
+            for (key, val) in &model {
+                let (got, t3) = s.get(key, now);
+                now = t3;
+                prop_assert_eq!(got.as_deref(), Some(val.as_slice()), "key {:?}", key);
+            }
+        }
+    }
+
+    #[test]
+    fn durassd_acked_writes_survive_any_power_cut(
+        writes in proptest::collection::vec((0u64..64, any::<u8>()), 1..60),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut ssd = Ssd::new(SsdConfig::tiny_test());
+        let mut now = 0;
+        let mut acked: Vec<(u64, u8, u64)> = Vec::new(); // (lpn, tag, done)
+        for (i, (lpn, tag)) in writes.iter().enumerate() {
+            let mut page = vec![*tag; LOGICAL_PAGE];
+            page[0] = i as u8;
+            let done = ssd.write(*lpn, &page, now).unwrap();
+            acked.push((*lpn, i as u8, done));
+            now = done;
+        }
+        // The device clamps cuts to its arrival high-water mark (the last
+        // command's issue time); the final command may still be in flight.
+        let last_arrival = acked.iter().rev().nth(1).map(|&(_, _, d)| d).unwrap_or(0);
+        let cut = ((now as f64 * cut_frac) as u64).max(last_arrival);
+        ssd.power_cut(cut);
+        let t = ssd.reboot(now + 1);
+        // Latest acked write per lpn (ack time <= cut) must be readable.
+        let mut latest: BTreeMap<u64, u8> = BTreeMap::new();
+        for (lpn, seq, done) in &acked {
+            if *done <= cut {
+                latest.insert(*lpn, *seq);
+            }
+        }
+        let mut buf = vec![0u8; LOGICAL_PAGE];
+        let mut t2 = t;
+        for (lpn, seq) in latest {
+            // A later write to the same lpn may legally have replaced the
+            // content; the page must hold SOME write with sequence >= seq.
+            t2 += 1;
+            let r = ssd.read(lpn, 1, &mut buf, t2);
+            prop_assert!(r.is_ok(), "lpn {}: read failed {:?}", lpn, r.err());
+            let got = buf[0];
+            let valid = acked.iter().any(|(l, s, _)| *l == lpn && *s == got && *s >= seq);
+            prop_assert!(valid, "lpn {lpn}: got seq {got}, acked-before-cut was {seq}");
+        }
+        prop_assert_eq!(ssd.ssd_stats().lost_acked_slots, 0);
+    }
+
+    #[test]
+    fn multi_page_writes_never_tear_on_durassd(
+        n_writes in 1usize..30,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        // 16KB (4-slot) overwrites of one location; any post-cut read must
+        // see one whole version, never a mix.
+        let mut ssd = Ssd::new(SsdConfig::tiny_test());
+        let mut now = 0;
+        for i in 0..n_writes {
+            let mut data = vec![0u8; 4 * LOGICAL_PAGE];
+            for s in 0..4 {
+                data[s * LOGICAL_PAGE] = i as u8 + 1;
+            }
+            now = ssd.write(8, &data, now).unwrap();
+        }
+        let cut = (now as f64 * cut_frac) as u64;
+        ssd.power_cut(cut);
+        let t = ssd.reboot(now + 1);
+        let mut buf = vec![0u8; 4 * LOGICAL_PAGE];
+        ssd.read(8, 4, &mut buf, t).unwrap();
+        let v0 = buf[0];
+        for s in 1..4 {
+            prop_assert_eq!(buf[s * LOGICAL_PAGE], v0, "torn multi-page write");
+        }
+    }
+}
