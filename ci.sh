@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 gate: formatting, lints (when the toolchain ships clippy), and the
+# full test suite. Run from the repo root; exits non-zero on first failure.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+if cargo fmt --version >/dev/null 2>&1; then
+    cargo fmt --all -- --check
+else
+    echo "rustfmt not installed; skipping"
+fi
+
+echo "== cargo clippy -D warnings =="
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "clippy not installed; skipping"
+fi
+
+echo "== cargo test -q =="
+cargo test --workspace -q
+
+echo "tier-1 gate: OK"

@@ -34,19 +34,15 @@ fn torn_page_protection() {
         let nodes = 20_000u64;
         let ops = 8_000u64;
         let est = nodes * 900;
-        let cfg = EngineConfig {
-            page_size: 4096,
-            buffer_pool_bytes: est / 10,
-            double_write: dwb,
-            full_page_writes: fpw,
-            barriers: true,
-            o_dsync: false,
-            data_pages: (est * 4 / 4096).max(8192),
-            log_files: 3,
-            log_file_blocks: 16_384,
-            dwb_pages: 512,
-        };
-        let (mut e, t0) = Engine::create(durassd_bench(true), durassd_bench(true), cfg, 0);
+        let cfg = EngineConfig::builder(4096)
+            .buffer_pool_bytes(est / 10)
+            .double_write(dwb)
+            .full_page_writes(fpw)
+            .data_pages((est * 4 / 4096).max(8192))
+            .log_file_blocks(16_384)
+            .build();
+        let (mut e, t0) =
+            Engine::create(durassd_bench(true), durassd_bench(true), cfg, 0).into_parts();
         e.set_group_commit(true);
         let spec = LinkBenchSpec { warmup_ops: ops / 5, ops, ..LinkBenchSpec::scaled(nodes, ops) };
         let (mut g, t1) = load(&mut e, &spec, t0);
@@ -96,8 +92,10 @@ fn backend_cap() {
     println!("{:<18} {:>12} {:>14}", "cap (MB/s)", "IOPS", "MB/s achieved");
     rule(48);
     for cap in [100u64, 200, 400] {
-        let mut cfg = SsdConfig::durassd(bench::BENCH_BLOCKS_PER_PLANE);
-        cfg.backend_bytes_per_us = cap;
+        let cfg = SsdConfig::durassd(bench::BENCH_BLOCKS_PER_PLANE)
+            .to_builder()
+            .backend_bytes_per_us(cap)
+            .build();
         let mut vol = Volume::new(Ssd::new(cfg), false);
         let spec = FioSpec {
             jobs: 128,
@@ -121,8 +119,10 @@ fn journal_threshold() {
     println!("{:<22} {:>14} {:>16}", "threshold (entries)", "meta programs", "loss window");
     rule(56);
     for thresh in [256usize, 1024, 8192] {
-        let mut cfg = SsdConfig::ssd_a(bench::BENCH_BLOCKS_PER_PLANE);
-        cfg.mapping_journal_threshold = thresh;
+        let cfg = SsdConfig::ssd_a(bench::BENCH_BLOCKS_PER_PLANE)
+            .to_builder()
+            .mapping_journal_threshold(thresh)
+            .build();
         let mut ssd = Ssd::new(cfg);
         let page = vec![3u8; LOGICAL_PAGE];
         let mut now = 0;

@@ -16,7 +16,8 @@
 
 use bench::{arg_u64, durassd_bench, hdd_bench, rule, ssd_a_bench, ssd_b_bench};
 use docstore::{DocStore, DocStoreConfig};
-use relstore::{Engine, EngineConfig, RecoveryError};
+use relstore::{Engine, EngineConfig, Error};
+use simkit::Timed;
 use storage::device::BlockDevice;
 
 fn key_of(i: u64) -> Vec<u8> {
@@ -30,7 +31,7 @@ fn val_of(i: u64) -> Vec<u8> {
 /// Outcome of one engine crash trial.
 enum Outcome {
     Recovered { lost: u64, corrupt: u64, repaired: u64, recovery_ms: f64 },
-    Unrecoverable(RecoveryError),
+    Unrecoverable(Error),
 }
 
 fn engine_trial<D, L>(data: D, log: L, safe: bool, keys: u64) -> Outcome
@@ -38,20 +39,17 @@ where
     D: BlockDevice,
     L: BlockDevice,
 {
-    let cfg = EngineConfig {
-        page_size: 4096,
-        buffer_pool_bytes: 96 * 4096, // small: forces evictions mid-run
-        double_write: safe,
-        barriers: safe,
-        o_dsync: false,
-        data_pages: 16 * 1024,
-        log_files: 2,
-        log_file_blocks: 2048,
-        dwb_pages: 128,
-        ..EngineConfig::mysql_like(4096)
-    };
-    let (mut e, t0) = Engine::create(data, log, cfg, 0);
-    let (tree, t) = e.create_tree(t0);
+    let cfg = EngineConfig::builder(4096)
+        .buffer_pool_bytes(96 * 4096) // small: forces evictions mid-run
+        .double_write(safe)
+        .barriers(safe)
+        .data_pages(16 * 1024)
+        .log_files(2)
+        .log_file_blocks(2048)
+        .dwb_pages(128)
+        .build();
+    let (mut e, t0) = Engine::create(data, log, cfg, 0).into_parts();
+    let (tree, t) = e.create_tree(t0).into_parts();
     let mut now = e.checkpoint(t);
     // Strict commits: every put is acknowledged durable before the next.
     for i in 0..keys {
@@ -59,14 +57,14 @@ where
         now = e.commit(now);
     }
     let (d, l) = e.crash(now + 1);
-    match Engine::recover(d, l, cfg, now + 2) {
+    match Engine::recover(d, l, cfg, now + 2).map(Timed::into_parts) {
         Err(err) => Outcome::Unrecoverable(err),
         Ok((mut e2, ready)) => {
             let recovery_ms = (ready - (now + 2)) as f64 / 1e6;
             let mut t2 = ready;
             let mut lost = 0;
             for i in 0..keys {
-                let (v, t3) = e2.get(tree, &key_of(i), t2);
+                let (v, t3) = e2.get(tree, &key_of(i), t2).into_parts();
                 t2 = t3;
                 match v {
                     Some(got) if got == val_of(i) => {}
@@ -91,10 +89,10 @@ fn doc_trial<D: BlockDevice>(dev: D, barriers: bool, keys: u64) -> (u64, u64) {
         now = s.set(&key_of(i), &val_of(i), now);
     }
     let dev = s.crash(now + 1);
-    let (mut s2, mut t2) = DocStore::recover(dev, cfg, now + 2);
+    let (mut s2, mut t2) = DocStore::recover(dev, cfg, now + 2).into_parts();
     let mut lost = 0;
     for i in 0..keys {
-        let (v, t3) = s2.get(&key_of(i), t2);
+        let (v, t3) = s2.get(&key_of(i), t2).into_parts();
         t2 = t3;
         if v.as_deref() != Some(val_of(i).as_slice()) {
             lost += 1;

@@ -10,25 +10,28 @@
 //!
 //! Run: `cargo run -p bench --release --bin fig6 [--nodes N] [--ops N]`
 
-use bench::{arg_u64, durassd_bench, fmt_rate, rule};
+use bench::{arg_u64, durassd_bench, fmt_rate, print_telemetry, rule};
 use relstore::{Engine, EngineConfig};
+use telemetry::Telemetry;
 use workloads::linkbench::{load, run, LinkBenchSpec};
 
-fn run_cell(page_size: usize, buffer_pct: u64, nodes: u64, ops: u64) -> (f64, f64) {
+fn run_cell(
+    page_size: usize,
+    buffer_pct: u64,
+    nodes: u64,
+    ops: u64,
+    tel: &Telemetry,
+) -> (f64, f64) {
     let est_db_bytes = nodes * 900;
-    let cfg = EngineConfig {
-        page_size,
-        buffer_pool_bytes: (est_db_bytes * buffer_pct / 100).max(512 * 1024),
-        double_write: false,
-        full_page_writes: false,
-        barriers: false,
-        o_dsync: false,
-        data_pages: (est_db_bytes * 4 / page_size as u64).max(8192),
-        log_files: 3,
-        log_file_blocks: 8192,
-        dwb_pages: (2 * 1024 * 1024 / page_size) as u64,
-    };
-    let (mut engine, t0) = Engine::create(durassd_bench(true), durassd_bench(true), cfg, 0);
+    let cfg = EngineConfig::builder(page_size)
+        .buffer_pool_bytes((est_db_bytes * buffer_pct / 100).max(512 * 1024))
+        .double_write(false)
+        .barriers(false)
+        .data_pages((est_db_bytes * 4 / page_size as u64).max(8192))
+        .log_file_blocks(8192)
+        .build();
+    let (mut engine, t0) =
+        Engine::create(durassd_bench(true), durassd_bench(true), cfg, 0).into_parts();
     engine.set_group_commit(true);
     let spec = LinkBenchSpec {
         warmup_ops: ops / 4,
@@ -39,6 +42,7 @@ fn run_cell(page_size: usize, buffer_pct: u64, nodes: u64, ops: u64) -> (f64, f6
         ..LinkBenchSpec::scaled(nodes, ops)
     };
     let (mut graph, t1) = load(&mut engine, &spec, t0);
+    engine.attach_telemetry(tel.clone()); // after load: measure the run only
     let rep = run(&mut engine, &mut graph, &spec, t1);
     (engine.miss_ratio() * 100.0, rep.tps)
 }
@@ -52,9 +56,10 @@ fn main() {
     println!("Buffer axis: % of database size (paper: 2-10GB of a 100GB DB).\n");
     let mut miss = vec![vec![0.0; buffers.len()]; sizes.len()];
     let mut tps = vec![vec![0.0; buffers.len()]; sizes.len()];
+    let tels: Vec<Telemetry> = sizes.iter().map(|_| Telemetry::new()).collect();
     for (i, &ps) in sizes.iter().enumerate() {
         for (j, &b) in buffers.iter().enumerate() {
-            let (m, t) = run_cell(ps, b, nodes, ops);
+            let (m, t) = run_cell(ps, b, nodes, ops, &tels[i]);
             miss[i][j] = m;
             tps[i][j] = t;
         }
@@ -86,5 +91,10 @@ fn main() {
             print!("{:>9}", fmt_rate(*t));
         }
         println!();
+    }
+    println!("\n(c) Stall attribution and latency per page size (whole sweep)");
+    for (i, &ps) in sizes.iter().enumerate() {
+        println!("{}KB:", ps / 1024);
+        print_telemetry("    ", &tels[i], &["engine.commit", "engine.get", "pool.miss_stall"]);
     }
 }

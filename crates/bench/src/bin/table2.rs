@@ -7,9 +7,10 @@
 //!
 //! Run: `cargo run -p bench --release --bin table2 [--ops N]`
 
-use bench::{arg_u64, durassd_bench, fmt_rate, hdd_bench, rule};
+use bench::{arg_u64, durassd_bench, fmt_rate, hdd_bench, print_telemetry, rule};
 use storage::device::BlockDevice;
 use storage::volume::Volume;
+use telemetry::Telemetry;
 use workloads::fio::{run, FioOp, FioSpec};
 
 const SIZES: [usize; 3] = [16384, 8192, 4096];
@@ -23,7 +24,7 @@ struct Row {
     barriers: bool,
 }
 
-fn measure<D: BlockDevice>(dev: D, row: &Row, block_size: usize, ops: u64) -> f64 {
+fn measure<D: BlockDevice>(dev: D, row: &Row, block_size: usize, ops: u64, tel: &Telemetry) -> f64 {
     let mut vol = Volume::new(dev, row.barriers);
     let pages_per_block = (block_size / 4096) as u64;
     let span = vol.capacity_pages() * 3 / 4 / pages_per_block;
@@ -50,6 +51,9 @@ fn measure<D: BlockDevice>(dev: D, row: &Row, block_size: usize, ops: u64) -> f6
         let t = run(&mut vol, &wspec, 0).finished_at;
         let _ = vol.fsync(t);
     }
+    // Attach after the preload so the row's telemetry reflects only the
+    // measured phase.
+    vol.attach_telemetry(tel.clone(), "t2");
     run(&mut vol, &spec, 1_000_000_000_000).throughput()
 }
 
@@ -94,14 +98,12 @@ fn main() {
     println!("{:<30} {:>10} {:>10} {:>10}", "", "16KB", "8KB", "4KB");
     rule(64);
     for row in &dura_rows {
+        let tel = Telemetry::new();
         let mut meas = Vec::new();
         for &sz in &SIZES {
-            let ops = if row.fsync_every == Some(1) && row.barriers {
-                base_ops / 6
-            } else {
-                base_ops
-            };
-            meas.push(measure(durassd_bench(true), row, sz, ops));
+            let ops =
+                if row.fsync_every == Some(1) && row.barriers { base_ops / 6 } else { base_ops };
+            meas.push(measure(durassd_bench(true), row, sz, ops, &tel));
         }
         println!(
             "{:<30} {:>10} {:>10} {:>10}",
@@ -117,6 +119,7 @@ fn main() {
             fmt_rate(row.paper[1] as f64),
             fmt_rate(row.paper[2] as f64)
         );
+        print_telemetry("      ", &tel, &["dev.t2.read", "dev.t2.write", "dev.t2.flush"]);
     }
     println!("\n(b) Harddisk (15krpm)");
     let hdd_rows = [
@@ -140,12 +143,13 @@ fn main() {
     println!("{:<30} {:>10} {:>10} {:>10}", "", "16KB", "8KB", "4KB");
     rule(64);
     for row in &hdd_rows {
+        let tel = Telemetry::new();
         let mut meas = Vec::new();
         for &sz in &SIZES {
             // Reads are mechanical (few ops suffice); writes must fill the
             // 16MB cache to reach the sustained destage rate.
             let ops = if row.op == FioOp::Read { base_ops / 6 } else { base_ops * 2 };
-            meas.push(measure(hdd_bench(true), row, sz, ops));
+            meas.push(measure(hdd_bench(true), row, sz, ops, &tel));
         }
         println!(
             "{:<30} {:>10} {:>10} {:>10}",
@@ -161,5 +165,6 @@ fn main() {
             fmt_rate(row.paper[1] as f64),
             fmt_rate(row.paper[2] as f64)
         );
+        print_telemetry("      ", &tel, &["dev.t2.read", "dev.t2.write", "dev.t2.flush"]);
     }
 }

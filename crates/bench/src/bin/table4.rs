@@ -8,14 +8,15 @@
 //!
 //! Run: `cargo run -p bench --release --bin table4 [--warehouses N] [--txns N]`
 
-use bench::{arg_u64, durassd_bench, fmt_rate, rule};
+use bench::{arg_u64, durassd_bench, fmt_rate, print_telemetry, rule};
 use relstore::{Engine, EngineConfig};
+use telemetry::Telemetry;
 use workloads::tpcc::{load, run, TpccSpec};
 
 const PAPER_ON: [u64; 3] = [4_291, 4_845, 7_729];
 const PAPER_OFF: [u64; 3] = [65_809, 110_400, 150_815];
 
-fn run_cell(barriers: bool, page_size: usize, warehouses: u32, txns: u64) -> f64 {
+fn run_cell(barriers: bool, page_size: usize, warehouses: u32, txns: u64, tel: &Telemetry) -> f64 {
     // DB size scales with warehouses; the commercial setup's buffer is 2%
     // of the database (2GB : 100GB).
     let spec = TpccSpec { clients: 64, ..TpccSpec::scaled(warehouses, txns) };
@@ -23,18 +24,18 @@ fn run_cell(barriers: bool, page_size: usize, warehouses: u32, txns: u64) -> f64
         * (spec.items as u64 * 300
             + spec.districts as u64 * spec.customers as u64 * 470
             + 40 * 1024);
-    let cfg = EngineConfig {
-        page_size,
-        buffer_pool_bytes: (est_db_bytes / 20).max(1536 * 1024),
-        barriers,
-        data_pages: (est_db_bytes * 4 / page_size as u64).max(16384),
-        log_files: 3,
-        log_file_blocks: 8192,
-        ..EngineConfig::commercial_like(page_size)
-    };
-    let (mut engine, t0) = Engine::create(durassd_bench(true), durassd_bench(true), cfg, 0);
+    let cfg = EngineConfig::commercial_like(page_size)
+        .to_builder()
+        .buffer_pool_bytes((est_db_bytes / 20).max(1536 * 1024))
+        .barriers(barriers)
+        .data_pages((est_db_bytes * 4 / page_size as u64).max(16384))
+        .log_file_blocks(8192)
+        .build();
+    let (mut engine, t0) =
+        Engine::create(durassd_bench(true), durassd_bench(true), cfg, 0).into_parts();
     engine.set_group_commit(true);
     let (mut db, t1) = load(&mut engine, &spec, t0);
+    engine.attach_telemetry(tel.clone()); // after load: measure the run only
     let rep = run(&mut engine, &mut db, &spec, t1);
     rep.tpmc
 }
@@ -49,10 +50,11 @@ fn main() {
     for (label, barriers, paper) in
         [("Barrier On", true, PAPER_ON), ("Barrier Off", false, PAPER_OFF)]
     {
+        let tel = Telemetry::new();
         let mut row = Vec::new();
         for page_size in [16384usize, 8192, 4096] {
             let t = if barriers { txns / 4 } else { txns };
-            row.push(run_cell(barriers, page_size, warehouses, t));
+            row.push(run_cell(barriers, page_size, warehouses, t, &tel));
         }
         println!(
             "{:<14} {:>10} {:>10} {:>10}",
@@ -68,5 +70,6 @@ fn main() {
             fmt_rate(paper[1] as f64),
             fmt_rate(paper[2] as f64)
         );
+        print_telemetry("      ", &tel, &["engine.commit", "engine.put"]);
     }
 }

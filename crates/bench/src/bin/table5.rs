@@ -7,8 +7,9 @@
 //!
 //! Run: `cargo run -p bench --release --bin table5 [--records N] [--ops N]`
 
-use bench::{arg_u64, durassd_bench, fmt_rate, rule};
+use bench::{arg_u64, durassd_bench, fmt_rate, print_telemetry, rule};
 use docstore::{DocStore, DocStoreConfig};
+use telemetry::Telemetry;
 use workloads::ycsb::{load, run, YcsbSpec};
 
 const BATCHES: [u32; 5] = [1, 2, 5, 10, 100];
@@ -19,12 +20,21 @@ const PAPER: &[(&str, bool, f64, [u64; 5])] = &[
     ("barrier OFF, update  50%", false, 0.5, [2_406, 3_464, 4_209, 5_461, 6_208]),
 ];
 
-fn run_cell(barriers: bool, update: f64, batch: u32, records: u64, ops: u64) -> f64 {
-    let cfg = DocStoreConfig { batch_size: batch, barriers, file_blocks: 400_000, auto_compact_pct: 0 };
+fn run_cell(
+    barriers: bool,
+    update: f64,
+    batch: u32,
+    records: u64,
+    ops: u64,
+    tel: &Telemetry,
+) -> f64 {
+    let cfg =
+        DocStoreConfig { batch_size: batch, barriers, file_blocks: 400_000, auto_compact_pct: 0 };
     let mut store = DocStore::create(durassd_bench(true), cfg);
     let mut spec = YcsbSpec::workload_a(records, ops);
     spec.update_fraction = update;
     let t = load(&mut store, &spec, 0);
+    store.attach_telemetry(tel.clone()); // after load: measure the run only
     run(&mut store, &spec, t).throughput()
 }
 
@@ -39,10 +49,11 @@ fn main() {
     println!();
     rule(28 + 9 * BATCHES.len());
     for (label, barriers, update, paper) in PAPER {
+        let tel = Telemetry::new();
         let mut row = Vec::new();
         for &b in &BATCHES {
             let cell_ops = if *barriers && b <= 2 { ops / 4 } else { ops };
-            row.push(run_cell(*barriers, *update, b, records, cell_ops));
+            row.push(run_cell(*barriers, *update, b, records, cell_ops, &tel));
         }
         print!("{:<28}", label);
         for v in &row {
@@ -54,5 +65,6 @@ fn main() {
             print!("{:>9}", fmt_rate(*v as f64));
         }
         println!("   <- paper");
+        print_telemetry("      ", &tel, &["doc.commit", "doc.set", "doc.get"]);
     }
 }

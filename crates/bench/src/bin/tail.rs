@@ -9,15 +9,21 @@
 //!
 //! Run: `cargo run -p bench --release --bin tail [--ops N]`
 
-use bench::{arg_u64, durassd_bench, rule, ssd_a_bench};
-use rand::Rng;
+use bench::{arg_u64, durassd_bench, print_telemetry, rule, ssd_a_bench};
 use simkit::dist::rng;
+use simkit::dist::Rng;
 use simkit::stats::LatencyStats;
 use simkit::ClosedLoop;
 use storage::device::{BlockDevice, LOGICAL_PAGE};
 use storage::volume::Volume;
+use telemetry::Telemetry;
 
-fn mixed_run<D: BlockDevice>(dev: D, barriers: bool, ops: u64) -> (LatencyStats, LatencyStats) {
+fn mixed_run<D: BlockDevice>(
+    dev: D,
+    barriers: bool,
+    ops: u64,
+    tel: &Telemetry,
+) -> (LatencyStats, LatencyStats) {
     let mut vol = Volume::new(dev, barriers);
     let span = vol.capacity_pages() / 2;
     // Preload so reads hit media.
@@ -27,6 +33,8 @@ fn mixed_run<D: BlockDevice>(dev: D, barriers: bool, ops: u64) -> (LatencyStats,
         t = vol.write(lpn, &page, t).unwrap();
     }
     t = vol.fsync(t).unwrap();
+    // Attach after the preload so only the mixed phase is measured.
+    vol.attach_telemetry(tel.clone(), "tail");
     // 64 readers + 16 writers, writers fsync every 8 writes.
     let clients = 80usize;
     let mut rngs: Vec<_> = (0..clients).map(|c| rng(0xFEED ^ (c as u64) << 20)).collect();
@@ -80,10 +88,14 @@ fn main() {
     let ops = arg_u64("--ops", 60_000);
     println!("Tail latency under mixed read/write load (64 readers, 16 writers, fsync/8)\n");
     rule(110);
-    let (mut r1, mut w1) = mixed_run(ssd_a_bench(true), true, ops);
+    let tel1 = Telemetry::new();
+    let (mut r1, mut w1) = mixed_run(ssd_a_bench(true), true, ops, &tel1);
     report("volatile SSD, barriers ON", &mut r1, &mut w1);
-    let (mut r2, mut w2) = mixed_run(durassd_bench(true), false, ops);
+    print_telemetry("    ", &tel1, &["dev.tail.read", "dev.tail.flush"]);
+    let tel2 = Telemetry::new();
+    let (mut r2, mut w2) = mixed_run(durassd_bench(true), false, ops, &tel2);
     report("DuraSSD, nobarrier", &mut r2, &mut w2);
+    print_telemetry("    ", &tel2, &["dev.tail.read", "dev.tail.flush"]);
     rule(110);
     let f = |a: &mut LatencyStats, b: &mut LatencyStats, p: f64| {
         a.percentile(p) as f64 / b.percentile(p).max(1) as f64

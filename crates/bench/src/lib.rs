@@ -7,6 +7,7 @@
 
 use durassd::{Ssd, SsdConfig};
 use hdd::{Hdd, HddConfig};
+use telemetry::Telemetry;
 
 /// Blocks per plane used by the benchmark SSDs: 16 ⇒ 4GB raw, ~3.4GB
 /// exported — big enough for realistic mapping-table behaviour, small enough
@@ -15,23 +16,19 @@ pub const BENCH_BLOCKS_PER_PLANE: usize = 16;
 
 /// The DuraSSD device at benchmark scale.
 pub fn durassd_bench(cache_on: bool) -> Ssd {
-    let mut cfg = SsdConfig::durassd(BENCH_BLOCKS_PER_PLANE);
-    cfg.cache_enabled = cache_on;
-    Ssd::new(cfg)
+    Ssd::new(
+        SsdConfig::durassd(BENCH_BLOCKS_PER_PLANE).to_builder().cache_enabled(cache_on).build(),
+    )
 }
 
 /// The SSD-A baseline at benchmark scale.
 pub fn ssd_a_bench(cache_on: bool) -> Ssd {
-    let mut cfg = SsdConfig::ssd_a(BENCH_BLOCKS_PER_PLANE);
-    cfg.cache_enabled = cache_on;
-    Ssd::new(cfg)
+    Ssd::new(SsdConfig::ssd_a(BENCH_BLOCKS_PER_PLANE).to_builder().cache_enabled(cache_on).build())
 }
 
 /// The SSD-B baseline at benchmark scale.
 pub fn ssd_b_bench(cache_on: bool) -> Ssd {
-    let mut cfg = SsdConfig::ssd_b(BENCH_BLOCKS_PER_PLANE);
-    cfg.cache_enabled = cache_on;
-    Ssd::new(cfg)
+    Ssd::new(SsdConfig::ssd_b(BENCH_BLOCKS_PER_PLANE).to_builder().cache_enabled(cache_on).build())
 }
 
 /// The Cheetah-class disk at benchmark scale.
@@ -53,6 +50,67 @@ pub fn arg_u64(name: &str, default: u64) -> u64 {
 /// Print a rule line for report tables.
 pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
+}
+
+/// One-line stall breakdown: where every blocked nanosecond went, by kind.
+///
+/// This is the attribution the paper argues about in prose: a durable cache
+/// deployment (nobarrier) should show `flush 0.0%`, while a volatile cache
+/// with barriers pays most of its time there.
+pub fn stall_breakdown(tel: &Telemetry) -> String {
+    let s = tel.stall_totals();
+    let total = s.total();
+    if total == 0 {
+        return "stalls: none recorded".to_string();
+    }
+    let pct = |v: u64| 100.0 * v as f64 / total as f64;
+    format!(
+        "stalls {:>9.1}ms | media {:5.1}%  flush {:5.1}%  gc {:4.1}%  wal {:5.1}%  evict {:4.1}%",
+        total as f64 / 1e6,
+        pct(s.media),
+        pct(s.flush_cache),
+        pct(s.gc),
+        pct(s.wal_fsync),
+        pct(s.pool_eviction)
+    )
+}
+
+/// Format nanoseconds compactly for latency tables (ns → µs → ms).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 10_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 10_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// One-line latency summary (p50/p99/p999/max) for a named histogram.
+pub fn latency_line(tel: &Telemetry, name: &str) -> Option<String> {
+    let h = tel.histogram(name)?;
+    if h.count() == 0 {
+        return None;
+    }
+    Some(format!(
+        "{name}: p50 {:>8}  p99 {:>8}  p999 {:>8}  max {:>8}  ({} samples)",
+        fmt_ns(h.p50()),
+        fmt_ns(h.p99()),
+        fmt_ns(h.p999()),
+        fmt_ns(h.max()),
+        h.count()
+    ))
+}
+
+/// Print the standard per-run telemetry epilogue: the stall breakdown plus
+/// latency percentiles for every histogram in `names` that has samples.
+pub fn print_telemetry(indent: &str, tel: &Telemetry, names: &[&str]) {
+    println!("{indent}{}", stall_breakdown(tel));
+    for name in names {
+        if let Some(line) = latency_line(tel, name) {
+            println!("{indent}{line}");
+        }
+    }
 }
 
 /// Format an IOPS/TPS value with thousands separators.
@@ -78,6 +136,28 @@ mod tests {
         assert_eq!(fmt_rate(58.4), "58");
         assert_eq!(fmt_rate(15319.0), "15,319");
         assert_eq!(fmt_rate(1234567.0), "1,234,567");
+    }
+
+    #[test]
+    fn stall_breakdown_and_latency_lines() {
+        let t = Telemetry::new();
+        assert_eq!(stall_breakdown(&t), "stalls: none recorded");
+        t.stall_exact(telemetry::Stall::Media, 3_000_000);
+        t.stall_exact(telemetry::Stall::FlushCache, 1_000_000);
+        let line = stall_breakdown(&t);
+        assert!(line.contains("media  75.0%"), "{line}");
+        assert!(line.contains("flush  25.0%"), "{line}");
+        assert!(latency_line(&t, "missing").is_none());
+        t.record("dev.x.write", 5_000);
+        let lat = latency_line(&t, "dev.x.write").unwrap();
+        assert!(lat.contains("p50") && lat.contains("p999"), "{lat}");
+    }
+
+    #[test]
+    fn ns_formatting_scales() {
+        assert_eq!(fmt_ns(900), "900ns");
+        assert_eq!(fmt_ns(25_000), "25.0µs");
+        assert_eq!(fmt_ns(12_000_000), "12.0ms");
     }
 
     #[test]

@@ -27,8 +27,7 @@ pub trait PageStore {
     fn allocate(&mut self) -> u64;
     /// Run `f` over the page's bytes (read). Returns `f`'s result and the
     /// advanced time.
-    fn with_page<R>(&mut self, page_no: u64, now: Nanos, f: impl FnOnce(&[u8]) -> R)
-        -> (R, Nanos);
+    fn with_page<R>(&mut self, page_no: u64, now: Nanos, f: impl FnOnce(&[u8]) -> R) -> (R, Nanos);
     /// Run `f` over the page's bytes mutably (the page becomes dirty).
     fn with_page_mut<R>(
         &mut self,
@@ -323,12 +322,7 @@ impl BTree {
     }
 
     /// Delete `key`; returns whether it existed.
-    pub fn delete<S: PageStore>(
-        &mut self,
-        store: &mut S,
-        key: &[u8],
-        now: Nanos,
-    ) -> (bool, Nanos) {
+    pub fn delete<S: PageStore>(&mut self, store: &mut S, key: &[u8], now: Nanos) -> (bool, Nanos) {
         let mut page = self.root;
         let mut t = now;
         loop {
@@ -492,12 +486,7 @@ impl PageStore for MemStore {
         self.pages.push(vec![0u8; self.page_size]);
         (self.pages.len() - 1) as u64
     }
-    fn with_page<R>(
-        &mut self,
-        page_no: u64,
-        now: Nanos,
-        f: impl FnOnce(&[u8]) -> R,
-    ) -> (R, Nanos) {
+    fn with_page<R>(&mut self, page_no: u64, now: Nanos, f: impl FnOnce(&[u8]) -> R) -> (R, Nanos) {
         (f(&self.pages[page_no as usize]), now + 1)
     }
     fn with_page_mut<R>(

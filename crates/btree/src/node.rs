@@ -404,53 +404,62 @@ mod tests {
 
     mod proptests {
         use super::*;
-        use proptest::prelude::*;
+        use simkit::dist::{rng, Rng};
+        use std::collections::{BTreeMap, BTreeSet};
 
-        proptest! {
-            #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+        fn random_bytes<R: Rng>(r: &mut R, min: usize, max: usize) -> Vec<u8> {
+            let len = r.gen_range(min..max);
+            (0..len).map(|_| r.gen::<u8>()).collect()
+        }
 
-            /// Inserting arbitrary sorted cells and reading them back is
-            /// lossless, across page sizes.
-            #[test]
-            fn leaf_cells_round_trip(
-                mut cells in proptest::collection::btree_map(
-                    proptest::collection::vec(any::<u8>(), 1..24),
-                    proptest::collection::vec(any::<u8>(), 0..64),
-                    1..30),
-                page_size in prop_oneof![Just(4096usize), Just(8192), Just(16384)],
-            ) {
+        /// Inserting arbitrary sorted cells and reading them back is
+        /// lossless, across page sizes.
+        #[test]
+        fn leaf_cells_round_trip() {
+            let mut r = rng(0xB7EE);
+            for case in 0..128 {
+                let page_size = [4096usize, 8192, 16384][case % 3];
+                let mut cells: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+                for _ in 0..r.gen_range(1..30usize) {
+                    cells.insert(random_bytes(&mut r, 1, 24), random_bytes(&mut r, 0, 64));
+                }
                 let mut p = vec![0u8; page_size];
                 init(&mut p, Kind::Leaf, 0);
-                let entries: Vec<(Vec<u8>, Vec<u8>)> =
-                    cells.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
-                for (i, (k, v)) in entries.iter().enumerate() {
-                    prop_assume!(fits(&p, k.len(), v.len()));
-                    insert_leaf(&mut p, i, k, v);
+                let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+                for (k, v) in &cells {
+                    if !fits(&p, k.len(), v.len()) {
+                        continue;
+                    }
+                    insert_leaf(&mut p, entries.len(), k, v);
+                    entries.push((k.clone(), v.clone()));
                 }
-                prop_assert_eq!(nkeys(&p), entries.len());
+                assert_eq!(nkeys(&p), entries.len());
                 for (i, (k, v)) in entries.iter().enumerate() {
-                    prop_assert_eq!(key(&p, i), k.as_slice());
-                    prop_assert_eq!(value(&p, i), v.as_slice());
-                    prop_assert_eq!(search(&p, k), Ok(i));
+                    assert_eq!(key(&p, i), k.as_slice());
+                    assert_eq!(value(&p, i), v.as_slice());
+                    assert_eq!(search(&p, k), Ok(i));
                 }
                 // Extract/rebuild is the identity.
                 let extracted = match extract(&p) {
                     Cells::Leaf(c) => c,
                     _ => unreachable!(),
                 };
-                prop_assert_eq!(&extracted, &entries);
+                assert_eq!(&extracted, &entries);
                 rebuild_leaf(&mut p, &extracted);
-                prop_assert_eq!(nkeys(&p), entries.len());
-                let _ = cells.pop_first();
+                assert_eq!(nkeys(&p), entries.len());
             }
+        }
 
-            /// Binary search agrees with a linear scan for arbitrary probes.
-            #[test]
-            fn search_matches_linear_scan(
-                keys in proptest::collection::btree_set(
-                    proptest::collection::vec(any::<u8>(), 1..12), 1..40),
-                probe in proptest::collection::vec(any::<u8>(), 1..12),
-            ) {
+        /// Binary search agrees with a linear scan for arbitrary probes.
+        #[test]
+        fn search_matches_linear_scan() {
+            let mut r = rng(0x5EA2C4);
+            for _ in 0..256 {
+                let mut keys: BTreeSet<Vec<u8>> = BTreeSet::new();
+                for _ in 0..r.gen_range(1..40usize) {
+                    keys.insert(random_bytes(&mut r, 1, 12));
+                }
+                let probe = random_bytes(&mut r, 1, 12);
                 let mut p = vec![0u8; 8192];
                 init(&mut p, Kind::Leaf, 0);
                 let sorted: Vec<Vec<u8>> = keys.into_iter().collect();
@@ -458,7 +467,7 @@ mod tests {
                     insert_leaf(&mut p, i, k, b"v");
                 }
                 let expected = sorted.binary_search(&probe);
-                prop_assert_eq!(search(&p, &probe), expected);
+                assert_eq!(search(&p, &probe), expected);
             }
         }
     }

@@ -17,6 +17,7 @@
 
 use simkit::Nanos;
 use std::collections::HashMap;
+use telemetry::{Stall, Telemetry};
 
 /// Storage interface the pool evicts to and faults from.
 pub trait PageBackend {
@@ -77,6 +78,10 @@ pub struct BufferPool {
     tail: usize, // LRU
     page_size: usize,
     stats: PoolStats,
+    /// Optional telemetry sink. Dirty-victim writes run under a
+    /// `PoolEviction` stall context so the paper's "read blocked behind a
+    /// write" time is attributed to `pool_eviction`.
+    tel: Option<Telemetry>,
 }
 
 impl BufferPool {
@@ -102,7 +107,17 @@ impl BufferPool {
             tail: NIL,
             page_size,
             stats: PoolStats::default(),
+            tel: None,
         }
+    }
+
+    /// Attach a telemetry sink: records `pool.eviction_write` (time a miss
+    /// spends writing the dirty LRU-tail batch before its own read can
+    /// start — Fig. 1's blocked read) and `pool.miss_stall` (total fault
+    /// time) histograms, with the eviction write attributed to the
+    /// `pool_eviction` stall bucket.
+    pub fn attach_telemetry(&mut self, tel: Telemetry) {
+        self.tel = Some(tel);
     }
 
     /// Frame capacity.
@@ -205,9 +220,19 @@ impl BufferPool {
                 }
                 cur = self.frames[cur].prev;
             }
-            let batch: Vec<(u64, &[u8])> =
-                batch_idx.iter().map(|&i| (self.frames[i].page_no, &*self.frames[i].data)).collect();
+            let batch: Vec<(u64, &[u8])> = batch_idx
+                .iter()
+                .map(|&i| (self.frames[i].page_no, &*self.frames[i].data))
+                .collect();
+            let write_start = now;
+            if let Some(tel) = &self.tel {
+                tel.push_context(Stall::PoolEviction);
+            }
             now = backend.write_batch(&batch, now);
+            if let Some(tel) = &self.tel {
+                tel.pop_context();
+                tel.record("pool.eviction_write", now.saturating_sub(write_start));
+            }
             let n = batch_idx.len() as u64;
             for i in batch_idx {
                 self.frames[i].dirty = false;
@@ -239,6 +264,9 @@ impl BufferPool {
         self.stats.misses += 1;
         let (idx, t) = self.take_frame(backend, now);
         let t = backend.read_page(page_no, &mut self.frames[idx].data, t);
+        if let Some(tel) = &self.tel {
+            tel.record("pool.miss_stall", t.saturating_sub(now));
+        }
         self.install(idx, page_no);
         (idx, t)
     }

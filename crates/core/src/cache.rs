@@ -62,10 +62,7 @@ impl WriteCache {
     /// in DRAM until the device knows no power cut can predate its program
     /// (see `Ssd::note_arrival`).
     pub fn occupied_at(&self, t: Nanos) -> usize {
-        self.entries
-            .values()
-            .filter(|e| e.draining_until.is_none_or(|done| done > t))
-            .count()
+        self.entries.values().filter(|e| e.draining_until.is_none_or(|done| done > t)).count()
     }
 
     /// Slots waiting for the flusher.
@@ -90,10 +87,13 @@ impl WriteCache {
     pub fn insert(&mut self, lpn: u64, data: Box<[u8]>, ackable_at: Nanos) -> Option<CacheEntry> {
         // Coalescing with a still-dirty copy keeps its FIFO position (same
         // generation); otherwise the entry gets a fresh reference.
-        let keep_gen = self
-            .entries
-            .get(&lpn)
-            .and_then(|e| if e.draining_until.is_none() { Some(e.gen) } else { None });
+        let keep_gen = self.entries.get(&lpn).and_then(|e| {
+            if e.draining_until.is_none() {
+                Some(e.gen)
+            } else {
+                None
+            }
+        });
         let gen = keep_gen.unwrap_or_else(|| {
             self.next_gen += 1;
             self.next_gen
@@ -156,11 +156,7 @@ impl WriteCache {
     /// Earliest time at which a currently-dirty entry becomes drainable, if
     /// any entry is still gated on its command acknowledgement.
     pub fn next_ackable(&self) -> Option<Nanos> {
-        self.entries
-            .values()
-            .filter(|e| e.draining_until.is_none())
-            .map(|e| e.ackable_at)
-            .min()
+        self.entries.values().filter(|e| e.draining_until.is_none()).map(|e| e.ackable_at).min()
     }
 
     /// Record the NAND completion time for an entry handed out by

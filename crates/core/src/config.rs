@@ -126,7 +126,11 @@ impl SsdConfig {
 
     /// SSD-A: 512MB volatile cache; Table 1 shape 256 → 11.7k IOPS.
     pub fn ssd_a(blocks_per_plane: usize) -> Self {
-        Self { host_write_overhead: 72_000, flush_fixed_cost: 2_500_000, ..Self::base(blocks_per_plane) }
+        Self {
+            host_write_overhead: 72_000,
+            flush_fixed_cost: 2_500_000,
+            ..Self::base(blocks_per_plane)
+        }
     }
 
     /// SSD-B: 128MB volatile cache, cheaper flush firmware but slower host
@@ -182,6 +186,25 @@ impl SsdConfig {
         }
     }
 
+    /// Start a [`SsdConfigBuilder`] seeded from the generic volatile base
+    /// profile at `blocks_per_plane`. Named profiles can be tweaked through
+    /// [`SsdConfig::to_builder`] instead:
+    ///
+    /// ```
+    /// use durassd::SsdConfig;
+    /// let cfg = SsdConfig::builder(16).cache_slots(1024).build();
+    /// let dura = SsdConfig::durassd(16).to_builder().cache_enabled(false).build();
+    /// assert!(!dura.cache_enabled);
+    /// ```
+    pub fn builder(blocks_per_plane: usize) -> SsdConfigBuilder {
+        SsdConfigBuilder { cfg: Self::base(blocks_per_plane) }
+    }
+
+    /// Re-open this config in a builder to tweak individual knobs.
+    pub fn to_builder(self) -> SsdConfigBuilder {
+        SsdConfigBuilder { cfg: self }
+    }
+
     /// 4KB logical slots per physical NAND page (2 for 8KB NAND).
     pub fn slots_per_page(&self) -> usize {
         self.geometry.page_size / 4096
@@ -189,7 +212,10 @@ impl SsdConfig {
 
     /// Sanity-check internal consistency; called by `Ssd::new`.
     pub fn validate(&self) {
-        assert!(self.geometry.page_size.is_multiple_of(4096), "NAND page must hold whole 4KB slots");
+        assert!(
+            self.geometry.page_size.is_multiple_of(4096),
+            "NAND page must hold whole 4KB slots"
+        );
         let physical_slots = self.geometry.total_pages() * self.slots_per_page() as u64;
         assert!(
             self.logical_capacity_pages < physical_slots,
@@ -204,6 +230,128 @@ impl SsdConfig {
         if self.protection == CacheProtection::CapacitorBacked {
             assert!(self.capacitor_energy_bytes > 0, "capacitor-backed cache needs energy");
         }
+        assert!(
+            (self.cache_slots as u64) < self.logical_capacity_pages,
+            "write cache ({} slots) must be smaller than the exported capacity ({} pages)",
+            self.cache_slots,
+            self.logical_capacity_pages
+        );
+    }
+}
+
+/// Step-by-step construction of an [`SsdConfig`] with validation at the
+/// end. Obtained from [`SsdConfig::builder`] (generic volatile base) or
+/// [`SsdConfig::to_builder`] (tweak a named profile); [`build`](Self::build)
+/// runs [`SsdConfig::validate`] before handing the config out.
+#[derive(Debug, Clone, Copy)]
+pub struct SsdConfigBuilder {
+    cfg: SsdConfig,
+}
+
+impl SsdConfigBuilder {
+    /// Exported capacity in 4KB logical pages.
+    pub fn logical_capacity_pages(mut self, pages: u64) -> Self {
+        self.cfg.logical_capacity_pages = pages;
+        self
+    }
+
+    /// Enable or disable the DRAM write cache ("Storage Cache ON/OFF").
+    pub fn cache_enabled(mut self, on: bool) -> Self {
+        self.cfg.cache_enabled = on;
+        self
+    }
+
+    /// Write-cache capacity in 4KB slots.
+    pub fn cache_slots(mut self, slots: usize) -> Self {
+        self.cfg.cache_slots = slots;
+        self
+    }
+
+    /// Cache durability model. Switching to
+    /// [`CacheProtection::CapacitorBacked`] without also granting
+    /// [`capacitor_energy_bytes`](Self::capacitor_energy_bytes) fails
+    /// validation.
+    pub fn protection(mut self, p: CacheProtection) -> Self {
+        self.cfg.protection = p;
+        self
+    }
+
+    /// DuraSSD's ordered NCQ variant (§3.3).
+    pub fn ordered_ncq(mut self, on: bool) -> Self {
+        self.cfg.ordered_ncq = on;
+        self
+    }
+
+    /// Capacitor energy budget in bytes (0 for volatile devices).
+    pub fn capacitor_energy_bytes(mut self, bytes: u64) -> Self {
+        self.cfg.capacitor_energy_bytes = bytes;
+        self
+    }
+
+    /// Firmware + protocol overhead per host write command (ns).
+    pub fn host_write_overhead(mut self, ns: Nanos) -> Self {
+        self.cfg.host_write_overhead = ns;
+        self
+    }
+
+    /// Firmware + protocol overhead per host read command (ns).
+    pub fn host_read_overhead(mut self, ns: Nanos) -> Self {
+        self.cfg.host_read_overhead = ns;
+        self
+    }
+
+    /// Fixed firmware cost of a FLUSH CACHE (ns).
+    pub fn flush_fixed_cost(mut self, ns: Nanos) -> Self {
+        self.cfg.flush_fixed_cost = ns;
+        self
+    }
+
+    /// Whether FLUSH CACHE persists the mapping journal.
+    pub fn persist_mapping_on_flush(mut self, on: bool) -> Self {
+        self.cfg.persist_mapping_on_flush = on;
+        self
+    }
+
+    /// Background mapping-journal threshold (modified entries).
+    pub fn mapping_journal_threshold(mut self, entries: usize) -> Self {
+        self.cfg.mapping_journal_threshold = entries;
+        self
+    }
+
+    /// Free blocks per plane below which GC kicks in.
+    pub fn gc_free_threshold(mut self, blocks: usize) -> Self {
+        self.cfg.gc_free_threshold = blocks;
+        self
+    }
+
+    /// Blocks per plane reserved as the always-clean dump area (§3.4.1).
+    pub fn dump_reserve_blocks(mut self, blocks: usize) -> Self {
+        self.cfg.dump_reserve_blocks = blocks;
+        self
+    }
+
+    /// Capacitor recharge time before recovery starts at reboot (ns).
+    pub fn recharge_time(mut self, ns: Nanos) -> Self {
+        self.cfg.recharge_time = ns;
+        self
+    }
+
+    /// Sustained backend bandwidth cap in bytes per microsecond.
+    pub fn backend_bytes_per_us(mut self, bpu: u64) -> Self {
+        self.cfg.backend_bytes_per_us = bpu;
+        self
+    }
+
+    /// Validate and produce the final [`SsdConfig`].
+    ///
+    /// # Panics
+    /// If the configuration is inconsistent (page size not a 4KB multiple,
+    /// no over-provisioning headroom, cache at least as large as the
+    /// exported capacity, capacitor-backed cache without energy) — see
+    /// [`SsdConfig::validate`].
+    pub fn build(self) -> SsdConfig {
+        self.cfg.validate();
+        self.cfg
     }
 }
 
@@ -246,5 +394,27 @@ mod tests {
         let mut c = SsdConfig::tiny_test();
         c.logical_capacity_pages = u64::MAX;
         c.validate();
+    }
+
+    #[test]
+    fn builder_tweaks_named_profile() {
+        let cfg = SsdConfig::durassd(16).to_builder().cache_enabled(false).build();
+        assert!(!cfg.cache_enabled);
+        assert_eq!(cfg.protection, CacheProtection::CapacitorBacked);
+        let base = SsdConfig::builder(16).cache_slots(512).build();
+        assert_eq!(base.cache_slots, 512);
+        assert_eq!(base.protection, CacheProtection::Volatile);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs energy")]
+    fn builder_rejects_capacitor_cache_without_energy() {
+        let _ = SsdConfig::builder(16).protection(CacheProtection::CapacitorBacked).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than the exported capacity")]
+    fn builder_rejects_cache_larger_than_device() {
+        let _ = SsdConfig::tiny_test().to_builder().cache_slots(1 << 20).build();
     }
 }

@@ -7,6 +7,7 @@ use crate::ftl::{Ftl, SlotRead};
 use nand::NandArray;
 use simkit::{Nanos, Timeline};
 use storage::device::{check_io, BlockDevice, DevError, DevResult, DeviceStats, LOGICAL_PAGE};
+use telemetry::Telemetry;
 
 /// SSD-specific statistics on top of the generic [`DeviceStats`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -59,6 +60,8 @@ pub struct Ssd {
     /// Monotonically increasing arrival clock (the closed-loop driver feeds
     /// commands in virtual-time order; asserted in debug builds).
     last_arrival: Nanos,
+    /// Optional telemetry sink (cache-drain durations, occupancy gauge).
+    tel: Option<Telemetry>,
 }
 
 impl Ssd {
@@ -78,8 +81,17 @@ impl Ssd {
             barrier_until: 0,
             inflight: Vec::new(),
             last_arrival: 0,
+            tel: None,
             cfg,
         }
+    }
+
+    /// Attach a telemetry sink: the FTL records GC pauses and NAND
+    /// program/erase latencies, the device itself records flush-queue drain
+    /// time (`ssd.cache_drain`) and the cache occupancy gauge.
+    pub fn attach_telemetry(&mut self, tel: Telemetry) {
+        self.ftl.attach_telemetry(tel.clone());
+        self.tel = Some(tel);
     }
 
     /// The device configuration.
@@ -244,9 +256,7 @@ impl Ssd {
             guard += 1;
             assert!(guard < 10_000_000, "flow control cannot make progress");
             // Push drains without waiting: completions arrive pipelined.
-            while self.cache.dirty() > 0
-                && self.cache.occupied_at(t) + n > self.cfg.cache_slots
-            {
+            while self.cache.dirty() > 0 && self.cache.occupied_at(t) + n > self.cfg.cache_slots {
                 if self.drain_pair(t).is_none() {
                     break;
                 }
@@ -400,7 +410,16 @@ impl BlockDevice for Ssd {
         self.note_arrival(now);
         self.stats.flushes += 1;
         let start = now.max(self.barrier_until);
+        if let Some(tel) = &self.tel {
+            tel.set_gauge("ssd.cache_occupancy", self.cache.occupied() as i64);
+        }
         let drained = self.drain_all(start);
+        if let Some(tel) = &self.tel {
+            // The cache-flush-queue drain time: how long FLUSH CACHE spends
+            // pushing dirty slots to flash (§3.3 — DuraSSD avoids this wait
+            // entirely by running the database with barriers disabled).
+            tel.record("ssd.cache_drain", drained.saturating_sub(start));
+        }
         let persisted = if self.cfg.persist_mapping_on_flush {
             self.ftl.persist_mapping(&mut self.nand, drained)
         } else {
@@ -511,6 +530,10 @@ impl BlockDevice for Ssd {
 
     fn is_powered(&self) -> bool {
         self.powered
+    }
+
+    fn gc_time(&self) -> Nanos {
+        self.ftl.gc_time()
     }
 
     fn stats(&self) -> DeviceStats {
@@ -700,10 +723,7 @@ mod tests {
     fn out_of_range_io_rejected() {
         let mut d = dura();
         let cap = d.capacity_pages();
-        assert!(matches!(
-            d.write(cap, &page(1), 0),
-            Err(DevError::OutOfRange { .. })
-        ));
+        assert!(matches!(d.write(cap, &page(1), 0), Err(DevError::OutOfRange { .. })));
         let mut buf = page(0);
         assert!(matches!(d.read(cap - 1, 2, &mut buf, 0), Err(DevError::OutOfRange { .. })));
     }

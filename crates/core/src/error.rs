@@ -1,0 +1,77 @@
+//! The workspace-wide error type.
+//!
+//! Before this module every layer invented its own failure enum —
+//! `storage::device::DevError` for device-level I/O problems,
+//! `relstore::RecoveryError` for engine recovery — and callers either
+//! `unwrap`ped across the boundary or wrote ad-hoc conversions. [`Error`]
+//! unifies them: device errors convert in via `From<DevError>`, the engine
+//! recovery paths construct the recovery variants directly, and harnesses
+//! can bubble a single type with `?`.
+
+use storage::device::DevError;
+
+/// Any error the simulated storage stack can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A device-level I/O error (out-of-range, powered off, shorn page…).
+    Dev(DevError),
+    /// Engine recovery found no valid catalog page: the database never
+    /// checkpointed, or both catalog copies are corrupt.
+    NoCatalog,
+    /// Recovery failed for another reason; the string carries context.
+    Recovery(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Dev(e) => write!(f, "device error: {e}"),
+            Error::NoCatalog => write!(f, "no valid catalog page found"),
+            Error::Recovery(why) => write!(f, "recovery failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Dev(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DevError> for Error {
+    fn from(e: DevError) -> Self {
+        Error::Dev(e)
+    }
+}
+
+/// Result alias over the unified [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dev_errors_convert() {
+        let e: Error = DevError::PoweredOff.into();
+        assert_eq!(e, Error::Dev(DevError::PoweredOff));
+        assert!(e.to_string().contains("powered off"));
+    }
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(Error::NoCatalog.to_string().contains("catalog"));
+        assert!(Error::Recovery("torn log".into()).to_string().contains("torn log"));
+    }
+
+    #[test]
+    fn source_chains_to_dev_error() {
+        use std::error::Error as _;
+        let e = Error::from(DevError::ShornPage { lpn: 3 });
+        assert!(e.source().is_some());
+        assert!(Error::NoCatalog.source().is_none());
+    }
+}

@@ -19,6 +19,7 @@ use crate::config::SsdConfig;
 use nand::{NandArray, NandError};
 use simkit::Nanos;
 use std::collections::HashMap;
+use telemetry::Telemetry;
 
 /// Sentinel: logical page not mapped / slot not in use.
 const NONE: u64 = u64::MAX;
@@ -65,6 +66,9 @@ pub struct FtlStats {
     pub gc_erases: u64,
     /// Mapping-journal page programs.
     pub meta_programs: u64,
+    /// Cumulative host-visible GC pause time (ns): how long foreground
+    /// programs were delayed behind GC relocations and erases.
+    pub gc_ns: Nanos,
 }
 
 /// The flash translation layer.
@@ -86,6 +90,7 @@ pub struct Ftl {
     /// lpn -> mapping value at the last persist (for rollback/dump sizing).
     unpersisted: HashMap<u64, u64>,
     stats: FtlStats,
+    tel: Option<Telemetry>,
 }
 
 impl Ftl {
@@ -137,12 +142,25 @@ impl Ftl {
             gc_threshold: cfg.gc_free_threshold,
             unpersisted: HashMap::new(),
             stats: FtlStats::default(),
+            tel: None,
         }
+    }
+
+    /// Attach a telemetry handle: GC pauses are histogrammed under
+    /// `ftl.gc_pause` and NAND program/erase service times under
+    /// `nand.program` / `nand.erase`.
+    pub fn attach_telemetry(&mut self, tel: Telemetry) {
+        self.tel = Some(tel);
     }
 
     /// FTL statistics.
     pub fn stats(&self) -> FtlStats {
         self.stats
+    }
+
+    /// Cumulative host-visible GC pause time (ns).
+    pub fn gc_time(&self) -> Nanos {
+        self.stats.gc_ns
     }
 
     /// Number of mapping entries modified since the last persist.
@@ -210,8 +228,20 @@ impl Ftl {
     ) -> Nanos {
         assert!(!items.is_empty() && items.len() <= self.spp, "bad pair size");
         let plane = self.next_plane();
-        self.maybe_gc(nand, plane, now);
+        let gc_end = self.maybe_gc(nand, plane, now);
+        if gc_end > now {
+            // The foreground program queues behind the GC work on this
+            // plane: the whole episode is a host-visible GC pause.
+            let pause = gc_end - now;
+            self.stats.gc_ns += pause;
+            if let Some(tel) = &self.tel {
+                tel.record("ftl.gc_pause", pause);
+            }
+        }
         let done = self.program_on_plane(nand, plane, items, now);
+        if let Some(tel) = &self.tel {
+            tel.record("nand.program", done.saturating_sub(now));
+        }
         self.stats.data_programs += 1;
         self.stats.slots_programmed += items.len() as u64;
         done
@@ -249,27 +279,29 @@ impl Ftl {
         }
         // Frontier full: seal it and open a new one.
         self.role[block as usize] = Role::Sealed;
-        let fresh = self
-            .plane_free[plane]
-            .pop()
-            .expect("GC keeps at least one free block per plane");
+        let fresh =
+            self.plane_free[plane].pop().expect("GC keeps at least one free block per plane");
         self.role[fresh as usize] = Role::Frontier;
         self.frontier[plane] = (fresh, 1);
         (fresh, 0)
     }
 
     /// Run GC on `plane` until its free pool is back above the threshold.
-    fn maybe_gc(&mut self, nand: &mut NandArray, plane: usize, now: Nanos) {
+    /// Returns the virtual time at which the GC work completes (`now` when
+    /// no GC ran).
+    fn maybe_gc(&mut self, nand: &mut NandArray, plane: usize, now: Nanos) -> Nanos {
         let mut guard = 0;
+        let mut t = now;
         while self.plane_free[plane].len() < self.gc_threshold {
             guard += 1;
             assert!(guard < 1024, "GC cannot make progress (device over-filled?)");
             let Some(victim) = self.pick_victim(nand, plane) else {
                 // Nothing sealed to collect yet; rely on remaining frontier.
-                return;
+                return t;
             };
-            self.collect(nand, plane, victim, now);
+            t = self.collect(nand, plane, victim, t);
         }
+        t
     }
 
     /// Victim selection: greedy by valid count, wear-aware tie-breaking.
@@ -305,8 +337,9 @@ impl Ftl {
         (min, max)
     }
 
-    /// Relocate a victim block's valid slots and erase it.
-    fn collect(&mut self, nand: &mut NandArray, plane: usize, victim: u32, now: Nanos) {
+    /// Relocate a victim block's valid slots and erase it. Returns the
+    /// completion time of the final erase.
+    fn collect(&mut self, nand: &mut NandArray, plane: usize, victim: u32, now: Nanos) -> Nanos {
         let geo = *nand.geometry();
         let pages_per_block = geo.pages_per_block as u32;
         let mut pending: Vec<(u64, Vec<u8>)> = Vec::new();
@@ -354,7 +387,10 @@ impl Ftl {
             self.stats.slots_programmed += items.len() as u64;
             self.stats.data_programs += 1;
         }
-        nand.erase(victim, t).expect("victim block exists");
+        let end = nand.erase(victim, t).expect("victim block exists");
+        if let Some(tel) = &self.tel {
+            tel.record("nand.erase", end.saturating_sub(t));
+        }
         self.stats.gc_erases += 1;
         self.role[victim as usize] = Role::Free;
         // After a mapping rollback the valid count can carry phantom
@@ -362,6 +398,7 @@ impl Ftl {
         // block resolves them to zero by definition.
         self.valid[victim as usize] = 0;
         self.plane_free[plane].push(victim);
+        end
     }
 
     /// Read the slot of `lpn` into `buf` (4KB).
@@ -469,7 +506,6 @@ impl Ftl {
         self.plane_free.iter().map(Vec::len).sum()
     }
 }
-
 
 #[cfg(test)]
 mod tests {

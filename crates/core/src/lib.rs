@@ -24,8 +24,10 @@
 pub mod cache;
 pub mod config;
 pub mod device;
+pub mod error;
 pub mod ftl;
 
-pub use config::{CacheProtection, SsdConfig};
+pub use config::{CacheProtection, SsdConfig, SsdConfigBuilder};
 pub use device::{Ssd, SsdStats};
+pub use error::Error;
 pub use ftl::Ftl;

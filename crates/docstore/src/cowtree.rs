@@ -188,39 +188,45 @@ mod tests {
 
     mod proptests {
         use super::*;
-        use proptest::prelude::*;
+        use simkit::dist::{rng, Rng};
+        use std::collections::BTreeMap;
 
-        fn arb_entries() -> impl Strategy<Value = Vec<Entry>> {
-            proptest::collection::btree_map(
-                proptest::collection::vec(any::<u8>(), 1..30),
-                (any::<u64>(), 1u32..10_000),
-                1..200,
-            )
-            .prop_map(|m| {
-                m.into_iter().map(|(key, (ptr, len))| Entry { key, ptr, len }).collect()
-            })
+        fn random_entries<R: Rng>(r: &mut R) -> Vec<Entry> {
+            let mut m: BTreeMap<Vec<u8>, (u64, u32)> = BTreeMap::new();
+            for _ in 0..r.gen_range(1..200usize) {
+                let klen = r.gen_range(1..30usize);
+                let key: Vec<u8> = (0..klen).map(|_| r.gen::<u8>()).collect();
+                m.insert(key, (r.gen::<u64>(), r.gen_range(1..10_000u32)));
+            }
+            m.into_iter().map(|(key, (ptr, len))| Entry { key, ptr, len }).collect()
         }
 
-        proptest! {
-            #[test]
-            fn node_codec_round_trips(entries in arb_entries()) {
+        #[test]
+        fn node_codec_round_trips() {
+            let mut r = rng(0xC07);
+            for _ in 0..256 {
+                let entries = random_entries(&mut r);
                 for kind in [KIND_LEAF, KIND_INTERNAL] {
                     let buf = encode_node(kind, &entries);
                     let (k2, back) = decode_node(&buf).unwrap();
-                    prop_assert_eq!(k2, kind);
-                    prop_assert_eq!(&back, &entries);
+                    assert_eq!(k2, kind);
+                    assert_eq!(&back, &entries);
                 }
             }
+        }
 
-            #[test]
-            fn splits_preserve_order_and_fit(entries in arb_entries()) {
+        #[test]
+        fn splits_preserve_order_and_fit() {
+            let mut r = rng(0x5117);
+            for _ in 0..256 {
+                let entries = random_entries(&mut r);
                 let chunks = split_entries(entries.clone());
                 let flat: Vec<Entry> = chunks.iter().flatten().cloned().collect();
-                prop_assert_eq!(flat, entries);
+                assert_eq!(flat, entries);
                 for c in &chunks {
-                    prop_assert!(!c.is_empty());
+                    assert!(!c.is_empty());
                     if chunks.len() > 1 {
-                        prop_assert!(node_size(c) <= NODE_CAP);
+                        assert!(node_size(c) <= NODE_CAP);
                     }
                 }
             }

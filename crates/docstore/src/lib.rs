@@ -23,11 +23,12 @@ use cowtree::{
     decode_node, encode_node, node_size, route, split_entries, Entry, KIND_INTERNAL, KIND_LEAF,
     NODE_CAP,
 };
-use simkit::{crc32, Nanos};
+use simkit::{crc32, Nanos, Timed};
 use std::collections::HashMap;
 use storage::device::BlockDevice;
 use storage::file::PageFile;
 use storage::volume::{Volume, VolumeManager};
+use telemetry::Telemetry;
 
 const HEADER_MAGIC: u64 = 0x434f_5543_4848_4452;
 
@@ -95,6 +96,8 @@ pub struct DocStore<D: BlockDevice> {
     node_cache: HashMap<u64, (u8, Vec<Entry>)>,
     updates_since_sync: u32,
     stats: DocStats,
+    /// Optional telemetry sink; see [`DocStore::attach_telemetry`].
+    tel: Option<Telemetry>,
 }
 
 /// Frame a document for the append space: `[len u32][crc u32][bytes]`.
@@ -123,12 +126,28 @@ impl<D: BlockDevice> DocStore<D> {
             node_cache: HashMap::new(),
             updates_since_sync: 0,
             stats: DocStats::default(),
+            tel: None,
         }
     }
 
     /// Statistics.
     pub fn stats(&self) -> DocStats {
         self.stats
+    }
+
+    /// Attach a telemetry sink to the store and its volume: device latency
+    /// histograms land under `dev.doc.*`, and the store records `doc.set` /
+    /// `doc.get` / `doc.commit` operation latencies.
+    pub fn attach_telemetry(&mut self, tel: Telemetry) {
+        self.vol.attach_telemetry(tel.clone(), "doc");
+        self.tel = Some(tel);
+    }
+
+    /// Record a store-level operation latency.
+    fn note_op(&self, name: &str, start: Nanos, done: Nanos) {
+        if let Some(tel) = &self.tel {
+            tel.record(name, done.saturating_sub(start));
+        }
     }
 
     /// Tree depth (levels of internal nodes above the leaves).
@@ -284,11 +303,8 @@ impl<D: BlockDevice> DocStore<D> {
     fn finish_update(&mut self, now: Nanos) -> Nanos {
         let t = self.space.write_out(&mut self.vol, now);
         self.updates_since_sync += 1;
-        let t = if self.updates_since_sync >= self.cfg.batch_size {
-            self.commit_header(t)
-        } else {
-            t
-        };
+        let t =
+            if self.updates_since_sync >= self.cfg.batch_size { self.commit_header(t) } else { t };
         if self.cfg.auto_compact_pct > 0
             && self.space.len() * 100 > self.space.capacity() * self.cfg.auto_compact_pct as u64
         {
@@ -299,6 +315,12 @@ impl<D: BlockDevice> DocStore<D> {
 
     /// Append a header block and fsync (the commit point).
     pub fn commit_header(&mut self, now: Nanos) -> Nanos {
+        let done = self.commit_header_inner(now);
+        self.note_op("doc.commit", now, done);
+        done
+    }
+
+    fn commit_header_inner(&mut self, now: Nanos) -> Nanos {
         self.seq += 1;
         self.space.align_to_block();
         let mut hdr = vec![0u8; BLOCK];
@@ -326,7 +348,9 @@ impl<D: BlockDevice> DocStore<D> {
         let entry = Entry { key: key.to_vec(), ptr, len: framed.len() as u32 };
         let t = self.apply_tree_update(key, entry, now);
         self.doc_cache.insert(key.to_vec(), Some(doc.to_vec()));
-        self.finish_update(t)
+        let done = self.finish_update(t);
+        self.note_op("doc.set", now, done);
+        done
     }
 
     /// Delete a document (tombstone entry).
@@ -335,12 +359,20 @@ impl<D: BlockDevice> DocStore<D> {
         let entry = Entry { key: key.to_vec(), ptr: 0, len: 0 };
         let t = self.apply_tree_update(key, entry, now);
         self.doc_cache.insert(key.to_vec(), None);
-        self.finish_update(t)
+        let done = self.finish_update(t);
+        self.note_op("doc.delete", now, done);
+        done
     }
 
     /// Fetch a document. Memory-first: the object cache serves hot keys; a
     /// miss walks the on-disk tree.
-    pub fn get(&mut self, key: &[u8], now: Nanos) -> (Option<Vec<u8>>, Nanos) {
+    pub fn get(&mut self, key: &[u8], now: Nanos) -> Timed<Option<Vec<u8>>> {
+        let (v, done) = self.get_inner(key, now);
+        self.note_op("doc.get", now, done);
+        Timed::new(v, done)
+    }
+
+    fn get_inner(&mut self, key: &[u8], now: Nanos) -> (Option<Vec<u8>>, Nanos) {
         self.stats.gets += 1;
         if let Some(v) = self.doc_cache.get(key) {
             self.stats.cache_hits += 1;
@@ -370,9 +402,8 @@ impl<D: BlockDevice> DocStore<D> {
                                     let dlen =
                                         u32::from_le_bytes(framed[..4].try_into().expect("frame"))
                                             as usize;
-                                    let crc = u32::from_le_bytes(
-                                        framed[4..8].try_into().expect("frame"),
-                                    );
+                                    let crc =
+                                        u32::from_le_bytes(framed[4..8].try_into().expect("frame"));
                                     let body = &framed[8..8 + dlen.min(framed.len() - 8)];
                                     if crc == crc32(body) {
                                         Some(body.to_vec())
@@ -490,11 +521,9 @@ impl<D: BlockDevice> DocStore<D> {
         // TRIM everything between the new end of file and the old one.
         let new_blocks = self.space.len().div_ceil(BLOCK as u64);
         let old_blocks = old_len.div_ceil(BLOCK as u64);
-        
+
         if old_blocks > new_blocks {
-            self.vol
-                .discard(new_blocks, (old_blocks - new_blocks) as u32, t)
-                .unwrap_or(t)
+            self.vol.discard(new_blocks, (old_blocks - new_blocks) as u32, t).unwrap_or(t)
         } else {
             t
         }
@@ -515,7 +544,7 @@ impl<D: BlockDevice> DocStore<D> {
     /// Recover a store from a device: reboot, scan backwards for the newest
     /// valid header, resume after it. Updates past the last header are lost
     /// (that is couchstore's contract).
-    pub fn recover(dev: D, cfg: DocStoreConfig, now: Nanos) -> (Self, Nanos) {
+    pub fn recover(dev: D, cfg: DocStoreConfig, now: Nanos) -> Timed<Self> {
         let mut vol = Volume::new(dev, cfg.barriers);
         let mut t = now;
         if !vol.device().is_powered() {
@@ -565,9 +594,11 @@ impl<D: BlockDevice> DocStore<D> {
                 node_cache: HashMap::new(),
                 updates_since_sync: 0,
                 stats: DocStats::default(),
+                tel: None,
             },
             t,
         )
+            .into()
     }
 }
 
@@ -578,7 +609,12 @@ mod tests {
     use storage::testdev::MemDevice;
 
     fn store(batch: u32) -> DocStore<MemDevice> {
-        let cfg = DocStoreConfig { batch_size: batch, barriers: true, file_blocks: 8192, auto_compact_pct: 0 };
+        let cfg = DocStoreConfig {
+            batch_size: batch,
+            barriers: true,
+            file_blocks: 8192,
+            auto_compact_pct: 0,
+        };
         DocStore::create(MemDevice::new(8192), cfg)
     }
 
@@ -590,9 +626,9 @@ mod tests {
     fn set_get_round_trip() {
         let mut s = store(1);
         let t = s.set(b"k1", &doc(1), 0);
-        let (v, _) = s.get(b"k1", t);
+        let (v, _) = s.get(b"k1", t).into_parts();
         assert_eq!(v.unwrap(), doc(1));
-        let (v, _) = s.get(b"nope", t);
+        let (v, _) = s.get(b"nope", t).into_parts();
         assert!(v.is_none());
     }
 
@@ -601,7 +637,7 @@ mod tests {
         let mut s = store(1);
         let t = s.set(b"k", b"old", 0);
         let t = s.set(b"k", b"new", t);
-        let (v, _) = s.get(b"k", t);
+        let (v, _) = s.get(b"k", t).into_parts();
         assert_eq!(v.unwrap(), b"new");
     }
 
@@ -616,7 +652,7 @@ mod tests {
         // Clear the object cache to force tree walks.
         s.clear_object_cache();
         for i in (0..2000u64).step_by(97) {
-            let (v, t2) = s.get(format!("key{:06}", i).as_bytes(), t);
+            let (v, t2) = s.get(format!("key{:06}", i).as_bytes(), t).into_parts();
             t = t2;
             assert!(v.is_some(), "missing key {i}");
         }
@@ -629,7 +665,7 @@ mod tests {
         let t = s.set(b"k", &doc(1), 0);
         let t = s.delete(b"k", t);
         s.clear_object_cache();
-        let (v, _) = s.get(b"k", t);
+        let (v, _) = s.get(b"k", t).into_parts();
         assert!(v.is_none());
     }
 
@@ -650,17 +686,22 @@ mod tests {
 
     #[test]
     fn synced_updates_survive_recovery() {
-        let cfg = DocStoreConfig { batch_size: 1, barriers: true, file_blocks: 8192, auto_compact_pct: 0 };
+        let cfg = DocStoreConfig {
+            batch_size: 1,
+            barriers: true,
+            file_blocks: 8192,
+            auto_compact_pct: 0,
+        };
         let mut s = DocStore::create(MemDevice::new(8192), cfg);
         let mut t = 0;
         for i in 0..50u64 {
             t = s.set(format!("k{i:03}").as_bytes(), &doc(i), t);
         }
         let dev = s.crash(t);
-        let (mut s2, mut t2) = DocStore::recover(dev, cfg, t + 1);
+        let (mut s2, mut t2) = DocStore::recover(dev, cfg, t + 1).into_parts();
         assert_eq!(s2.seq(), 50);
         for i in 0..50u64 {
-            let (v, t3) = s2.get(format!("k{i:03}").as_bytes(), t2);
+            let (v, t3) = s2.get(format!("k{i:03}").as_bytes(), t2).into_parts();
             t2 = t3;
             assert_eq!(v.unwrap(), doc(i), "k{i:03}");
         }
@@ -668,7 +709,12 @@ mod tests {
 
     #[test]
     fn unsynced_tail_is_lost_on_recovery() {
-        let cfg = DocStoreConfig { batch_size: 10, barriers: true, file_blocks: 8192, auto_compact_pct: 0 };
+        let cfg = DocStoreConfig {
+            batch_size: 10,
+            barriers: true,
+            file_blocks: 8192,
+            auto_compact_pct: 0,
+        };
         let mut s = DocStore::create(MemDevice::new(8192), cfg);
         let mut t = 0;
         for i in 0..10u64 {
@@ -679,10 +725,10 @@ mod tests {
             t = s.set(format!("tail{i}").as_bytes(), &doc(i), t);
         }
         let dev = s.crash(t);
-        let (mut s2, t2) = DocStore::recover(dev, cfg, t + 1);
-        let (v, t3) = s2.get(b"synced5", t2);
+        let (mut s2, t2) = DocStore::recover(dev, cfg, t + 1).into_parts();
+        let (v, t3) = s2.get(b"synced5", t2).into_parts();
         assert!(v.is_some(), "synced batch must survive");
-        let (v, _) = s2.get(b"tail0", t3);
+        let (v, _) = s2.get(b"tail0", t3).into_parts();
         assert!(v.is_none(), "unsynced tail must be gone");
     }
 
@@ -700,7 +746,7 @@ mod tests {
         assert!(s.file_len() < before / 2, "compaction should reclaim garbage");
         s.clear_object_cache();
         for i in (0..200u64).step_by(11) {
-            let (v, t2) = s.get(format!("k{i:04}").as_bytes(), t);
+            let (v, t2) = s.get(format!("k{i:04}").as_bytes(), t).into_parts();
             t = t2;
             assert_eq!(v.unwrap(), doc(4000 + i));
         }
@@ -708,16 +754,21 @@ mod tests {
 
     #[test]
     fn works_on_durassd_without_barriers() {
-        let cfg = DocStoreConfig { batch_size: 1, barriers: false, file_blocks: 1024, auto_compact_pct: 0 };
+        let cfg = DocStoreConfig {
+            batch_size: 1,
+            barriers: false,
+            file_blocks: 1024,
+            auto_compact_pct: 0,
+        };
         let mut s = DocStore::create(Ssd::new(SsdConfig::tiny_test()), cfg);
         let mut t = 0;
         for i in 0..20u64 {
             t = s.set(format!("k{i}").as_bytes(), &doc(i), t);
         }
         let dev = s.crash(t);
-        let (mut s2, mut t2) = DocStore::recover(dev, cfg, t + 1);
+        let (mut s2, mut t2) = DocStore::recover(dev, cfg, t + 1).into_parts();
         for i in 0..20u64 {
-            let (v, t3) = s2.get(format!("k{i}").as_bytes(), t2);
+            let (v, t3) = s2.get(format!("k{i}").as_bytes(), t2).into_parts();
             t2 = t3;
             assert!(v.is_some(), "durable cache must preserve acked batch k{i}");
         }
@@ -725,17 +776,22 @@ mod tests {
 
     #[test]
     fn volatile_device_without_barriers_loses_data() {
-        let cfg = DocStoreConfig { batch_size: 1, barriers: false, file_blocks: 1024, auto_compact_pct: 0 };
+        let cfg = DocStoreConfig {
+            batch_size: 1,
+            barriers: false,
+            file_blocks: 1024,
+            auto_compact_pct: 0,
+        };
         let mut s = DocStore::create(Ssd::new(SsdConfig::tiny_volatile()), cfg);
         let mut t = 0;
         for i in 0..20u64 {
             t = s.set(format!("k{i}").as_bytes(), &doc(i), t);
         }
         let dev = s.crash(t);
-        let (mut s2, mut t2) = DocStore::recover(dev, cfg, t + 1);
+        let (mut s2, mut t2) = DocStore::recover(dev, cfg, t + 1).into_parts();
         let mut lost = 0;
         for i in 0..20u64 {
-            let (v, t3) = s2.get(format!("k{i}").as_bytes(), t2);
+            let (v, t3) = s2.get(format!("k{i}").as_bytes(), t2).into_parts();
             t2 = t3;
             if v != Some(doc(i)) {
                 lost += 1;
@@ -765,7 +821,7 @@ mod tests {
         assert!(s.file_len() < 512 * 4096, "file stayed within bounds");
         s.clear_object_cache();
         for i in 0..40u64 {
-            let (v, t2) = s.get(format!("k{i:02}").as_bytes(), t);
+            let (v, t2) = s.get(format!("k{i:02}").as_bytes(), t).into_parts();
             t = t2;
             assert_eq!(v.unwrap(), doc(3900 + i), "k{i:02} after auto-compaction");
         }

@@ -21,6 +21,7 @@ use simkit::{Nanos, Timeline};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 use storage::device::{check_io, BlockDevice, DevError, DevResult, DeviceStats, LOGICAL_PAGE};
+use telemetry::Telemetry;
 
 /// Tunable disk parameters. Defaults approximate a 15krpm enterprise drive.
 #[derive(Debug, Clone, Copy)]
@@ -55,11 +56,11 @@ impl Default for HddConfig {
             capacity_pages: 146 * 1024 * 1024 / 4, // 146GB in 4KB pages
             cache_pages: 4096,                     // 16MB
             cache_enabled: true,
-            min_seek: 1_000_000,           // 1ms
-            seek_span: 6_000_000,          // up to 7ms full stroke
-            rotation: 4_000_000,           // 15krpm
-            transfer_bytes_per_us: 150,    // 150MB/s
-            command_overhead: 100_000,     // 0.1ms
+            min_seek: 1_000_000,        // 1ms
+            seek_span: 6_000_000,       // up to 7ms full stroke
+            rotation: 4_000_000,        // 15krpm
+            transfer_bytes_per_us: 150, // 150MB/s
+            command_overhead: 100_000,  // 0.1ms
             destage_batch: 32,
             destage_seek: 2_000_000,       // short elevator hops
             flush_journal_cost: 8_000_000, // journal commit: ~2 mechanical ops
@@ -89,6 +90,8 @@ pub struct Hdd {
     inflight: Vec<Nanos>,
     /// FLUSH CACHE barrier: commands arriving mid-flush wait for it.
     barrier_until: Nanos,
+    /// Optional telemetry sink (destage-batch durations, dirty gauge).
+    tel: Option<Telemetry>,
 }
 
 impl Hdd {
@@ -106,7 +109,14 @@ impl Hdd {
             draining: BinaryHeap::new(),
             inflight: Vec::new(),
             barrier_until: 0,
+            tel: None,
         }
+    }
+
+    /// Attach a telemetry sink: records destage-batch mechanical time
+    /// (`hdd.destage`) and a dirty-page gauge (`hdd.cache_dirty`).
+    pub fn attach_telemetry(&mut self, tel: Telemetry) {
+        self.tel = Some(tel);
     }
 
     /// Estimated outstanding commands at `now` (for scheduler benefit).
@@ -194,8 +204,8 @@ impl Hdd {
             }
             let pages = run.len() as u32;
             let service = if elevator {
-                let xfer = (pages as u64 * LOGICAL_PAGE as u64 * 1_000)
-                    / self.cfg.transfer_bytes_per_us;
+                let xfer =
+                    (pages as u64 * LOGICAL_PAGE as u64 * 1_000) / self.cfg.transfer_bytes_per_us;
                 self.cfg.destage_seek + self.cfg.rotation / 8 + xfer
             } else {
                 self.arm_service(lpn, pages)
@@ -208,6 +218,10 @@ impl Hdd {
                 self.stats.media_pages_written += 1;
                 destaged += 1;
             }
+        }
+        if let Some(tel) = &self.tel {
+            tel.record("hdd.destage", done.saturating_sub(now));
+            tel.set_gauge("hdd.cache_dirty", self.cache.len() as i64);
         }
         done
     }
@@ -278,9 +292,7 @@ impl BlockDevice for Hdd {
                         break;
                     }
                 }
-                if self.cache.len() + self.draining.len() + pages as usize
-                    <= self.cfg.cache_pages
-                {
+                if self.cache.len() + self.draining.len() + pages as usize <= self.cfg.cache_pages {
                     break;
                 }
                 // Keep just enough destages in flight to free the slots we

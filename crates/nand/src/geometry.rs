@@ -49,9 +49,9 @@ impl Geometry {
             blocks_per_plane,
             pages_per_block: 128,
             page_size: 8192,
-            t_read: 70_000,       // 70us
-            t_program: 900_000,   // 900us
-            t_erase: 3_000_000,   // 3ms
+            t_read: 70_000,     // 70us
+            t_program: 900_000, // 900us
+            t_erase: 3_000_000, // 3ms
             bus_bytes_per_us: 200,
         }
     }
@@ -106,10 +106,7 @@ impl Geometry {
 
     /// Decompose a physical page number into (block, page-in-block).
     pub fn split_ppn(&self, ppn: Ppn) -> (u32, u32) {
-        (
-            (ppn / self.pages_per_block as u64) as u32,
-            (ppn % self.pages_per_block as u64) as u32,
-        )
+        ((ppn / self.pages_per_block as u64) as u32, (ppn % self.pages_per_block as u64) as u32)
     }
 
     /// Compose a physical page number from block and page-in-block.

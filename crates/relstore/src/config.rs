@@ -58,6 +58,24 @@ impl EngineConfig {
         }
     }
 
+    /// Start a [`EngineConfigBuilder`] seeded from the MySQL-flavoured
+    /// defaults at `page_size`. Call [`EngineConfigBuilder::build`] to
+    /// validate and obtain the config:
+    ///
+    /// ```
+    /// use relstore::EngineConfig;
+    /// let cfg = EngineConfig::builder(4096).data_pages(8192).barriers(false).build();
+    /// assert!(!cfg.barriers);
+    /// ```
+    pub fn builder(page_size: usize) -> EngineConfigBuilder {
+        EngineConfigBuilder { cfg: Self::mysql_like(page_size) }
+    }
+
+    /// Re-open this config in a builder to tweak individual knobs.
+    pub fn to_builder(self) -> EngineConfigBuilder {
+        EngineConfigBuilder { cfg: self }
+    }
+
     /// Buffer-pool frames implied by the byte budget.
     pub fn pool_frames(&self) -> usize {
         ((self.buffer_pool_bytes / self.page_size as u64) as usize).max(4)
@@ -65,13 +83,91 @@ impl EngineConfig {
 
     /// Check internal consistency; called by the engine constructor.
     pub fn validate(&self) {
-        assert!(
-            matches!(self.page_size, 4096 | 8192 | 16384),
-            "page size must be 4, 8 or 16KB"
-        );
+        assert!(matches!(self.page_size, 4096 | 8192 | 16384), "page size must be 4, 8 or 16KB");
         assert!(self.data_pages > 8, "tablespace too small");
         assert!(self.log_files >= 1 && self.log_file_blocks >= 4, "log too small");
         assert!(self.dwb_pages >= 1, "double-write area too small");
+        assert!(
+            self.buffer_pool_bytes >= 4 * self.page_size as u64,
+            "buffer pool must hold at least 4 pages"
+        );
+    }
+}
+
+/// Step-by-step construction of an [`EngineConfig`] with validation at the
+/// end. Obtained from [`EngineConfig::builder`] (MySQL-flavoured seed) or
+/// [`EngineConfig::to_builder`] (tweak an existing profile); every knob has
+/// a chainable setter and [`build`](Self::build) runs
+/// [`EngineConfig::validate`] before handing the config out.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfigBuilder {
+    cfg: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Buffer-pool budget in bytes.
+    pub fn buffer_pool_bytes(mut self, bytes: u64) -> Self {
+        self.cfg.buffer_pool_bytes = bytes;
+        self
+    }
+
+    /// InnoDB-style double-write buffer on/off.
+    pub fn double_write(mut self, on: bool) -> Self {
+        self.cfg.double_write = on;
+        self
+    }
+
+    /// PostgreSQL-style full-page writes on/off.
+    pub fn full_page_writes(mut self, on: bool) -> Self {
+        self.cfg.full_page_writes = on;
+        self
+    }
+
+    /// Write barriers on the data volume (fsync ⇒ FLUSH CACHE).
+    pub fn barriers(mut self, on: bool) -> Self {
+        self.cfg.barriers = on;
+        self
+    }
+
+    /// O_DSYNC mode: fsync after every data-page write.
+    pub fn o_dsync(mut self, on: bool) -> Self {
+        self.cfg.o_dsync = on;
+        self
+    }
+
+    /// Tablespace size in pages.
+    pub fn data_pages(mut self, pages: u64) -> Self {
+        self.cfg.data_pages = pages;
+        self
+    }
+
+    /// Number of redo log files.
+    pub fn log_files(mut self, n: usize) -> Self {
+        self.cfg.log_files = n;
+        self
+    }
+
+    /// Size of each log file in 4KB blocks.
+    pub fn log_file_blocks(mut self, blocks: u64) -> Self {
+        self.cfg.log_file_blocks = blocks;
+        self
+    }
+
+    /// Double-write buffer area size in pages.
+    pub fn dwb_pages(mut self, pages: u64) -> Self {
+        self.cfg.dwb_pages = pages;
+        self
+    }
+
+    /// Validate and produce the final [`EngineConfig`].
+    ///
+    /// # Panics
+    /// If the configuration is inconsistent (bad page size, tablespace or
+    /// log too small, undersized buffer pool) — see
+    /// [`EngineConfig::validate`].
+    pub fn build(self) -> EngineConfig {
+        self.cfg.validate();
+        self.cfg
     }
 }
 
@@ -103,5 +199,34 @@ mod tests {
         let mut c = EngineConfig::mysql_like(5000);
         c.data_pages = 1024;
         c.validate();
+    }
+
+    #[test]
+    fn builder_round_trips_and_validates() {
+        let cfg = EngineConfig::builder(8192)
+            .data_pages(2048)
+            .barriers(false)
+            .double_write(false)
+            .buffer_pool_bytes(1 << 20)
+            .log_file_blocks(512)
+            .build();
+        assert_eq!(cfg.page_size, 8192);
+        assert!(!cfg.barriers && !cfg.double_write);
+        // to_builder preserves everything not overridden.
+        let cfg2 = cfg.to_builder().barriers(true).build();
+        assert!(cfg2.barriers);
+        assert_eq!(cfg2.data_pages, 2048);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer pool")]
+    fn builder_rejects_undersized_pool() {
+        let _ = EngineConfig::builder(16384).data_pages(2048).buffer_pool_bytes(1024).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "tablespace")]
+    fn builder_requires_tablespace_sizing() {
+        let _ = EngineConfig::builder(4096).build(); // data_pages never set
     }
 }

@@ -23,13 +23,15 @@
 
 use crate::config::EngineConfig;
 use crate::records::{Op, RedoRecord};
-use bufferpool::{BufferPool, PageBackend, PoolStats};
 use btree::{node as bnode, BTree, PageStore};
-use simkit::{crc32, Nanos};
+use bufferpool::{BufferPool, PageBackend, PoolStats};
+use durassd::Error;
+use simkit::{crc32, Nanos, Timed};
 use std::collections::HashMap;
 use storage::device::{BlockDevice, DevError};
 use storage::file::PageFile;
 use storage::volume::{Volume, VolumeManager};
+use telemetry::Telemetry;
 use wal::{Lsn, Wal, WalStats};
 
 /// Identifier of a tree (table/index) within the engine.
@@ -66,24 +68,6 @@ pub struct EngineStats {
     /// Redo records replayed during recovery.
     pub replayed_records: u64,
 }
-
-/// Recovery failure.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum RecoveryError {
-    /// No valid catalog page: the database never checkpointed or both
-    /// catalog copies are corrupt.
-    NoCatalog,
-}
-
-impl std::fmt::Display for RecoveryError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            RecoveryError::NoCatalog => write!(f, "no valid catalog page found"),
-        }
-    }
-}
-
-impl std::error::Error for RecoveryError {}
 
 /// The storage backend the buffer pool faults from / evicts to. Implements
 /// the WAL rule and the double-write protocol.
@@ -330,6 +314,8 @@ pub struct Engine<D: BlockDevice, L: BlockDevice> {
     fpw_logged: std::collections::HashSet<u64>,
     scratch: Vec<u8>,
     stats: EngineStats,
+    /// Optional telemetry sink; see [`Engine::attach_telemetry`].
+    tel: Option<Telemetry>,
 }
 
 /// On-volume layout: (catalog, double-write area, tablespace, log files).
@@ -342,16 +328,15 @@ fn layout(cfg: &EngineConfig, data_capacity: u64, log_capacity: u64) -> Layout {
     let dwb = PageFile::create(&mut vm, cfg.dwb_pages, cfg.page_size);
     let ts = PageFile::create(&mut vm, cfg.data_pages, cfg.page_size);
     let mut lvm = VolumeManager::new(log_capacity);
-    let logs = (0..cfg.log_files)
-        .map(|_| PageFile::create(&mut lvm, cfg.log_file_blocks, 4096))
-        .collect();
+    let logs =
+        (0..cfg.log_files).map(|_| PageFile::create(&mut lvm, cfg.log_file_blocks, 4096)).collect();
     (catalog, dwb, ts, logs)
 }
 
 impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
     /// Create a fresh database on the given devices. Returns the engine and
     /// the time after initialisation (catalog + log header writes).
-    pub fn create(data_dev: D, log_dev: L, cfg: EngineConfig, now: Nanos) -> (Self, Nanos) {
+    pub fn create(data_dev: D, log_dev: L, cfg: EngineConfig, now: Nanos) -> Timed<Self> {
         cfg.validate();
         let data = Volume::new(data_dev, cfg.barriers);
         let mut logv = Volume::new(log_dev, cfg.barriers);
@@ -378,10 +363,35 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
             fpw_logged: std::collections::HashSet::new(),
             scratch: Vec::with_capacity(cfg.page_size),
             stats: EngineStats::default(),
+            tel: None,
             cfg,
         };
         let t = eng.write_catalog(t);
-        (eng, t)
+        Timed::new(eng, t)
+    }
+
+    /// Attach a telemetry sink to every layer under this engine: the data
+    /// and log volumes (device latency histograms + media/gc/flush-cache
+    /// stall attribution), the buffer pool (`pool_eviction` stalls), the
+    /// WAL (`wal_fsync` stalls), and the engine itself (`engine.put` /
+    /// `engine.get` / `engine.commit` … latency histograms).
+    ///
+    /// Device-internal histograms (GC pauses, NAND program/erase, cache
+    /// drain) require attaching the same handle to the device *before*
+    /// handing it to [`Engine::create`] — e.g. `ssd.attach_telemetry(...)`.
+    pub fn attach_telemetry(&mut self, tel: Telemetry) {
+        self.data.attach_telemetry(tel.clone(), "data");
+        self.logv.attach_telemetry(tel.clone(), "log");
+        self.pool.attach_telemetry(tel.clone());
+        self.wal.attach_telemetry(tel.clone());
+        self.tel = Some(tel);
+    }
+
+    /// Record an engine-level operation latency.
+    fn note_op(&self, name: &str, start: Nanos, done: Nanos) {
+        if let Some(tel) = &self.tel {
+            tel.record(name, done.saturating_sub(start));
+        }
     }
 
     /// Engine configuration.
@@ -489,11 +499,7 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
             summary.images
         } else if self.cfg.full_page_writes {
             // PostgreSQL-style: first post-checkpoint touch logs the image.
-            summary
-                .images
-                .into_iter()
-                .filter(|(p, _)| self.fpw_logged.insert(*p))
-                .collect()
+            summary.images.into_iter().filter(|(p, _)| self.fpw_logged.insert(*p)).collect()
         } else {
             Vec::new()
         };
@@ -509,7 +515,7 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
     }
 
     /// Create a new tree (table or index). Returns its id.
-    pub fn create_tree(&mut self, now: Nanos) -> (TreeId, Nanos) {
+    pub fn create_tree(&mut self, now: Nanos) -> Timed<TreeId> {
         let id = self.trees.len() as TreeId;
         let (tree, summary, t) = self.op(now, |trees, view, t| {
             let (tree, t) = BTree::create(view, t);
@@ -532,7 +538,7 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
             summary,
             Some((id, root, height)),
         );
-        (id, t)
+        Timed::new(id, t)
     }
 
     /// Insert or overwrite a key.
@@ -540,9 +546,8 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
         self.stats.puts += 1;
         let root_before = self.trees[tree as usize].root();
         let height_before = self.trees[tree as usize].height();
-        let (_, summary, t) = self.op(now, |trees, view, t| {
-            trees[tree as usize].put(view, key, value, t)
-        });
+        let (_, summary, t) =
+            self.op(now, |trees, view, t| trees[tree as usize].put(view, key, value, t));
         let tr = &self.trees[tree as usize];
         let root_change = if tr.root() != root_before || tr.height() != height_before {
             Some((tree, tr.root(), tr.height()))
@@ -554,27 +559,29 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
             summary,
             root_change,
         );
+        self.note_op("engine.put", now, t);
         t
     }
 
     /// Point lookup.
-    pub fn get(&mut self, tree: TreeId, key: &[u8], now: Nanos) -> (Option<Vec<u8>>, Nanos) {
+    pub fn get(&mut self, tree: TreeId, key: &[u8], now: Nanos) -> Timed<Option<Vec<u8>>> {
         self.stats.gets += 1;
-        let (r, summary, t) =
-            self.op(now, |trees, view, t| trees[tree as usize].get(view, key, t));
+        let (r, summary, t) = self.op(now, |trees, view, t| trees[tree as usize].get(view, key, t));
         for idx in summary.retained {
             self.pool.unpin(idx);
         }
-        (r, t)
+        self.note_op("engine.get", now, t);
+        Timed::new(r, t)
     }
 
     /// Delete a key; returns whether it existed.
-    pub fn delete(&mut self, tree: TreeId, key: &[u8], now: Nanos) -> (bool, Nanos) {
+    pub fn delete(&mut self, tree: TreeId, key: &[u8], now: Nanos) -> Timed<bool> {
         self.stats.deletes += 1;
         let (existed, summary, t) =
             self.op(now, |trees, view, t| trees[tree as usize].delete(view, key, t));
         self.log_op(Op::Delete { tree, key: key.to_vec() }, summary, None);
-        (existed, t)
+        self.note_op("engine.delete", now, t);
+        Timed::new(existed, t)
     }
 
     /// Ordered scan from `from`, up to `limit` entries, collecting pairs.
@@ -585,7 +592,7 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
         from: &[u8],
         limit: usize,
         now: Nanos,
-    ) -> (Vec<(Vec<u8>, Vec<u8>)>, Nanos) {
+    ) -> Timed<Vec<(Vec<u8>, Vec<u8>)>> {
         self.stats.gets += 1;
         let mut out = Vec::with_capacity(limit);
         let (_, summary, t) = self.op(now, |trees, view, t| {
@@ -597,14 +604,17 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
         for idx in summary.retained {
             self.pool.unpin(idx);
         }
-        (out, t)
+        self.note_op("engine.scan", now, t);
+        Timed::new(out, t)
     }
 
     /// Commit: make everything logged so far durable (group commit).
     pub fn commit(&mut self, now: Nanos) -> Nanos {
         self.stats.commits += 1;
         let target = self.wal.next_lsn();
-        self.wal.commit(&mut self.logv, target, now)
+        let t = self.wal.commit(&mut self.logv, target, now);
+        self.note_op("engine.commit", now, t);
+        t
     }
 
     /// Enable the WAL's group-commit throughput model (see `wal` docs).
@@ -631,7 +641,18 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
         let ckpt_lsn = self.wal.next_lsn();
         let t = {
             let Engine {
-                cfg, data, logv, dwb, ts, pool, wal, dwb_cursor, dirty_lsn, scratch, stats, ..
+                cfg,
+                data,
+                logv,
+                dwb,
+                ts,
+                pool,
+                wal,
+                dwb_cursor,
+                dirty_lsn,
+                scratch,
+                stats,
+                ..
             } = self;
             let mut be = Backend {
                 vol: data,
@@ -650,7 +671,9 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
         let t = self.data.fsync(t).expect("data volume");
         let t = self.write_catalog(t);
         self.fpw_logged.clear();
-        self.wal.checkpoint(&mut self.logv, ckpt_lsn, t)
+        let t = self.wal.checkpoint(&mut self.logv, ckpt_lsn, t);
+        self.note_op("engine.checkpoint", now, t);
+        t
     }
 
     fn encode_catalog(&self) -> Vec<u8> {
@@ -675,10 +698,7 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
         self.catalog_seq += 1;
         let buf = self.encode_catalog();
         let slot = self.catalog_seq % 2;
-        let t = self
-            .catalog
-            .write_page(&mut self.data, slot, &buf, now)
-            .expect("catalog page");
+        let t = self.catalog.write_page(&mut self.data, slot, &buf, now).expect("catalog page");
         self.data.fsync(t).expect("data volume")
     }
 
@@ -697,7 +717,7 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
         log_dev: L,
         cfg: EngineConfig,
         now: Nanos,
-    ) -> Result<(Self, Nanos), RecoveryError> {
+    ) -> Result<Timed<Self>, Error> {
         cfg.validate();
         let mut data = Volume::new(data_dev, cfg.barriers);
         let mut logv = Volume::new(log_dev, cfg.barriers);
@@ -738,7 +758,7 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
                 best = Some((seq, buf));
             }
         }
-        let (catalog_seq, cbuf) = best.ok_or(RecoveryError::NoCatalog)?;
+        let (catalog_seq, cbuf) = best.ok_or(Error::NoCatalog)?;
         let next_page = u64::from_le_bytes(cbuf[16..24].try_into().unwrap());
         let ntrees = u32::from_le_bytes(cbuf[24..28].try_into().unwrap()) as usize;
         let mut trees = Vec::with_capacity(ntrees);
@@ -765,8 +785,7 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
                 let home_ok = match ts.read_page(&mut data, page_no, &mut home_buf, t) {
                     Ok(t2) => {
                         t = t2;
-                        let zero =
-                            u32::from_le_bytes(home_buf[n - 4..].try_into().unwrap()) == 0;
+                        let zero = u32::from_le_bytes(home_buf[n - 4..].try_into().unwrap()) == 0;
                         zero || trailer_ok(&home_buf, page_no)
                     }
                     Err(DevError::ShornPage { .. }) => false,
@@ -801,6 +820,7 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
             fpw_logged: std::collections::HashSet::new(),
             scratch: Vec::with_capacity(cfg.page_size),
             stats,
+            tel: None,
             cfg,
         };
         // 4. Replay.
@@ -811,7 +831,7 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
             eng.stats.replayed_records += 1;
             t = eng.apply_record(r, t);
         }
-        Ok((eng, t))
+        Ok(Timed::new(eng, t))
     }
 
     /// Apply one redo record during recovery.
@@ -840,18 +860,16 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
         // Logical redo (idempotent).
         match r.op {
             Op::Put { tree, key, value } => {
-                if (!key.is_empty() || !value.is_empty())
-                    && (tree as usize) < self.trees.len() {
-                        assert!(key.len() + value.len() <= bnode::max_cell_payload(logical_ps));
-                        let (_, summary, t2) = self.op(t, |trees, view, t| {
-                            trees[tree as usize].put(view, &key, &value, t)
-                        });
-                        // Replay does not re-log.
-                        for idx in summary.retained {
-                            self.pool.unpin(idx);
-                        }
-                        t = t2;
+                if (!key.is_empty() || !value.is_empty()) && (tree as usize) < self.trees.len() {
+                    assert!(key.len() + value.len() <= bnode::max_cell_payload(logical_ps));
+                    let (_, summary, t2) = self
+                        .op(t, |trees, view, t| trees[tree as usize].put(view, &key, &value, t));
+                    // Replay does not re-log.
+                    for idx in summary.retained {
+                        self.pool.unpin(idx);
                     }
+                    t = t2;
+                }
             }
             Op::Delete { tree, key } => {
                 if (tree as usize) < self.trees.len() {

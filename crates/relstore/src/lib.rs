@@ -20,8 +20,9 @@ pub mod config;
 pub mod engine;
 pub mod records;
 
-pub use config::EngineConfig;
-pub use engine::{Engine, EngineStats, RecoveryError, TreeId};
+pub use config::{EngineConfig, EngineConfigBuilder};
+pub use durassd::Error;
+pub use engine::{Engine, EngineStats, TreeId};
 pub use records::{Op, RedoRecord};
 
 #[cfg(test)]
@@ -45,26 +46,26 @@ mod tests {
     fn mem_engine(page_size: usize) -> Engine<MemDevice, MemDevice> {
         let data = MemDevice::new(16 * 1024);
         let log = MemDevice::new(4 * 1024);
-        Engine::create(data, log, small_cfg(page_size), 0).0
+        Engine::create(data, log, small_cfg(page_size), 0).value
     }
 
     #[test]
     fn put_get_round_trip() {
         let mut e = mem_engine(4096);
-        let (t0, mut now) = e.create_tree(0);
+        let (t0, mut now) = e.create_tree(0).into_parts();
         now = e.put(t0, b"alpha", b"1", now);
         now = e.put(t0, b"beta", b"2", now);
         now = e.commit(now);
-        let (v, _) = e.get(t0, b"alpha", now);
+        let (v, _) = e.get(t0, b"alpha", now).into_parts();
         assert_eq!(v.unwrap(), b"1");
-        let (v, _) = e.get(t0, b"missing", now);
+        let (v, _) = e.get(t0, b"missing", now).into_parts();
         assert!(v.is_none());
     }
 
     #[test]
     fn many_keys_with_eviction_pressure() {
         let mut e = mem_engine(4096);
-        let (t0, mut now) = e.create_tree(0);
+        let (t0, mut now) = e.create_tree(0).into_parts();
         for i in 0..3000u64 {
             let k = format!("key{:08}", i);
             let v = format!("value-{}", "y".repeat((i % 90) as usize));
@@ -79,7 +80,7 @@ mod tests {
         assert!(e.pool_stats().dirty_evictions > 0);
         for i in (0..3000u64).step_by(113) {
             let k = format!("key{:08}", i);
-            let (v, t) = e.get(t0, k.as_bytes(), now);
+            let (v, t) = e.get(t0, k.as_bytes(), now).into_parts();
             now = t;
             assert!(v.is_some(), "missing {k}");
         }
@@ -89,14 +90,14 @@ mod tests {
     #[test]
     fn delete_and_scan() {
         let mut e = mem_engine(8192);
-        let (t0, mut now) = e.create_tree(0);
+        let (t0, mut now) = e.create_tree(0).into_parts();
         for i in 0..100u64 {
             now = e.put(t0, format!("k{:04}", i).as_bytes(), b"v", now);
         }
-        let (existed, t) = e.delete(t0, b"k0050", now);
+        let (existed, t) = e.delete(t0, b"k0050", now).into_parts();
         now = t;
         assert!(existed);
-        let (rows, _) = e.scan(t0, b"k0048", 5, now);
+        let (rows, _) = e.scan(t0, b"k0048", 5, now).into_parts();
         let keys: Vec<_> =
             rows.iter().map(|(k, _)| String::from_utf8_lossy(k).into_owned()).collect();
         assert_eq!(keys, ["k0048", "k0049", "k0051", "k0052", "k0053"]);
@@ -105,12 +106,12 @@ mod tests {
     #[test]
     fn multiple_trees_are_independent() {
         let mut e = mem_engine(4096);
-        let (ta, now) = e.create_tree(0);
-        let (tb, mut now) = e.create_tree(now);
+        let (ta, now) = e.create_tree(0).into_parts();
+        let (tb, mut now) = e.create_tree(now).into_parts();
         now = e.put(ta, b"k", b"in-a", now);
         now = e.put(tb, b"k", b"in-b", now);
-        let (va, t) = e.get(ta, b"k", now);
-        let (vb, _) = e.get(tb, b"k", t);
+        let (va, t) = e.get(ta, b"k", now).into_parts();
+        let (vb, _) = e.get(tb, b"k", t).into_parts();
         assert_eq!(va.unwrap(), b"in-a");
         assert_eq!(vb.unwrap(), b"in-b");
     }
@@ -120,18 +121,18 @@ mod tests {
         let data = MemDevice::new(16 * 1024);
         let log = MemDevice::new(4 * 1024);
         let cfg = small_cfg(4096);
-        let (mut e, now) = Engine::create(data, log, cfg, 0);
-        let (t0, t) = e.create_tree(now);
+        let (mut e, now) = Engine::create(data, log, cfg, 0).into_parts();
+        let (t0, t) = e.create_tree(now).into_parts();
         let mut now = e.checkpoint(t); // catalog knows the tree
         for i in 0..500u64 {
             now = e.put(t0, format!("k{:05}", i).as_bytes(), format!("v{i}").as_bytes(), now);
         }
         now = e.commit(now);
         let (d, l) = e.crash(now);
-        let (mut e2, mut t2) = Engine::recover(d, l, cfg, now + 1).expect("recovery");
+        let (mut e2, mut t2) = Engine::recover(d, l, cfg, now + 1).expect("recovery").into_parts();
         assert!(e2.stats().replayed_records > 0);
         for i in (0..500u64).step_by(37) {
-            let (v, t3) = e2.get(t0, format!("k{:05}", i).as_bytes(), t2);
+            let (v, t3) = e2.get(t0, format!("k{:05}", i).as_bytes(), t2).into_parts();
             t2 = t3;
             assert_eq!(v.unwrap(), format!("v{i}").into_bytes(), "key {i}");
         }
@@ -142,18 +143,18 @@ mod tests {
         let data = MemDevice::new(16 * 1024);
         let log = MemDevice::new(4 * 1024);
         let cfg = small_cfg(4096);
-        let (mut e, now) = Engine::create(data, log, cfg, 0);
-        let (t0, t) = e.create_tree(now);
+        let (mut e, now) = Engine::create(data, log, cfg, 0).into_parts();
+        let (t0, t) = e.create_tree(now).into_parts();
         let mut now = e.checkpoint(t);
         now = e.put(t0, b"committed", b"1", now);
         now = e.commit(now);
         now = e.put(t0, b"uncommitted", b"2", now);
         // No commit: crash.
         let (d, l) = e.crash(now);
-        let (mut e2, t2) = Engine::recover(d, l, cfg, now + 1).expect("recovery");
-        let (v, t3) = e2.get(t0, b"committed", t2);
+        let (mut e2, t2) = Engine::recover(d, l, cfg, now + 1).expect("recovery").into_parts();
+        let (v, t3) = e2.get(t0, b"committed", t2).into_parts();
         assert_eq!(v.unwrap(), b"1");
-        let (v, _) = e2.get(t0, b"uncommitted", t3);
+        let (v, _) = e2.get(t0, b"uncommitted", t3).into_parts();
         assert!(v.is_none(), "unlogged write must not reappear");
     }
 
@@ -164,8 +165,8 @@ mod tests {
         let mut cfg = small_cfg(4096);
         cfg.data_pages = 8192;
         cfg.log_file_blocks = 2048;
-        let (mut e, now) = Engine::create(data, log, cfg, 0);
-        let (t0, t) = e.create_tree(now);
+        let (mut e, now) = Engine::create(data, log, cfg, 0).into_parts();
+        let (t0, t) = e.create_tree(now).into_parts();
         let mut now = e.checkpoint(t);
         // Enough data to force many splits and a root split after ckpt.
         for i in 0..4000u64 {
@@ -174,10 +175,10 @@ mod tests {
         }
         now = e.commit(now);
         let (d, l) = e.crash(now);
-        let (mut e2, mut t2) = Engine::recover(d, l, cfg, now + 1).expect("recovery");
+        let (mut e2, mut t2) = Engine::recover(d, l, cfg, now + 1).expect("recovery").into_parts();
         for i in (0..4000u64).step_by(211) {
             let k = format!("key{:08}", i);
-            let (v, t3) = e2.get(t0, k.as_bytes(), t2);
+            let (v, t3) = e2.get(t0, k.as_bytes(), t2).into_parts();
             t2 = t3;
             assert_eq!(v.unwrap(), vec![b'z'; 120], "key {k}");
         }
@@ -191,8 +192,9 @@ mod tests {
             cfg.double_write = dw;
             cfg.buffer_pool_bytes = 16 * 4096; // tiny pool: force evictions
             let (mut e, now) =
-                Engine::create(MemDevice::new(16 * 1024), MemDevice::new(4 * 1024), cfg, 0);
-            let (t0, mut now) = e.create_tree(now);
+                Engine::create(MemDevice::new(16 * 1024), MemDevice::new(4 * 1024), cfg, 0)
+                    .into_parts();
+            let (t0, mut now) = e.create_tree(now).into_parts();
             for i in 0..800u64 {
                 now = e.put(t0, format!("k{:06}", i).as_bytes(), &[1u8; 64], now);
             }
@@ -217,8 +219,9 @@ mod tests {
         cfg.double_write = false;
         cfg.buffer_pool_bytes = 8 * 4096;
         let (mut e, now) =
-            Engine::create(MemDevice::new(16 * 1024), MemDevice::new(4 * 1024), cfg, 0);
-        let (t0, mut now) = e.create_tree(now);
+            Engine::create(MemDevice::new(16 * 1024), MemDevice::new(4 * 1024), cfg, 0)
+                .into_parts();
+        let (t0, mut now) = e.create_tree(now).into_parts();
         for i in 0..300u64 {
             now = e.put(t0, format!("k{:06}", i).as_bytes(), &[1u8; 64], now);
         }
@@ -236,7 +239,7 @@ mod tests {
     #[test]
     fn commit_flushes_log_volume() {
         let mut e = mem_engine(4096);
-        let (t0, now) = e.create_tree(0);
+        let (t0, now) = e.create_tree(0).into_parts();
         let now = e.put(t0, b"x", b"y", now);
         let before = e.log_volume().device_stats().flushes;
         e.commit(now);
@@ -256,17 +259,18 @@ mod tests {
         cfg.barriers = false; // the DuraSSD deployment mode
         let data = Ssd::new(SsdConfig::tiny_test());
         let log = Ssd::new(SsdConfig::tiny_test());
-        let (mut e, now) = Engine::create(data, log, cfg, 0);
-        let (t0, t) = e.create_tree(now);
+        let (mut e, now) = Engine::create(data, log, cfg, 0).into_parts();
+        let (t0, t) = e.create_tree(now).into_parts();
         let mut now = e.checkpoint(t);
         for i in 0..60u64 {
             now = e.put(t0, format!("k{i:03}").as_bytes(), b"v", now);
             now = e.commit(now);
         }
         let (d, l) = e.crash(now);
-        let (mut e2, mut t2) = Engine::recover(d, l, cfg, now + 1).expect("recovery on DuraSSD");
+        let (mut e2, mut t2) =
+            Engine::recover(d, l, cfg, now + 1).expect("recovery on DuraSSD").into_parts();
         for i in 0..60u64 {
-            let (v, t3) = e2.get(t0, format!("k{i:03}").as_bytes(), t2);
+            let (v, t3) = e2.get(t0, format!("k{i:03}").as_bytes(), t2).into_parts();
             t2 = t3;
             assert!(v.is_some(), "committed key k{i:03} lost on DuraSSD");
         }
@@ -279,13 +283,14 @@ mod tests {
         let mut cfg = small_cfg(4096);
         cfg.buffer_pool_bytes = 8 * 4096; // tiny pool
         let (mut e, now) =
-            Engine::create(MemDevice::new(16 * 1024), MemDevice::new(4 * 1024), cfg, 0);
-        let (t0, mut now) = e.create_tree(now);
+            Engine::create(MemDevice::new(16 * 1024), MemDevice::new(4 * 1024), cfg, 0)
+                .into_parts();
+        let (t0, mut now) = e.create_tree(now).into_parts();
         // One uncommitted put, then enough reads of other pages to evict it.
         now = e.put(t0, b"dirty", b"x", now);
         let log_writes_before = e.log_volume().device_stats().writes;
         for i in 0..200u64 {
-            let (_, t) = e.get(t0, format!("probe{i}").as_bytes(), now);
+            let (_, t) = e.get(t0, format!("probe{i}").as_bytes(), now).into_parts();
             now = t;
             now = e.put(t0, format!("fill{i:04}").as_bytes(), &[0u8; 500], now);
         }

@@ -33,7 +33,8 @@ pub struct RedoRecord {
 impl RedoRecord {
     /// Serialise to the WAL payload format.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(64 + self.images.iter().map(|(_, b)| b.len() + 12).sum::<usize>());
+        let mut out =
+            Vec::with_capacity(64 + self.images.iter().map(|(_, b)| b.len() + 12).sum::<usize>());
         match &self.op {
             Op::Put { tree, key, value } => {
                 out.push(1u8);
@@ -187,41 +188,53 @@ mod tests {
 
     mod proptests {
         use super::*;
-        use proptest::prelude::*;
+        use simkit::dist::{rng, Rng};
 
-        fn arb_record() -> impl Strategy<Value = RedoRecord> {
-            let op = prop_oneof![
-                (any::<u32>(), proptest::collection::vec(any::<u8>(), 0..40),
-                 proptest::collection::vec(any::<u8>(), 0..200))
-                    .prop_map(|(t, k, v)| Op::Put { tree: t, key: k, value: v }),
-                (any::<u32>(), proptest::collection::vec(any::<u8>(), 0..40))
-                    .prop_map(|(t, k)| Op::Delete { tree: t, key: k }),
-            ];
-            let images = proptest::collection::vec(
-                (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..300)),
-                0..4,
-            );
-            let root = proptest::option::of((any::<u32>(), any::<u64>(), any::<u8>()));
-            (op, images, root).prop_map(|(op, images, root_change)| RedoRecord {
-                op,
-                images,
-                root_change,
-            })
+        fn random_bytes<R: Rng>(r: &mut R, max: usize) -> Vec<u8> {
+            let len = r.gen_range(0..max);
+            (0..len).map(|_| r.gen::<u8>()).collect()
         }
 
-        proptest! {
-            #[test]
-            fn codec_round_trips(rec in arb_record()) {
-                let enc = rec.encode();
-                prop_assert_eq!(RedoRecord::decode(&enc).unwrap(), rec);
-            }
+        fn random_record<R: Rng>(r: &mut R) -> RedoRecord {
+            let op = if r.gen::<bool>() {
+                Op::Put {
+                    tree: r.gen::<u32>(),
+                    key: random_bytes(r, 40),
+                    value: random_bytes(r, 200),
+                }
+            } else {
+                Op::Delete { tree: r.gen::<u32>(), key: random_bytes(r, 40) }
+            };
+            let images: Vec<(u64, Vec<u8>)> = (0..r.gen_range(0..4usize))
+                .map(|_| (r.gen::<u64>(), random_bytes(r, 300)))
+                .collect();
+            let root_change = if r.gen::<bool>() {
+                Some((r.gen::<u32>(), r.gen::<u64>(), r.gen::<u8>()))
+            } else {
+                None
+            };
+            RedoRecord { op, images, root_change }
+        }
 
-            #[test]
-            fn truncations_never_panic_or_misparse(rec in arb_record(), cut in 0usize..100) {
+        #[test]
+        fn codec_round_trips() {
+            let mut r = rng(0x2EC02D);
+            for _ in 0..256 {
+                let rec = random_record(&mut r);
                 let enc = rec.encode();
-                let cut = cut.min(enc.len().saturating_sub(1));
+                assert_eq!(RedoRecord::decode(&enc).unwrap(), rec);
+            }
+        }
+
+        #[test]
+        fn truncations_never_panic_or_misparse() {
+            let mut r = rng(0x72C);
+            for _ in 0..256 {
+                let rec = random_record(&mut r);
+                let enc = rec.encode();
+                let cut = r.gen_range(0..100usize).min(enc.len().saturating_sub(1));
                 // Any strict prefix must be rejected, never mis-decoded.
-                prop_assert!(RedoRecord::decode(&enc[..cut]).is_none());
+                assert!(RedoRecord::decode(&enc[..cut]).is_none());
             }
         }
     }

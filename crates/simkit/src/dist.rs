@@ -6,12 +6,11 @@
 //!   spread across the key space (what YCSB actually uses).
 //! * [`PowerLaw`] — discrete bounded power-law for LinkBench link fanout.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+pub use crate::rng::{Rng, SimRng};
 
 /// Create a deterministic RNG from a 64-bit seed.
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> SimRng {
+    SimRng::seed_from_u64(seed)
 }
 
 /// Zipfian distribution over `0..n` with exponent `theta` (YCSB default

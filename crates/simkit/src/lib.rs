@@ -16,10 +16,14 @@ pub mod crc;
 pub mod dist;
 pub mod driver;
 pub mod resource;
+pub mod rng;
 pub mod stats;
+pub mod timed;
 
 pub use clock::{Nanos, MICROS, MILLIS, SECS};
 pub use crc::crc32;
 pub use driver::{ClosedLoop, DriverReport};
 pub use resource::{MultiServer, Timeline};
+pub use rng::{Rng, SimRng};
 pub use stats::{Counter, LatencyStats, Summary};
+pub use timed::Timed;

@@ -280,7 +280,7 @@ mod tests {
         let mut m = MultiServer::new(2);
         m.acquire(0, 100); // server A busy till 100
         m.acquire(0, 10); // server B busy till 10
-        // Arriving at 50: should take server B (free at 10), not A.
+                          // Arriving at 50: should take server B (free at 10), not A.
         assert_eq!(m.acquire(50, 5), 55);
     }
 
@@ -292,40 +292,47 @@ mod tests {
 
     mod proptests {
         use super::*;
-        use proptest::prelude::*;
+        use crate::rng::Rng;
+        use crate::SimRng;
 
-        proptest! {
-            /// Core invariants of the work-conserving timeline: every
-            /// reservation starts at or after its arrival, reservations never
-            /// overlap, and total busy time is conserved.
-            #[test]
-            fn reservations_never_overlap(
-                reqs in proptest::collection::vec((0u64..100_000, 1u64..5_000), 1..200)
-            ) {
+        /// Core invariants of the work-conserving timeline: every
+        /// reservation starts at or after its arrival, reservations never
+        /// overlap, and total busy time is conserved.
+        #[test]
+        fn reservations_never_overlap() {
+            let mut r = SimRng::seed_from_u64(0x71ED);
+            for _ in 0..256 {
+                let reqs: Vec<(u64, u64)> = (0..r.gen_range(1..200usize))
+                    .map(|_| (r.gen_range(0u64..100_000), r.gen_range(1u64..5_000)))
+                    .collect();
                 let mut t = Timeline::new();
                 let mut granted: Vec<(u64, u64)> = Vec::new();
                 let mut total = 0u64;
                 for (now, service) in reqs {
                     let end = t.acquire(now, service);
                     let start = end - service;
-                    prop_assert!(start >= now, "start {start} before arrival {now}");
+                    assert!(start >= now, "start {start} before arrival {now}");
                     granted.push((start, end));
                     total += service;
                 }
                 granted.sort_unstable();
                 for w in granted.windows(2) {
-                    prop_assert!(w[0].1 <= w[1].0, "overlap: {:?} vs {:?}", w[0], w[1]);
+                    assert!(w[0].1 <= w[1].0, "overlap: {:?} vs {:?}", w[0], w[1]);
                 }
-                prop_assert_eq!(t.busy_time(), total);
+                assert_eq!(t.busy_time(), total);
             }
+        }
 
-            /// Purging behind a watermark never affects reservations at or
-            /// after it.
-            #[test]
-            fn purge_preserves_future_consistency(
-                reqs in proptest::collection::vec((0u64..50_000, 1u64..2_000), 1..100),
-                watermark in 0u64..50_000,
-            ) {
+        /// Purging behind a watermark never affects reservations at or
+        /// after it.
+        #[test]
+        fn purge_preserves_future_consistency() {
+            let mut r = SimRng::seed_from_u64(0x9C6E);
+            for _ in 0..256 {
+                let reqs: Vec<(u64, u64)> = (0..r.gen_range(1..100usize))
+                    .map(|_| (r.gen_range(0u64..50_000), r.gen_range(1u64..2_000)))
+                    .collect();
+                let watermark = r.gen_range(0u64..50_000);
                 let mut a = Timeline::new();
                 let mut b = Timeline::new();
                 // Same stream into both; purge one mid-way.
@@ -334,14 +341,15 @@ mod tests {
                     a.acquire(*now, *s);
                     b.acquire(*now, *s);
                 }
-                a.purge_before(watermark.min(
-                    reqs[..half].iter().map(|(n, _)| *n).min().unwrap_or(0)));
+                a.purge_before(
+                    watermark.min(reqs[..half].iter().map(|(n, _)| *n).min().unwrap_or(0)),
+                );
                 for (now, s) in &reqs[half..] {
                     // Arrivals at/after every prior arrival's minimum are
                     // unaffected by a purge below that minimum.
                     let ea = a.acquire(*now, *s);
                     let eb = b.acquire(*now, *s);
-                    prop_assert_eq!(ea, eb);
+                    assert_eq!(ea, eb);
                 }
             }
         }

@@ -33,7 +33,9 @@ impl std::fmt::Display for DevError {
                 write!(f, "buffer length {got} does not match expected {expected}")
             }
             DevError::PoweredOff => write!(f, "device is powered off"),
-            DevError::ShornPage { lpn } => write!(f, "shorn (partially programmed) page at lpn {lpn}"),
+            DevError::ShornPage { lpn } => {
+                write!(f, "shorn (partially programmed) page at lpn {lpn}")
+            }
         }
     }
 }
@@ -106,6 +108,14 @@ pub trait BlockDevice {
         Ok(now)
     }
 
+    /// Cumulative host-visible delay (ns) caused by background garbage
+    /// collection stalling foreground commands (SSDs only). The telemetry
+    /// layer samples this around each command to split `gc` stall time out
+    /// of raw `media` time. Default: a device with no GC reports 0.
+    fn gc_time(&self) -> Nanos {
+        0
+    }
+
     /// Cumulative statistics.
     fn stats(&self) -> DeviceStats;
 }
@@ -135,10 +145,7 @@ mod tests {
 
     #[test]
     fn check_io_rejects_out_of_range() {
-        assert!(matches!(
-            check_io(7, 4, 4 * LOGICAL_PAGE, 10),
-            Err(DevError::OutOfRange { .. })
-        ));
+        assert!(matches!(check_io(7, 4, 4 * LOGICAL_PAGE, 10), Err(DevError::OutOfRange { .. })));
         assert!(matches!(check_io(0, 0, 0, 10), Err(DevError::OutOfRange { .. })));
         // Overflow must not wrap.
         assert!(matches!(

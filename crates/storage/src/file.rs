@@ -163,20 +163,14 @@ mod tests {
     fn rejects_wrong_buffer_size() {
         let (mut vol, f) = setup(8192);
         let mut small = vec![0u8; 4096];
-        assert!(matches!(
-            f.read_page(&mut vol, 0, &mut small, 0),
-            Err(DevError::BadLength { .. })
-        ));
+        assert!(matches!(f.read_page(&mut vol, 0, &mut small, 0), Err(DevError::BadLength { .. })));
     }
 
     #[test]
     fn rejects_out_of_file_page() {
         let (mut vol, f) = setup(4096);
         let data = vec![0u8; 4096];
-        assert!(matches!(
-            f.write_page(&mut vol, 16, &data, 0),
-            Err(DevError::OutOfRange { .. })
-        ));
+        assert!(matches!(f.write_page(&mut vol, 16, &data, 0), Err(DevError::OutOfRange { .. })));
     }
 
     #[test]

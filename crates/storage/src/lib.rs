@@ -19,6 +19,6 @@ pub mod file;
 pub mod testdev;
 pub mod volume;
 
-pub use device::{DevError, DevResult, DeviceStats, BlockDevice, LOGICAL_PAGE};
+pub use device::{BlockDevice, DevError, DevResult, DeviceStats, LOGICAL_PAGE};
 pub use file::PageFile;
 pub use volume::{Volume, VolumeManager};

@@ -3,11 +3,23 @@
 
 use crate::device::{check_io, BlockDevice, DevResult, DeviceStats};
 use simkit::Nanos;
+use telemetry::{Stall, Telemetry};
 
 /// Cost of an `fsync` that does **not** reach the device (metadata bookkeeping
 /// in the kernel): a couple of microseconds. This is what the paper's
 /// `nobarrier` mount option reduces fsync to.
 const FSYNC_SOFT_COST: Nanos = 2_000;
+
+/// Pre-formatted telemetry names for one volume, so the hot path does not
+/// re-allocate metric keys per I/O.
+struct VolumeTel {
+    tel: Telemetry,
+    read: String,
+    write: String,
+    flush: String,
+    fsync_soft: String,
+    discard: String,
+}
 
 /// A mounted device with a write-barrier policy.
 ///
@@ -17,16 +29,43 @@ const FSYNC_SOFT_COST: Nanos = 2_000;
 ///   in the kernel but never flushes the device cache. Safe **only** on a
 ///   device with a durable cache (DuraSSD §2.2); on a volatile cache it
 ///   trades durability for speed.
+///
+/// A volume is the natural place to observe *host-visible* device latency,
+/// so when a [`Telemetry`] handle is attached every read/write/flush latency
+/// is histogrammed per device and every blocked nanosecond is attributed:
+/// raw service time to [`Stall::Media`], GC-induced delay (sampled via
+/// [`BlockDevice::gc_time`]) to [`Stall::Gc`], and barrier flushes to
+/// [`Stall::FlushCache`] — unless an upper layer (WAL commit, buffer-pool
+/// eviction) pushed a more specific attribution context.
 pub struct Volume<D: BlockDevice> {
     dev: D,
     barriers: bool,
     fsyncs: u64,
+    tel: Option<VolumeTel>,
 }
 
 impl<D: BlockDevice> Volume<D> {
     /// Mount `dev` with the given barrier policy.
     pub fn new(dev: D, barriers: bool) -> Self {
-        Self { dev, barriers, fsyncs: 0 }
+        Self { dev, barriers, fsyncs: 0, tel: None }
+    }
+
+    /// Attach a telemetry handle; latencies are recorded under
+    /// `dev.<label>.{read,write,flush,discard}`.
+    pub fn attach_telemetry(&mut self, tel: Telemetry, label: &str) {
+        self.tel = Some(VolumeTel {
+            tel,
+            read: format!("dev.{label}.read"),
+            write: format!("dev.{label}.write"),
+            flush: format!("dev.{label}.flush"),
+            fsync_soft: format!("dev.{label}.fsync_soft"),
+            discard: format!("dev.{label}.discard"),
+        });
+    }
+
+    /// The attached telemetry handle, if any.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.tel.as_ref().map(|t| &t.tel)
     }
 
     /// Whether write barriers are enabled.
@@ -39,23 +78,70 @@ impl<D: BlockDevice> Volume<D> {
         self.barriers = on;
     }
 
+    /// Record a completed media command: histogram its latency and split the
+    /// blocked time into GC-induced delay vs raw media service time.
+    fn note_media(tel: &VolumeTel, name: usize, dur: Nanos, gc: Nanos) {
+        let key = match name {
+            0 => &tel.read,
+            1 => &tel.write,
+            _ => &tel.discard,
+        };
+        tel.tel.record(key, dur);
+        let gc = gc.min(dur);
+        if gc > 0 {
+            tel.tel.stall(Stall::Gc, gc);
+        }
+        tel.tel.stall(Stall::Media, dur - gc);
+    }
+
     /// Direct read of logical pages.
     pub fn read(&mut self, lpn: u64, pages: u32, buf: &mut [u8], now: Nanos) -> DevResult<Nanos> {
-        self.dev.read(lpn, pages, buf, now)
+        let gc0 = self.tel.as_ref().map(|_| self.dev.gc_time());
+        let done = self.dev.read(lpn, pages, buf, now)?;
+        if let (Some(tel), Some(gc0)) = (&self.tel, gc0) {
+            Self::note_media(tel, 0, done.saturating_sub(now), self.dev.gc_time() - gc0);
+        }
+        Ok(done)
     }
 
     /// Direct write of logical pages.
     pub fn write(&mut self, lpn: u64, data: &[u8], now: Nanos) -> DevResult<Nanos> {
-        self.dev.write(lpn, data, now)
+        let gc0 = self.tel.as_ref().map(|_| self.dev.gc_time());
+        let done = self.dev.write(lpn, data, now)?;
+        if let (Some(tel), Some(gc0)) = (&self.tel, gc0) {
+            Self::note_media(tel, 1, done.saturating_sub(now), self.dev.gc_time() - gc0);
+        }
+        Ok(done)
     }
 
     /// `fsync`: flush the device cache if barriers are on, otherwise only
     /// pay the in-kernel cost.
+    ///
+    /// With barriers the entire wait is a FLUSH CACHE drain and is attributed
+    /// to [`Stall::FlushCache`] (minus any GC share). Without barriers no
+    /// FLUSH CACHE is issued: the soft in-kernel cost is histogrammed
+    /// separately and **not** counted as flush stall — which is exactly why
+    /// a durable-cache device mounted `nobarrier` shows a near-zero
+    /// `flush_cache` line in the benchmark reports.
     pub fn fsync(&mut self, now: Nanos) -> DevResult<Nanos> {
         self.fsyncs += 1;
         if self.barriers {
-            self.dev.flush(now)
+            let gc0 = self.tel.as_ref().map(|_| self.dev.gc_time());
+            let done = self.dev.flush(now)?;
+            if let (Some(tel), Some(gc0)) = (&self.tel, gc0) {
+                let dur = done.saturating_sub(now);
+                let gc = (self.dev.gc_time() - gc0).min(dur);
+                tel.tel.record(&tel.flush, dur);
+                if gc > 0 {
+                    tel.tel.stall(Stall::Gc, gc);
+                }
+                tel.tel.stall(Stall::FlushCache, dur - gc);
+            }
+            Ok(done)
         } else {
+            if let Some(tel) = &self.tel {
+                tel.tel.record(&tel.fsync_soft, FSYNC_SOFT_COST);
+            }
             Ok(now + FSYNC_SOFT_COST)
         }
     }
@@ -72,7 +158,12 @@ impl<D: BlockDevice> Volume<D> {
 
     /// TRIM a range (file deletion, compaction).
     pub fn discard(&mut self, lpn: u64, pages: u32, now: Nanos) -> DevResult<Nanos> {
-        self.dev.discard(lpn, pages, now)
+        let gc0 = self.tel.as_ref().map(|_| self.dev.gc_time());
+        let done = self.dev.discard(lpn, pages, now)?;
+        if let (Some(tel), Some(gc0)) = (&self.tel, gc0) {
+            Self::note_media(tel, 2, done.saturating_sub(now), self.dev.gc_time() - gc0);
+        }
+        Ok(done)
     }
 
     /// Cut power to the underlying device.
@@ -213,10 +304,7 @@ mod tests {
     fn extent_io_translates_and_checks() {
         let e = Extent { base: 100, pages: 10 };
         assert_eq!(extent_io(e, 3, 1, LOGICAL_PAGE).unwrap(), 103);
-        assert!(matches!(
-            extent_io(e, 9, 2, 2 * LOGICAL_PAGE),
-            Err(DevError::OutOfRange { .. })
-        ));
+        assert!(matches!(extent_io(e, 9, 2, 2 * LOGICAL_PAGE), Err(DevError::OutOfRange { .. })));
     }
 
     #[test]

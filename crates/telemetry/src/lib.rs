@@ -1,0 +1,523 @@
+//! Per-layer latency telemetry for the DuraSSD reproduction.
+//!
+//! The paper's central claims (Tables 1–5, Figs 5–6) are about *where the
+//! host stalls*: FLUSH CACHE latency, fsync tail latency, and commit-time
+//! variance between a durable-cache SSD and volatile-cache baselines. Coarse
+//! cumulative counters cannot express a p99 or attribute a stall to a layer,
+//! so this crate provides the measurement substrate used by every layer of
+//! the stack:
+//!
+//! * [`Histogram`] — HDR-style log-bucketed latency histogram (power-of-two
+//!   buckets with 16 linear sub-buckets each) with p50/p90/p99/p999/max.
+//! * [`Registry`] — named histograms, counters, and gauges plus per-kind
+//!   stall totals.
+//! * [`Telemetry`] — a cheaply clonable handle (`Rc<RefCell<Registry>>`; the
+//!   simulation is single-threaded virtual time) that layers embed.
+//! * [`Span`] — a scope recorder keyed on virtual [`Nanos`]: open at `now`,
+//!   close at the operation's virtual completion time.
+//! * [`Stall`] — the stall taxonomy: every nanosecond the host blocks is
+//!   tagged `media`, `flush_cache`, `gc`, `wal_fsync`, or `pool_eviction`.
+//! * JSON export/import ([`Telemetry::to_json`], [`Registry::from_json`]) —
+//!   hand-rolled, no external dependencies, exact round-trip.
+//!
+//! # Stall attribution
+//!
+//! Lower layers (the volume) observe raw device time but do not know *why*
+//! the host is waiting; upper layers (WAL, buffer pool) know why but not how
+//! long the device took. The registry therefore keeps a small **context
+//! stack**: when the WAL flushes its buffer it pushes [`Stall::WalFsync`],
+//! so every media/flush nanosecond the volume reports underneath is
+//! re-attributed to `wal_fsync` instead of double-counted as generic media
+//! time. The invariant is that each blocked nanosecond lands in exactly one
+//! bucket.
+
+use simkit::Nanos;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+mod hist;
+mod json;
+
+pub use hist::Histogram;
+pub use json::{parse as parse_json, JsonValue};
+
+/// Why the host is blocked — the paper's stall taxonomy.
+///
+/// Every nanosecond of host-visible blocking is attributed to exactly one of
+/// these causes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stall {
+    /// Raw media/interconnect service time of reads and writes.
+    Media,
+    /// Waiting for a FLUSH CACHE (write-barrier) to drain the device cache.
+    FlushCache,
+    /// Waiting for FTL garbage collection that delayed a host command.
+    Gc,
+    /// Waiting for a WAL buffer flush + fsync at commit time.
+    WalFsync,
+    /// Waiting for a dirty-victim eviction write in the buffer pool.
+    PoolEviction,
+}
+
+impl Stall {
+    /// All kinds, in display order.
+    pub const ALL: [Stall; 5] =
+        [Stall::Media, Stall::FlushCache, Stall::Gc, Stall::WalFsync, Stall::PoolEviction];
+
+    /// Stable snake_case name used in JSON and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stall::Media => "media",
+            Stall::FlushCache => "flush_cache",
+            Stall::Gc => "gc",
+            Stall::WalFsync => "wal_fsync",
+            Stall::PoolEviction => "pool_eviction",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stall::Media => 0,
+            Stall::FlushCache => 1,
+            Stall::Gc => 2,
+            Stall::WalFsync => 3,
+            Stall::PoolEviction => 4,
+        }
+    }
+}
+
+impl fmt::Display for Stall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Totals (in nanoseconds of host blocking) per stall kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallTotals {
+    /// Raw media service time.
+    pub media: Nanos,
+    /// FLUSH CACHE drain time.
+    pub flush_cache: Nanos,
+    /// GC-induced delay.
+    pub gc: Nanos,
+    /// WAL fsync waits.
+    pub wal_fsync: Nanos,
+    /// Buffer-pool eviction writes.
+    pub pool_eviction: Nanos,
+}
+
+impl StallTotals {
+    /// Sum over all kinds.
+    pub fn total(&self) -> Nanos {
+        self.media + self.flush_cache + self.gc + self.wal_fsync + self.pool_eviction
+    }
+
+    /// Value for one kind.
+    pub fn get(&self, kind: Stall) -> Nanos {
+        match kind {
+            Stall::Media => self.media,
+            Stall::FlushCache => self.flush_cache,
+            Stall::Gc => self.gc,
+            Stall::WalFsync => self.wal_fsync,
+            Stall::PoolEviction => self.pool_eviction,
+        }
+    }
+}
+
+/// The backing store for one telemetry domain: named histograms, counters,
+/// gauges, per-kind stall totals, and the attribution context stack.
+#[derive(Debug, Default, Clone)]
+pub struct Registry {
+    hists: BTreeMap<String, Histogram>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    stalls: [Nanos; 5],
+    context: Vec<Stall>,
+}
+
+impl Registry {
+    /// Fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one latency sample into the named histogram.
+    pub fn record(&mut self, name: &str, ns: Nanos) {
+        self.hists.entry(name.to_string()).or_default().record(ns);
+    }
+
+    /// Add to a named counter.
+    pub fn incr(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Set a named gauge.
+    pub fn set_gauge(&mut self, name: &str, value: i64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Attribute `ns` nanoseconds of host blocking. If an attribution
+    /// context is active (e.g. the WAL is inside a commit flush), the time
+    /// is charged to the innermost context instead of `kind`, so a
+    /// nanosecond is never double-counted.
+    pub fn stall(&mut self, kind: Stall, ns: Nanos) {
+        let attributed = *self.context.last().unwrap_or(&kind);
+        self.stalls[attributed.index()] += ns;
+    }
+
+    /// Attribute `ns` to `kind` unconditionally, ignoring the context stack.
+    pub fn stall_exact(&mut self, kind: Stall, ns: Nanos) {
+        self.stalls[kind.index()] += ns;
+    }
+
+    /// Push an attribution context (see [`Registry::stall`]).
+    pub fn push_context(&mut self, kind: Stall) {
+        self.context.push(kind);
+    }
+
+    /// Pop the innermost attribution context.
+    pub fn pop_context(&mut self) {
+        self.context.pop();
+    }
+
+    /// Per-kind stall totals.
+    pub fn stall_totals(&self) -> StallTotals {
+        StallTotals {
+            media: self.stalls[0],
+            flush_cache: self.stalls[1],
+            gc: self.stalls[2],
+            wal_fsync: self.stalls[3],
+            pool_eviction: self.stalls[4],
+        }
+    }
+
+    /// Named histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// Named counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Named gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Names of all histograms with at least one sample.
+    pub fn histogram_names(&self) -> Vec<String> {
+        self.hists.keys().cloned().collect()
+    }
+
+    /// Drop all recorded data (contexts are preserved).
+    pub fn reset(&mut self) {
+        self.hists.clear();
+        self.counters.clear();
+        self.gauges.clear();
+        self.stalls = [0; 5];
+    }
+
+    /// Serialise the registry to a JSON object. Histograms are exported
+    /// with their raw (index, count) bucket list so the export is lossless.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push('{');
+        out.push_str("\"stalls\":{");
+        for (i, kind) in Stall::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", kind.name(), self.stalls[kind.index()]));
+        }
+        out.push_str("},\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json::quote(k), v));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json::quote(k), v));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json::quote(k), h.to_json()));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Rebuild a registry from the output of [`Registry::to_json`].
+    /// `from_json(to_json(r)).to_json() == to_json(r)` holds exactly.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let v = json::parse(s)?;
+        let obj = v.as_object().ok_or("registry: expected object")?;
+        let mut reg = Registry::new();
+        if let Some(stalls) = obj.get("stalls").and_then(|v| v.as_object()) {
+            for kind in Stall::ALL {
+                if let Some(n) = stalls.get(kind.name()).and_then(|v| v.as_u64()) {
+                    reg.stalls[kind.index()] = n;
+                }
+            }
+        }
+        if let Some(cs) = obj.get("counters").and_then(|v| v.as_object()) {
+            for (k, v) in cs {
+                reg.counters.insert(k.clone(), v.as_u64().ok_or("counter: expected u64")?);
+            }
+        }
+        if let Some(gs) = obj.get("gauges").and_then(|v| v.as_object()) {
+            for (k, v) in gs {
+                reg.gauges.insert(k.clone(), v.as_i64().ok_or("gauge: expected i64")?);
+            }
+        }
+        if let Some(hs) = obj.get("histograms").and_then(|v| v.as_object()) {
+            for (k, v) in hs {
+                reg.hists.insert(k.clone(), Histogram::from_json_value(v)?);
+            }
+        }
+        Ok(reg)
+    }
+}
+
+/// Cheaply clonable handle to a shared [`Registry`]. The simulation runs on
+/// a single thread in virtual time, so interior mutability via `RefCell` is
+/// sufficient (and keeps recording on the hot path allocation-free for
+/// existing names).
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Rc<RefCell<Registry>>,
+}
+
+impl Telemetry {
+    /// Fresh handle with an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one latency sample into the named histogram.
+    pub fn record(&self, name: &str, ns: Nanos) {
+        self.inner.borrow_mut().record(name, ns);
+    }
+
+    /// Add to a named counter.
+    pub fn incr(&self, name: &str, by: u64) {
+        self.inner.borrow_mut().incr(name, by);
+    }
+
+    /// Set a named gauge.
+    pub fn set_gauge(&self, name: &str, value: i64) {
+        self.inner.borrow_mut().set_gauge(name, value);
+    }
+
+    /// Attribute host blocking time (context-aware; see [`Registry::stall`]).
+    pub fn stall(&self, kind: Stall, ns: Nanos) {
+        self.inner.borrow_mut().stall(kind, ns);
+    }
+
+    /// Attribute host blocking time to `kind` regardless of context.
+    pub fn stall_exact(&self, kind: Stall, ns: Nanos) {
+        self.inner.borrow_mut().stall_exact(kind, ns);
+    }
+
+    /// Push a stall-attribution context; pair with [`Telemetry::pop_context`].
+    pub fn push_context(&self, kind: Stall) {
+        self.inner.borrow_mut().push_context(kind);
+    }
+
+    /// Pop the innermost stall-attribution context.
+    pub fn pop_context(&self) {
+        self.inner.borrow_mut().pop_context();
+    }
+
+    /// Open a [`Span`] at virtual time `start`; close it with
+    /// [`Span::finish`] at the operation's virtual completion time.
+    pub fn span(&self, name: &str, start: Nanos) -> Span {
+        Span { tel: self.clone(), name: name.to_string(), start }
+    }
+
+    /// Per-kind stall totals.
+    pub fn stall_totals(&self) -> StallTotals {
+        self.inner.borrow().stall_totals()
+    }
+
+    /// Clone of the named histogram, if present.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.inner.borrow().histogram(name).cloned()
+    }
+
+    /// Named counter value.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.borrow().counter(name)
+    }
+
+    /// Named gauge value.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.inner.borrow().gauge(name)
+    }
+
+    /// Names of all histograms with samples.
+    pub fn histogram_names(&self) -> Vec<String> {
+        self.inner.borrow().histogram_names()
+    }
+
+    /// Drop all recorded data.
+    pub fn reset(&self) {
+        self.inner.borrow_mut().reset();
+    }
+
+    /// Run `f` with direct access to the registry.
+    pub fn with<T>(&self, f: impl FnOnce(&Registry) -> T) -> T {
+        f(&self.inner.borrow())
+    }
+
+    /// JSON export of the whole registry (lossless; see
+    /// [`Registry::from_json`]).
+    pub fn to_json(&self) -> String {
+        self.inner.borrow().to_json()
+    }
+}
+
+/// An open measurement scope keyed on virtual time. Created by
+/// [`Telemetry::span`]; call [`Span::finish`] with the virtual completion
+/// time to record `end - start` into the named histogram.
+#[derive(Debug)]
+pub struct Span {
+    tel: Telemetry,
+    name: String,
+    start: Nanos,
+}
+
+impl Span {
+    /// Close the span at virtual time `end` and record its duration.
+    /// Returns `end` so call sites can thread the clock through.
+    pub fn finish(self, end: Nanos) -> Nanos {
+        self.tel.record(&self.name, end.saturating_sub(self.start));
+        end
+    }
+
+    /// The span's opening time.
+    pub fn start(&self) -> Nanos {
+        self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let t = Telemetry::new();
+        t.incr("ops", 3);
+        t.incr("ops", 2);
+        t.set_gauge("depth", -4);
+        assert_eq!(t.counter("ops"), 5);
+        assert_eq!(t.gauge("depth"), Some(-4));
+        assert_eq!(t.counter("missing"), 0);
+        assert_eq!(t.gauge("missing"), None);
+    }
+
+    #[test]
+    fn spans_record_durations() {
+        let t = Telemetry::new();
+        let sp = t.span("wal.commit", 100);
+        assert_eq!(sp.start(), 100);
+        let end = sp.finish(350);
+        assert_eq!(end, 350);
+        let h = t.histogram("wal.commit").unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 250);
+    }
+
+    #[test]
+    fn stall_attribution_respects_context() {
+        let t = Telemetry::new();
+        t.stall(Stall::Media, 100);
+        t.push_context(Stall::WalFsync);
+        t.stall(Stall::Media, 40); // re-attributed
+        t.stall(Stall::FlushCache, 60); // re-attributed
+        t.pop_context();
+        t.stall(Stall::FlushCache, 7);
+        t.stall_exact(Stall::Gc, 5);
+        let s = t.stall_totals();
+        assert_eq!(s.media, 100);
+        assert_eq!(s.wal_fsync, 100);
+        assert_eq!(s.flush_cache, 7);
+        assert_eq!(s.gc, 5);
+        assert_eq!(s.pool_eviction, 0);
+        assert_eq!(s.total(), 212);
+    }
+
+    #[test]
+    fn nested_contexts_use_innermost() {
+        let t = Telemetry::new();
+        t.push_context(Stall::WalFsync);
+        t.push_context(Stall::PoolEviction);
+        t.stall(Stall::Media, 10);
+        t.pop_context();
+        t.stall(Stall::Media, 5);
+        t.pop_context();
+        let s = t.stall_totals();
+        assert_eq!(s.pool_eviction, 10);
+        assert_eq!(s.wal_fsync, 5);
+        assert_eq!(s.media, 0);
+    }
+
+    #[test]
+    fn shared_handle_sees_all_writes() {
+        let a = Telemetry::new();
+        let b = a.clone();
+        a.incr("x", 1);
+        b.incr("x", 1);
+        assert_eq!(a.counter("x"), 2);
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let t = Telemetry::new();
+        t.incr("engine.commits", 42);
+        t.set_gauge("pool.dirty", 17);
+        t.set_gauge("neg", -3);
+        for v in [0u64, 1, 5, 1000, 123_456_789, u64::MAX] {
+            t.record("dev.write", v);
+        }
+        t.record("odd \"name\" \\ here", 77);
+        t.stall(Stall::FlushCache, 1234);
+        t.stall(Stall::Media, 9);
+        let j1 = t.to_json();
+        let reg = Registry::from_json(&j1).expect("parse back");
+        let j2 = reg.to_json();
+        assert_eq!(j1, j2, "round trip must be lossless");
+        assert_eq!(reg.counter("engine.commits"), 42);
+        assert_eq!(reg.gauge("neg"), Some(-3));
+        assert_eq!(reg.stall_totals().flush_cache, 1234);
+        let h = reg.histogram("dev.write").unwrap();
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let t = Telemetry::new();
+        t.incr("a", 1);
+        t.record("h", 10);
+        t.stall(Stall::Gc, 5);
+        t.reset();
+        assert_eq!(t.counter("a"), 0);
+        assert!(t.histogram("h").is_none());
+        assert_eq!(t.stall_totals().total(), 0);
+    }
+}

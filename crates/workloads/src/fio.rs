@@ -6,8 +6,8 @@
 //! ("# of Writes per Fsync" 1..256 and none) and Table 2 (page size 4/8/16KB,
 //! 1 or 128 threads).
 
-use rand::Rng;
 use simkit::dist::rng;
+use simkit::dist::Rng;
 use simkit::{ClosedLoop, DriverReport, Nanos};
 use storage::device::BlockDevice;
 use storage::volume::Volume;
@@ -74,9 +74,9 @@ pub fn run<D: BlockDevice>(vol: &mut Volume<D>, spec: &FioSpec, start: Nanos) ->
         let block = rngs[job].gen_range(0..spec.span_blocks);
         let lpn = block * pages_per_block;
         match spec.op {
-            FioOp::Read => vol
-                .read(lpn, pages_per_block as u32, &mut rbuf, now)
-                .expect("in-range read"),
+            FioOp::Read => {
+                vol.read(lpn, pages_per_block as u32, &mut rbuf, now).expect("in-range read")
+            }
             FioOp::Write => {
                 counter += 1;
                 wbuf[..8].copy_from_slice(&counter.to_le_bytes());

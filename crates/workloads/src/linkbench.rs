@@ -16,8 +16,8 @@
 //! of the paper's Table 3.
 
 use crate::cpu::CpuModel;
-use rand::Rng;
 use relstore::{Engine, TreeId};
+use simkit::dist::Rng;
 use simkit::dist::{rng, PowerLaw, ScrambledZipfian};
 use simkit::stats::{LatencyStats, Summary};
 use simkit::{clock, ClosedLoop, Nanos};
@@ -214,9 +214,9 @@ pub fn load<D: BlockDevice, L: BlockDevice>(
     spec: &LinkBenchSpec,
     now: Nanos,
 ) -> (Graph, Nanos) {
-    let (nodes, t) = engine.create_tree(now);
-    let (links, t) = engine.create_tree(t);
-    let (counts, mut t) = engine.create_tree(t);
+    let (nodes, t) = engine.create_tree(now).into_parts();
+    let (links, t) = engine.create_tree(t).into_parts();
+    let (counts, mut t) = engine.create_tree(t).into_parts();
     let mut r = rng(spec.seed);
     let fanout = PowerLaw::new(1, spec.max_links.max(2), 2.2);
     for id in 0..spec.nodes {
@@ -295,13 +295,13 @@ fn run_op<D: BlockDevice, L: BlockDevice, R: Rng>(
     let id = chooser.sample(r);
     let typ = r.gen_range(0..spec.link_types);
     match op {
-        OpType::GetNode => engine.get(g.nodes, &node_key(id), now).1,
-        OpType::CountLink => engine.get(g.counts, &count_key(id, typ), now).1,
+        OpType::GetNode => engine.get(g.nodes, &node_key(id), now).done,
+        OpType::CountLink => engine.get(g.counts, &count_key(id, typ), now).done,
         OpType::GetLinkList => {
             // Range over this node's links of one type (LinkBench caps the
             // returned list; typical lists are short).
             let prefix = link_prefix(id, typ);
-            let (rows, t) = engine.scan(g.links, &prefix, 20, now);
+            let (rows, t) = engine.scan(g.links, &prefix, 20, now).into_parts();
             // Discard rows beyond the prefix (scan is a range, not a filter).
             let _ = rows.iter().take_while(|(k, _)| k.starts_with(&prefix)).count();
             t
@@ -310,18 +310,19 @@ fn run_op<D: BlockDevice, L: BlockDevice, R: Rng>(
             let mut t = now;
             for _ in 0..3 {
                 let id2 = chooser.sample(r);
-                t = engine.get(g.links, &link_key(id, typ, id2), t).1;
+                t = engine.get(g.links, &link_key(id, typ, id2), t).done;
             }
             t
         }
         OpType::AddNode => {
             let new_id = g.next_id;
             g.next_id += 1;
-            let t = engine.put(g.nodes, &node_key(new_id), &payload(spec.node_payload, new_id), now);
+            let t =
+                engine.put(g.nodes, &node_key(new_id), &payload(spec.node_payload, new_id), now);
             engine.commit(t)
         }
         OpType::DeleteNode => {
-            let (_, t) = engine.delete(g.nodes, &node_key(id), now);
+            let (_, t) = engine.delete(g.nodes, &node_key(id), now).into_parts();
             engine.commit(t)
         }
         OpType::UpdateNode => {
@@ -330,21 +331,21 @@ fn run_op<D: BlockDevice, L: BlockDevice, R: Rng>(
         }
         OpType::AddLink => {
             let id2 = chooser.sample(r);
-            let t = engine.put(g.links, &link_key(id, typ, id2), &payload(spec.link_payload, id2), now);
+            let t =
+                engine.put(g.links, &link_key(id, typ, id2), &payload(spec.link_payload, id2), now);
             // Transactionally bump the count.
-            let (cur, t) = engine.get(g.counts, &count_key(id, typ), t);
-            let n = cur
-                .map(|v| u64::from_le_bytes(v[..8].try_into().unwrap_or_default()))
-                .unwrap_or(0);
+            let (cur, t) = engine.get(g.counts, &count_key(id, typ), t).into_parts();
+            let n =
+                cur.map(|v| u64::from_le_bytes(v[..8].try_into().unwrap_or_default())).unwrap_or(0);
             let t = engine.put(g.counts, &count_key(id, typ), &(n + 1).to_le_bytes(), t);
             engine.commit(t)
         }
         OpType::DeleteLink => {
             let id2 = chooser.sample(r);
-            let (existed, t) = engine.delete(g.links, &link_key(id, typ, id2), now);
+            let (existed, t) = engine.delete(g.links, &link_key(id, typ, id2), now).into_parts();
             let mut t = t;
             if existed {
-                let (cur, t2) = engine.get(g.counts, &count_key(id, typ), t);
+                let (cur, t2) = engine.get(g.counts, &count_key(id, typ), t).into_parts();
                 let n = cur
                     .map(|v| u64::from_le_bytes(v[..8].try_into().unwrap_or_default()))
                     .unwrap_or(1);
@@ -354,7 +355,12 @@ fn run_op<D: BlockDevice, L: BlockDevice, R: Rng>(
         }
         OpType::UpdateLink => {
             let id2 = chooser.sample(r);
-            let t = engine.put(g.links, &link_key(id, typ, id2), &payload(spec.link_payload, !id2), now);
+            let t = engine.put(
+                g.links,
+                &link_key(id, typ, id2),
+                &payload(spec.link_payload, !id2),
+                now,
+            );
             engine.commit(t)
         }
     }
@@ -385,7 +391,8 @@ pub fn run<D: BlockDevice, L: BlockDevice>(
         }
     });
     engine.reset_pool_stats();
-    let mut per_type: Vec<LatencyStats> = (0..OP_TYPES.len()).map(|_| LatencyStats::new()).collect();
+    let mut per_type: Vec<LatencyStats> =
+        (0..OP_TYPES.len()).map(|_| LatencyStats::new()).collect();
     let rep = driver.run(spec.ops, |client, now| {
         let op = mixer.pick(&mut rngs[client]);
         let t0 = cpu.charge(now);
@@ -424,7 +431,7 @@ mod tests {
             log_file_blocks: 2048,
             ..EngineConfig::mysql_like(4096)
         };
-        Engine::create(MemDevice::new(64 * 1024), MemDevice::new(16 * 1024), cfg, 0).0
+        Engine::create(MemDevice::new(64 * 1024), MemDevice::new(16 * 1024), cfg, 0).value
     }
 
     #[test]
@@ -467,7 +474,7 @@ mod tests {
         let sampled: u64 = rep.per_type.iter().map(|(_, s)| s.count).sum();
         assert_eq!(sampled, 500);
         // Reads were served.
-        let (v, _) = e.get(g.nodes, &node_key(5), rep.elapsed);
+        let (v, _) = e.get(g.nodes, &node_key(5), rep.elapsed).into_parts();
         assert!(v.is_some());
     }
 
@@ -483,7 +490,7 @@ mod tests {
             t = run_op(&mut e, &mut g, &spec, &chooser, &mut r, OpType::AddLink, t);
         }
         // Counts exist and are consistent with at least one link each.
-        let (rows, _) = e.scan(g.counts, b"c", 1000, t);
+        let (rows, _) = e.scan(g.counts, b"c", 1000, t).into_parts();
         assert!(!rows.is_empty());
     }
 }

@@ -11,9 +11,9 @@
 //! (`d_next_o_id`, stock quantities, balances, YTD sums) are real fields.
 
 use crate::cpu::CpuModel;
-use rand::Rng;
 use relstore::{Engine, TreeId};
 use simkit::dist::rng;
+use simkit::dist::Rng;
 use simkit::{ClosedLoop, Nanos, SECS};
 use storage::device::BlockDevice;
 
@@ -200,15 +200,15 @@ pub fn load<D: BlockDevice, L: BlockDevice>(
     spec: &TpccSpec,
     now: Nanos,
 ) -> (TpccDb, Nanos) {
-    let (warehouse, t) = engine.create_tree(now);
-    let (district, t) = engine.create_tree(t);
-    let (customer, t) = engine.create_tree(t);
-    let (item, t) = engine.create_tree(t);
-    let (stock, t) = engine.create_tree(t);
-    let (orders, t) = engine.create_tree(t);
-    let (new_order, t) = engine.create_tree(t);
-    let (order_line, t) = engine.create_tree(t);
-    let (history, mut t) = engine.create_tree(t);
+    let (warehouse, t) = engine.create_tree(now).into_parts();
+    let (district, t) = engine.create_tree(t).into_parts();
+    let (customer, t) = engine.create_tree(t).into_parts();
+    let (item, t) = engine.create_tree(t).into_parts();
+    let (stock, t) = engine.create_tree(t).into_parts();
+    let (orders, t) = engine.create_tree(t).into_parts();
+    let (new_order, t) = engine.create_tree(t).into_parts();
+    let (order_line, t) = engine.create_tree(t).into_parts();
+    let (history, mut t) = engine.create_tree(t).into_parts();
     for i in 0..spec.items {
         t = engine.put(item, &k_i(i), &row(&i.to_le_bytes(), 60), t);
         if i % 512 == 511 {
@@ -264,12 +264,12 @@ fn new_order<D: BlockDevice, L: BlockDevice, R: Rng>(
     let w = r.gen_range(0..spec.warehouses);
     let d = r.gen_range(0..spec.districts);
     let c = r.gen_range(0..spec.customers);
-    let (_, t) = e.get(db.warehouse, &k_w(w), now);
-    let (drow, t) = e.get(db.district, &k_d(w, d), t);
+    let (_, t) = e.get(db.warehouse, &k_w(w), now).into_parts();
+    let (drow, t) = e.get(db.district, &k_d(w, d), t).into_parts();
     let drow = drow.expect("district loaded");
     let o_id = district_next_o_id(&drow);
     let mut t = e.put(db.district, &k_d(w, d), &district_row(o_id + 1, district_ytd(&drow)), t);
-    let (_, t2) = e.get(db.customer, &k_c(w, d, c), t);
+    let (_, t2) = e.get(db.customer, &k_c(w, d, c), t).into_parts();
     t = t2;
     let ol_cnt = r.gen_range(5..=15u32);
     let mut fixed = c.to_le_bytes().to_vec();
@@ -278,8 +278,8 @@ fn new_order<D: BlockDevice, L: BlockDevice, R: Rng>(
     t = e.put(db.new_order, &k_o(w, d, o_id), &[1u8], t);
     for l in 0..ol_cnt {
         let i = r.gen_range(0..spec.items);
-        let (_, t2) = e.get(db.item, &k_i(i), t);
-        let (srow, t3) = e.get(db.stock, &k_s(w, i), t2);
+        let (_, t2) = e.get(db.item, &k_i(i), t).into_parts();
+        let (srow, t3) = e.get(db.stock, &k_s(w, i), t2).into_parts();
         let srow = srow.expect("stock loaded");
         let qty = stock_qty(&srow);
         let new_qty = if qty > 10 { qty - r.gen_range(1..=10) } else { qty + 91 };
@@ -302,10 +302,10 @@ fn payment<D: BlockDevice, L: BlockDevice, R: Rng>(
     let d = r.gen_range(0..spec.districts);
     let c = r.gen_range(0..spec.customers);
     let amount = r.gen_range(1..=5000i64);
-    let (wrow, t) = e.get(db.warehouse, &k_w(w), now);
+    let (wrow, t) = e.get(db.warehouse, &k_w(w), now).into_parts();
     let wrow = wrow.expect("warehouse loaded");
     let t = e.put(db.warehouse, &k_w(w), &warehouse_row(warehouse_ytd(&wrow) + amount as u64), t);
-    let (drow, t) = e.get(db.district, &k_d(w, d), t);
+    let (drow, t) = e.get(db.district, &k_d(w, d), t).into_parts();
     let drow = drow.expect("district loaded");
     let t = e.put(
         db.district,
@@ -313,7 +313,7 @@ fn payment<D: BlockDevice, L: BlockDevice, R: Rng>(
         &district_row(district_next_o_id(&drow), district_ytd(&drow) + amount as u64),
         t,
     );
-    let (crow, t) = e.get(db.customer, &k_c(w, d, c), t);
+    let (crow, t) = e.get(db.customer, &k_c(w, d, c), t).into_parts();
     let crow = crow.expect("customer loaded");
     let t = e.put(db.customer, &k_c(w, d, c), &customer_row(customer_balance(&crow) - amount), t);
     db.next_h_id += 1;
@@ -331,16 +331,16 @@ fn order_status<D: BlockDevice, L: BlockDevice, R: Rng>(
     let w = r.gen_range(0..spec.warehouses);
     let d = r.gen_range(0..spec.districts);
     let c = r.gen_range(0..spec.customers);
-    let (_, t) = e.get(db.customer, &k_c(w, d, c), now);
+    let (_, t) = e.get(db.customer, &k_c(w, d, c), now).into_parts();
     // Latest order of the district, then its lines.
-    let (drow, t) = e.get(db.district, &k_d(w, d), t);
+    let (drow, t) = e.get(db.district, &k_d(w, d), t).into_parts();
     let next = drow.map(|x| district_next_o_id(&x)).unwrap_or(1);
     if next <= 1 {
         return t;
     }
     let o = next - 1;
-    let (_, t) = e.get(db.orders, &k_o(w, d, o), t);
-    let (_, t) = e.scan(db.order_line, &k_ol(w, d, o, 0), 15, t);
+    let (_, t) = e.get(db.orders, &k_o(w, d, o), t).into_parts();
+    let (_, t) = e.scan(db.order_line, &k_ol(w, d, o, 0), 15, t).into_parts();
     t
 }
 
@@ -355,15 +355,15 @@ fn delivery<D: BlockDevice, L: BlockDevice, R: Rng>(
     let mut t = now;
     for d in 0..spec.districts {
         // Oldest undelivered order in the district.
-        let (rows, t2) = e.scan(db.new_order, &k_o(w, d, 0), 1, t);
+        let (rows, t2) = e.scan(db.new_order, &k_o(w, d, 0), 1, t).into_parts();
         t = t2;
         let Some((key, _)) = rows.into_iter().next() else { continue };
         if key.len() != 12 || key[..8] != k_d(w, d)[..] {
             continue; // scan ran past the district
         }
-        let (_, t2) = e.delete(db.new_order, &key, t);
+        let (_, t2) = e.delete(db.new_order, &key, t).into_parts();
         t = t2;
-        let (orow, t2) = e.get(db.orders, &key, t);
+        let (orow, t2) = e.get(db.orders, &key, t).into_parts();
         t = t2;
         if let Some(mut orow) = orow {
             if orow.len() > 5 {
@@ -372,7 +372,7 @@ fn delivery<D: BlockDevice, L: BlockDevice, R: Rng>(
             t = e.put(db.orders, &key, &orow, t);
         }
         let c = r.gen_range(0..spec.customers);
-        let (crow, t2) = e.get(db.customer, &k_c(w, d, c), t);
+        let (crow, t2) = e.get(db.customer, &k_c(w, d, c), t).into_parts();
         t = t2;
         if let Some(crow) = crow {
             t = e.put(db.customer, &k_c(w, d, c), &customer_row(customer_balance(&crow) + 10), t);
@@ -391,17 +391,17 @@ fn stock_level<D: BlockDevice, L: BlockDevice, R: Rng>(
     let w = r.gen_range(0..spec.warehouses);
     let d = r.gen_range(0..spec.districts);
     let threshold = r.gen_range(10..=20);
-    let (drow, t) = e.get(db.district, &k_d(w, d), now);
+    let (drow, t) = e.get(db.district, &k_d(w, d), now).into_parts();
     let next = drow.map(|x| district_next_o_id(&x)).unwrap_or(1);
     let from = next.saturating_sub(20).max(1);
-    let (lines, mut t) = e.scan(db.order_line, &k_ol(w, d, from, 0), 100, t);
+    let (lines, mut t) = e.scan(db.order_line, &k_ol(w, d, from, 0), 100, t).into_parts();
     let mut checked = 0;
     for (k, v) in lines {
         if k.len() != 16 || k[..8] != k_d(w, d)[..] {
             break;
         }
         let item = u32::from_le_bytes(v[..4].try_into().unwrap_or_default());
-        let (srow, t2) = e.get(db.stock, &k_s(w, item % spec.items), t);
+        let (srow, t2) = e.get(db.stock, &k_s(w, item % spec.items), t).into_parts();
         t = t2;
         if let Some(srow) = srow {
             if stock_qty(&srow) < threshold {
@@ -420,16 +420,15 @@ pub fn run<D: BlockDevice, L: BlockDevice>(
     spec: &TpccSpec,
     start: Nanos,
 ) -> TpccReport {
-    let mut rngs: Vec<_> =
-        (0..spec.clients).map(|c| rng(spec.seed ^ ((c as u64) << 17))).collect();
+    let mut rngs: Vec<_> = (0..spec.clients).map(|c| rng(spec.seed ^ ((c as u64) << 17))).collect();
     let mut counts = TpccReportCounts::default();
     let mut cpu = CpuModel::new(spec.cores, spec.cpu_per_txn);
     let mut driver = ClosedLoop::new(spec.clients, start);
     let txn = |e: &mut Engine<D, L>,
-                   db: &mut TpccDb,
-                   counts: Option<&mut TpccReportCounts>,
-                   r: &mut rand::rngs::StdRng,
-                   now: Nanos| {
+               db: &mut TpccDb,
+               counts: Option<&mut TpccReportCounts>,
+               r: &mut simkit::dist::SimRng,
+               now: Nanos| {
         let x = r.gen_range(0..100u32);
         let (done, kind) = if x < 45 {
             (new_order(e, db, spec, r, now), 0)
@@ -494,7 +493,7 @@ mod tests {
             log_file_blocks: 4096,
             ..EngineConfig::mysql_like(4096)
         };
-        Engine::create(MemDevice::new(160 * 1024), MemDevice::new(32 * 1024), cfg, 0).0
+        Engine::create(MemDevice::new(160 * 1024), MemDevice::new(32 * 1024), cfg, 0).value
     }
 
     fn tiny_spec() -> TpccSpec {
@@ -543,7 +542,7 @@ mod tests {
         let mut grew = false;
         for w in 0..spec.warehouses {
             for d in 0..spec.districts {
-                let (row, t2) = e.get(db.district, &k_d(w, d), t);
+                let (row, t2) = e.get(db.district, &k_d(w, d), t).into_parts();
                 t = t2;
                 if district_next_o_id(&row.unwrap()) > 1 {
                     grew = true;
@@ -563,7 +562,7 @@ mod tests {
         let mut total_ytd = 0u64;
         let mut t = t;
         for w in 0..spec.warehouses {
-            let (row, t2) = e.get(db.warehouse, &k_w(w), t);
+            let (row, t2) = e.get(db.warehouse, &k_w(w), t).into_parts();
             t = t2;
             total_ytd += warehouse_ytd(&row.unwrap());
         }
@@ -580,13 +579,13 @@ mod tests {
         for _ in 0..6 {
             t = new_order(&mut e, &mut db, &spec, &mut r, t);
         }
-        let (before, t2) = e.scan(db.new_order, &[], 1000, t);
+        let (before, t2) = e.scan(db.new_order, &[], 1000, t).into_parts();
         // Deliver from every warehouse (random w inside, run a few times).
         let mut t = t2;
         for _ in 0..6 {
             t = delivery(&mut e, &mut db, &spec, &mut r, t);
         }
-        let (after, _) = e.scan(db.new_order, &[], 1000, t);
+        let (after, _) = e.scan(db.new_order, &[], 1000, t).into_parts();
         assert!(after.len() < before.len(), "{} -> {}", before.len(), after.len());
     }
 }

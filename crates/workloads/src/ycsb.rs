@@ -7,7 +7,7 @@
 
 use crate::cpu::CpuModel;
 use docstore::DocStore;
-use rand::Rng;
+use simkit::dist::Rng;
 use simkit::dist::{rng, ScrambledZipfian};
 use simkit::{ClosedLoop, DriverReport, Nanos};
 use storage::device::BlockDevice;
@@ -69,11 +69,7 @@ pub fn load<D: BlockDevice>(store: &mut DocStore<D>, spec: &YcsbSpec, now: Nanos
 
 /// Run the measured phase; returns the driver report (ops/s = the paper's
 /// OPS metric).
-pub fn run<D: BlockDevice>(
-    store: &mut DocStore<D>,
-    spec: &YcsbSpec,
-    start: Nanos,
-) -> DriverReport {
+pub fn run<D: BlockDevice>(store: &mut DocStore<D>, spec: &YcsbSpec, start: Nanos) -> DriverReport {
     let chooser = ScrambledZipfian::new(spec.records);
     let mut rngs: Vec<_> = (0..spec.clients).map(|c| rng(spec.seed ^ (c as u64) << 40)).collect();
     let mut cpu = CpuModel::new(spec.clients.max(1), spec.cpu_per_op);
@@ -87,7 +83,7 @@ pub fn run<D: BlockDevice>(
         if r.gen_bool(spec.update_fraction) {
             store.set(&key, &value_of(spec.value_size, op_no), t0)
         } else {
-            store.get(&key, t0).1
+            store.get(&key, t0).done
         }
     })
 }
@@ -101,7 +97,12 @@ mod tests {
     fn store(batch: u32) -> DocStore<MemDevice> {
         DocStore::create(
             MemDevice::new(32 * 1024),
-            DocStoreConfig { batch_size: batch, barriers: true, file_blocks: 32 * 1024, auto_compact_pct: 0 },
+            DocStoreConfig {
+                batch_size: batch,
+                barriers: true,
+                file_blocks: 32 * 1024,
+                auto_compact_pct: 0,
+            },
         )
     }
 

@@ -14,23 +14,20 @@ use storage::device::BlockDevice;
 const KEYS: u64 = 400;
 
 fn cfg() -> EngineConfig {
-    EngineConfig {
-        page_size: 4096,
-        buffer_pool_bytes: 64 * 4096,
-        double_write: false, // lean: the device is trusted for atomicity
-        full_page_writes: false,
-        barriers: false,     // lean: fsync never flushes the device cache
-        o_dsync: false,
-        data_pages: 8192,
-        log_files: 2,
-        log_file_blocks: 1024,
-        dwb_pages: 64,
-    }
+    EngineConfig::builder(4096)
+        .buffer_pool_bytes(64 * 4096)
+        .double_write(false) // lean: the device is trusted for atomicity
+        .barriers(false) // lean: fsync never flushes the device cache
+        .data_pages(8192)
+        .log_files(2)
+        .log_file_blocks(1024)
+        .dwb_pages(64)
+        .build()
 }
 
 fn trial<D: BlockDevice>(name: &str, data: D, log: D) {
-    let (mut e, t0) = Engine::create(data, log, cfg(), 0);
-    let (tree, t1) = e.create_tree(t0);
+    let (mut e, t0) = Engine::create(data, log, cfg(), 0).into_parts();
+    let (tree, t1) = e.create_tree(t0).into_parts();
     let mut now = e.checkpoint(t1);
     for i in 0..KEYS {
         now = e.put(tree, format!("k{i:05}").as_bytes(), format!("v{i}").as_bytes(), now);
@@ -38,12 +35,12 @@ fn trial<D: BlockDevice>(name: &str, data: D, log: D) {
     }
     println!("{name}: {KEYS} transactions committed; pulling the plug…");
     let (d, l) = e.crash(now + 1);
-    match Engine::recover(d, l, cfg(), now + 2) {
+    match Engine::recover(d, l, cfg(), now + 2).map(simkit::Timed::into_parts) {
         Err(err) => println!("{name}: database is UNRECOVERABLE ({err})\n"),
         Ok((mut e2, mut t2)) => {
             let mut lost = 0;
             for i in 0..KEYS {
-                let (v, t3) = e2.get(tree, format!("k{i:05}").as_bytes(), t2);
+                let (v, t3) = e2.get(tree, format!("k{i:05}").as_bytes(), t2).into_parts();
                 t2 = t3;
                 if v.as_deref() != Some(format!("v{i}").as_bytes()) {
                     lost += 1;

@@ -14,22 +14,17 @@ use durassd::{Ssd, SsdConfig};
 use relstore::{Engine, EngineConfig};
 
 fn trial(name: &str, double_write: bool, page_size: usize) -> (u64, u64) {
-    let cfg = EngineConfig {
-        page_size,
-        buffer_pool_bytes: 48 * page_size as u64, // small pool: every write reaches the device
-        double_write,
-        full_page_writes: false,
-        barriers: true,
-        o_dsync: false,
-        data_pages: 16 * 1024 * 4096 / page_size as u64,
-        log_files: 2,
-        log_file_blocks: 4096,
-        dwb_pages: (2 * 1024 * 1024 / page_size) as u64,
-    };
+    let cfg = EngineConfig::builder(page_size)
+        .buffer_pool_bytes(48 * page_size as u64) // small pool: every write reaches the device
+        .double_write(double_write)
+        .data_pages(16 * 1024 * 4096 / page_size as u64)
+        .log_files(2)
+        .log_file_blocks(4096)
+        .build();
     let data = Ssd::new(SsdConfig::durassd(16));
     let log = Ssd::new(SsdConfig::durassd(16));
-    let (mut e, t0) = Engine::create(data, log, cfg, 0);
-    let (tree, t1) = e.create_tree(t0);
+    let (mut e, t0) = Engine::create(data, log, cfg, 0).into_parts();
+    let (tree, t1) = e.create_tree(t0).into_parts();
     let mut now = e.checkpoint(t1);
     for i in 0..6_000u64 {
         let k = format!("row{:06}", (i * 37) % 3_000);
@@ -45,9 +40,7 @@ fn trial(name: &str, double_write: bool, page_size: usize) -> (u64, u64) {
     let media_bytes = dev.media_pages_written * 4096;
     println!(
         "{name}\n    host page writes: {:>8}   media 4KB-slots written: {:>8}   GC erases: {}",
-        dev.pages_written,
-        dev.media_pages_written,
-        dev.gc_erases,
+        dev.pages_written, dev.media_pages_written, dev.gc_erases,
     );
     (host_bytes, media_bytes)
 }

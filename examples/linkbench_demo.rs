@@ -12,21 +12,15 @@ fn run_config(name: &str, barriers: bool, dwb: bool, page_size: usize) {
     let nodes = 10_000u64;
     let ops = 5_000u64;
     let est_db = nodes * 900;
-    let cfg = EngineConfig {
-        page_size,
-        buffer_pool_bytes: est_db / 10,
-        double_write: dwb,
-        full_page_writes: false,
-        barriers,
-        o_dsync: false,
-        data_pages: (est_db * 4 / page_size as u64).max(8192),
-        log_files: 3,
-        log_file_blocks: 4096,
-        dwb_pages: (2 * 1024 * 1024 / page_size) as u64,
-    };
+    let cfg = EngineConfig::builder(page_size)
+        .buffer_pool_bytes(est_db / 10)
+        .double_write(dwb)
+        .barriers(barriers)
+        .data_pages((est_db * 4 / page_size as u64).max(8192))
+        .build();
     let data = Ssd::new(SsdConfig::durassd(16));
     let log = Ssd::new(SsdConfig::durassd(16));
-    let (mut engine, t0) = Engine::create(data, log, cfg, 0);
+    let (mut engine, t0) = Engine::create(data, log, cfg, 0).into_parts();
     engine.set_group_commit(true);
     let spec = LinkBenchSpec {
         clients: 64,
@@ -38,7 +32,12 @@ fn run_config(name: &str, barriers: bool, dwb: bool, page_size: usize) {
     let rep = run(&mut engine, &mut graph, &spec, t1);
     println!("{name}: {:>8.0} TPS   (miss ratio {:.1}%)", rep.tps, engine.miss_ratio() * 100.0);
     for (op, s) in rep.per_type.iter().take(3) {
-        println!("    {:<14} p50 {:>7.2} ms   p99 {:>7.2} ms", op.label(), s.p50 as f64 / 1e6, s.p99 as f64 / 1e6);
+        println!(
+            "    {:<14} p50 {:>7.2} ms   p99 {:>7.2} ms",
+            op.label(),
+            s.p50 as f64 / 1e6,
+            s.p99 as f64 / 1e6
+        );
     }
 }
 

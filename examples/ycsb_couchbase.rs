@@ -10,10 +10,19 @@ use workloads::ycsb::{load, run, YcsbSpec};
 fn sweep(barriers: bool) {
     println!(
         "write barriers {}:",
-        if barriers { "ON  (fsync flushes the device cache)" } else { "OFF (durable cache trusted)" }
+        if barriers {
+            "ON  (fsync flushes the device cache)"
+        } else {
+            "OFF (durable cache trusted)"
+        }
     );
     for batch in [1u32, 10, 100] {
-        let cfg = DocStoreConfig { batch_size: batch, barriers, file_blocks: 100_000, auto_compact_pct: 0 };
+        let cfg = DocStoreConfig {
+            batch_size: batch,
+            barriers,
+            file_blocks: 100_000,
+            auto_compact_pct: 0,
+        };
         let mut store = DocStore::create(Ssd::new(SsdConfig::durassd(16)), cfg);
         let spec = YcsbSpec::workload_a(5_000, 4_000);
         let t = load(&mut store, &spec, 0);

@@ -3,7 +3,7 @@
 
 use durassd::{Ssd, SsdConfig};
 use hdd::{Hdd, HddConfig};
-use relstore::{Engine, EngineConfig, RecoveryError};
+use relstore::{Engine, EngineConfig, Error};
 use storage::device::BlockDevice;
 
 const KEYS: u64 = 300;
@@ -25,24 +25,20 @@ fn engine_cfg(safe: bool) -> EngineConfig {
 
 /// Run a committed workload, crash, recover; return Ok(lost) or the
 /// recovery error.
-fn crash_trial<D: BlockDevice, L: BlockDevice>(
-    data: D,
-    log: L,
-    safe: bool,
-) -> Result<u64, RecoveryError> {
+fn crash_trial<D: BlockDevice, L: BlockDevice>(data: D, log: L, safe: bool) -> Result<u64, Error> {
     let cfg = engine_cfg(safe);
-    let (mut e, t0) = Engine::create(data, log, cfg, 0);
-    let (tree, t1) = e.create_tree(t0);
+    let (mut e, t0) = Engine::create(data, log, cfg, 0).into_parts();
+    let (tree, t1) = e.create_tree(t0).into_parts();
     let mut now = e.checkpoint(t1);
     for i in 0..KEYS {
         now = e.put(tree, format!("k{i:04}").as_bytes(), format!("v{i}").as_bytes(), now);
         now = e.commit(now);
     }
     let (d, l) = e.crash(now + 1);
-    let (mut e2, mut t2) = Engine::recover(d, l, cfg, now + 2)?;
+    let (mut e2, mut t2) = Engine::recover(d, l, cfg, now + 2)?.into_parts();
     let mut lost = 0;
     for i in 0..KEYS {
-        let (v, t3) = e2.get(tree, format!("k{i:04}").as_bytes(), t2);
+        let (v, t3) = e2.get(tree, format!("k{i:04}").as_bytes(), t2).into_parts();
         t2 = t3;
         if v.as_deref() != Some(format!("v{i}").as_bytes()) {
             lost += 1;
@@ -96,7 +92,9 @@ fn disk_safe_config_loses_nothing() {
 
 #[test]
 fn disk_lean_config_loses_data() {
-    if let Ok(lost) = crash_trial(disk(), disk(), false) { assert!(lost > 0, "disk write cache must lose acknowledged commits") }
+    if let Ok(lost) = crash_trial(disk(), disk(), false) {
+        assert!(lost > 0, "disk write cache must lose acknowledged commits")
+    }
 }
 
 #[test]
@@ -104,8 +102,8 @@ fn repeated_crashes_converge() {
     // Crash, recover, write more, crash again: recovery must be idempotent
     // and stack across generations (DuraSSD, lean config).
     let cfg = engine_cfg(false);
-    let (mut e, t0) = Engine::create(durassd(), durassd(), cfg, 0);
-    let (tree, t1) = e.create_tree(t0);
+    let (mut e, t0) = Engine::create(durassd(), durassd(), cfg, 0).into_parts();
+    let (tree, t1) = e.create_tree(t0).into_parts();
     let mut now = e.checkpoint(t1);
     let mut expected = 0u64;
     for generation in 0..3u64 {
@@ -116,7 +114,7 @@ fn repeated_crashes_converge() {
         }
         expected += 100;
         let (d, l) = e.crash(now + 1);
-        let (e2, t2) = Engine::recover(d, l, cfg, now + 2).expect("recover");
+        let (e2, t2) = Engine::recover(d, l, cfg, now + 2).expect("recover").into_parts();
         e = e2;
         now = t2;
     }
@@ -125,7 +123,7 @@ fn repeated_crashes_converge() {
     for generation in 0..3u64 {
         for i in 0..100u64 {
             let k = format!("g{generation}k{i:03}");
-            let (v, t) = e.get(tree, k.as_bytes(), now);
+            let (v, t) = e.get(tree, k.as_bytes(), now).into_parts();
             now = t;
             if v.is_some() {
                 found += 1;
@@ -143,17 +141,17 @@ fn double_write_repairs_torn_pages_on_volatile_ssd() {
         buffer_pool_bytes: 16 * 4096, // tiny pool: constant eviction
         ..engine_cfg(true)
     };
-    let (mut e, t0) = Engine::create(volatile_ssd(), volatile_ssd(), cfg, 0);
-    let (tree, t1) = e.create_tree(t0);
+    let (mut e, t0) = Engine::create(volatile_ssd(), volatile_ssd(), cfg, 0).into_parts();
+    let (tree, t1) = e.create_tree(t0).into_parts();
     let mut now = e.checkpoint(t1);
     for i in 0..KEYS {
         now = e.put(tree, format!("k{i:04}").as_bytes(), &[b'x'; 120], now);
         now = e.commit(now);
     }
     let (d, l) = e.crash(now + 1);
-    let (mut e2, mut t2) = Engine::recover(d, l, cfg, now + 2).expect("recover");
+    let (mut e2, mut t2) = Engine::recover(d, l, cfg, now + 2).expect("recover").into_parts();
     for i in 0..KEYS {
-        let (v, t3) = e2.get(tree, format!("k{i:04}").as_bytes(), t2);
+        let (v, t3) = e2.get(tree, format!("k{i:04}").as_bytes(), t2).into_parts();
         t2 = t3;
         assert_eq!(v.unwrap(), vec![b'x'; 120], "key {i} after DWB repair");
     }
@@ -162,8 +160,8 @@ fn double_write_repairs_torn_pages_on_volatile_ssd() {
 #[test]
 fn uncommitted_work_never_reappears_after_crash() {
     let cfg = engine_cfg(true);
-    let (mut e, t0) = Engine::create(durassd(), durassd(), cfg, 0);
-    let (tree, t1) = e.create_tree(t0);
+    let (mut e, t0) = Engine::create(durassd(), durassd(), cfg, 0).into_parts();
+    let (tree, t1) = e.create_tree(t0).into_parts();
     let mut now = e.checkpoint(t1);
     now = e.put(tree, b"committed", b"1", now);
     now = e.commit(now);
@@ -172,12 +170,12 @@ fn uncommitted_work_never_reappears_after_crash() {
         now = e.put(tree, format!("un{i}").as_bytes(), b"2", now);
     }
     let (d, l) = e.crash(now + 1);
-    let (mut e2, mut t2) = Engine::recover(d, l, cfg, now + 2).expect("recover");
-    let (v, t3) = e2.get(tree, b"committed", t2);
+    let (mut e2, mut t2) = Engine::recover(d, l, cfg, now + 2).expect("recover").into_parts();
+    let (v, t3) = e2.get(tree, b"committed", t2).into_parts();
     t2 = t3;
     assert_eq!(v.unwrap(), b"1");
     for i in 0..50u64 {
-        let (v, t3) = e2.get(tree, format!("un{i}").as_bytes(), t2);
+        let (v, t3) = e2.get(tree, format!("un{i}").as_bytes(), t2).into_parts();
         t2 = t3;
         assert!(v.is_none(), "uncommitted un{i} reappeared");
     }

@@ -1,5 +1,5 @@
-//! Property-based tests over the core invariants, per module and across the
-//! stack:
+//! Randomised property tests over the core invariants, per module and across
+//! the stack (seeded, deterministic — no external proptest dependency):
 //!
 //! * the B+-tree agrees with a `BTreeMap` model under arbitrary op streams;
 //! * the engine agrees with a model **across crash/recovery cycles**
@@ -9,7 +9,7 @@
 //!   while reads always return either a full old or full new page
 //!   (atomicity — no torn 16KB reads).
 
-use proptest::prelude::*;
+use simkit::dist::{rng, Rng};
 use std::collections::BTreeMap;
 
 use btree::{BTree, MemStore};
@@ -25,14 +25,6 @@ enum TreeOp {
     Get(u16),
 }
 
-fn tree_op() -> impl Strategy<Value = TreeOp> {
-    prop_oneof![
-        (any::<u16>(), any::<u8>(), any::<u8>()).prop_map(|(k, v, l)| TreeOp::Put(k, v, l)),
-        any::<u16>().prop_map(TreeOp::Delete),
-        any::<u16>().prop_map(TreeOp::Get),
-    ]
-}
-
 fn key_bytes(k: u16) -> Vec<u8> {
     format!("key{:05}", k % 2_000).into_bytes()
 }
@@ -43,11 +35,17 @@ fn val_bytes(v: u8, len: u8) -> Vec<u8> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn btree_matches_model(ops in proptest::collection::vec(tree_op(), 1..400)) {
+#[test]
+fn btree_matches_model() {
+    let mut r = rng(0xB7);
+    for _ in 0..64 {
+        let ops: Vec<TreeOp> = (0..r.gen_range(1..400usize))
+            .map(|_| match r.gen_range(0..3u32) {
+                0 => TreeOp::Put(r.gen::<u16>(), r.gen::<u8>(), r.gen::<u8>()),
+                1 => TreeOp::Delete(r.gen::<u16>()),
+                _ => TreeOp::Get(r.gen::<u16>()),
+            })
+            .collect();
         let mut store = MemStore::new(4096);
         let (mut tree, _) = BTree::create(&mut store, 0);
         let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
@@ -62,17 +60,17 @@ proptest! {
                     let key = key_bytes(k);
                     let (a, _) = tree.delete(&mut store, &key, 0);
                     let b = model.remove(&key).is_some();
-                    prop_assert_eq!(a, b);
+                    assert_eq!(a, b);
                 }
                 TreeOp::Get(k) => {
                     let key = key_bytes(k);
                     let (got, _) = tree.get(&mut store, &key, 0);
-                    prop_assert_eq!(got.as_deref(), model.get(&key).map(|v| v.as_slice()));
+                    assert_eq!(got.as_deref(), model.get(&key).map(|v| v.as_slice()));
                 }
             }
         }
         let (count, _) = tree.check(&mut store, 0);
-        prop_assert_eq!(count as usize, model.len());
+        assert_eq!(count as usize, model.len());
         // Ordered iteration agrees with the model.
         let mut scanned = Vec::new();
         tree.scan(&mut store, b"", 0, |k, _| {
@@ -80,14 +78,19 @@ proptest! {
             true
         });
         let expected: Vec<Vec<u8>> = model.keys().cloned().collect();
-        prop_assert_eq!(scanned, expected);
+        assert_eq!(scanned, expected);
     }
+}
 
-    #[test]
-    fn engine_survives_crashes_like_model(
-        batches in proptest::collection::vec(
-            proptest::collection::vec((any::<u16>(), any::<u8>()), 1..40), 1..5)
-    ) {
+#[test]
+fn engine_survives_crashes_like_model() {
+    let mut r = rng(0xE6);
+    for _ in 0..24 {
+        let batches: Vec<Vec<(u16, u8)>> = (0..r.gen_range(1..5usize))
+            .map(|_| {
+                (0..r.gen_range(1..40usize)).map(|_| (r.gen::<u16>(), r.gen::<u8>())).collect()
+            })
+            .collect();
         let cfg = EngineConfig {
             page_size: 4096,
             buffer_pool_bytes: 48 * 4096,
@@ -101,8 +104,8 @@ proptest! {
             dwb_pages: 8,
         };
         let mk = || Ssd::new(SsdConfig::tiny_test());
-        let (mut e, t0) = Engine::create(mk(), mk(), cfg, 0);
-        let (tree, t1) = e.create_tree(t0);
+        let (mut e, t0) = Engine::create(mk(), mk(), cfg, 0).into_parts();
+        let (tree, t1) = e.create_tree(t0).into_parts();
         let mut now = e.checkpoint(t1);
         let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
         for batch in batches {
@@ -114,23 +117,34 @@ proptest! {
             now = e.commit(now);
             // Crash and recover: the committed model state must hold.
             let (d, l) = e.crash(now + 1);
-            let (e2, t2) = Engine::recover(d, l, cfg, now + 2).expect("durable recovery");
+            let (e2, t2) =
+                Engine::recover(d, l, cfg, now + 2).expect("durable recovery").into_parts();
             e = e2;
             now = t2;
             for (key, val) in &model {
-                let (got, t3) = e.get(tree, key, now);
+                let (got, t3) = e.get(tree, key, now).into_parts();
                 now = t3;
-                prop_assert_eq!(got.as_deref(), Some(val.as_slice()));
+                assert_eq!(got.as_deref(), Some(val.as_slice()));
             }
         }
     }
+}
 
-    #[test]
-    fn docstore_crash_recovery_matches_model(
-        batches in proptest::collection::vec(
-            proptest::collection::vec((any::<u16>(), any::<u8>()), 1..30), 1..4)
-    ) {
-        let cfg = DocStoreConfig { batch_size: 1, barriers: false, file_blocks: 1500, auto_compact_pct: 0 };
+#[test]
+fn docstore_crash_recovery_matches_model() {
+    let mut r = rng(0xD0C);
+    for _ in 0..24 {
+        let batches: Vec<Vec<(u16, u8)>> = (0..r.gen_range(1..4usize))
+            .map(|_| {
+                (0..r.gen_range(1..30usize)).map(|_| (r.gen::<u16>(), r.gen::<u8>())).collect()
+            })
+            .collect();
+        let cfg = DocStoreConfig {
+            batch_size: 1,
+            barriers: false,
+            file_blocks: 1500,
+            auto_compact_pct: 0,
+        };
         let mut s = DocStore::create(Ssd::new(SsdConfig::tiny_test()), cfg);
         let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
         let mut now = 0;
@@ -141,22 +155,25 @@ proptest! {
                 model.insert(key, val);
             }
             let dev = s.crash(now + 1);
-            let (s2, t2) = DocStore::recover(dev, cfg, now + 2);
+            let (s2, t2) = DocStore::recover(dev, cfg, now + 2).into_parts();
             s = s2;
             now = t2;
             for (key, val) in &model {
-                let (got, t3) = s.get(key, now);
+                let (got, t3) = s.get(key, now).into_parts();
                 now = t3;
-                prop_assert_eq!(got.as_deref(), Some(val.as_slice()), "key {:?}", key);
+                assert_eq!(got.as_deref(), Some(val.as_slice()), "key {:?}", key);
             }
         }
     }
+}
 
-    #[test]
-    fn durassd_acked_writes_survive_any_power_cut(
-        writes in proptest::collection::vec((0u64..64, any::<u8>()), 1..60),
-        cut_frac in 0.0f64..1.0,
-    ) {
+#[test]
+fn durassd_acked_writes_survive_any_power_cut() {
+    let mut r = rng(0xACED);
+    for _ in 0..64 {
+        let writes: Vec<(u64, u8)> =
+            (0..r.gen_range(1..60usize)).map(|_| (r.gen_range(0u64..64), r.gen::<u8>())).collect();
+        let cut_frac: f64 = r.gen();
         let mut ssd = Ssd::new(SsdConfig::tiny_test());
         let mut now = 0;
         let mut acked: Vec<(u64, u8, u64)> = Vec::new(); // (lpn, tag, done)
@@ -186,20 +203,22 @@ proptest! {
             // A later write to the same lpn may legally have replaced the
             // content; the page must hold SOME write with sequence >= seq.
             t2 += 1;
-            let r = ssd.read(lpn, 1, &mut buf, t2);
-            prop_assert!(r.is_ok(), "lpn {}: read failed {:?}", lpn, r.err());
+            let res = ssd.read(lpn, 1, &mut buf, t2);
+            assert!(res.is_ok(), "lpn {}: read failed {:?}", lpn, res.err());
             let got = buf[0];
             let valid = acked.iter().any(|(l, s, _)| *l == lpn && *s == got && *s >= seq);
-            prop_assert!(valid, "lpn {lpn}: got seq {got}, acked-before-cut was {seq}");
+            assert!(valid, "lpn {lpn}: got seq {got}, acked-before-cut was {seq}");
         }
-        prop_assert_eq!(ssd.ssd_stats().lost_acked_slots, 0);
+        assert_eq!(ssd.ssd_stats().lost_acked_slots, 0);
     }
+}
 
-    #[test]
-    fn multi_page_writes_never_tear_on_durassd(
-        n_writes in 1usize..30,
-        cut_frac in 0.0f64..1.0,
-    ) {
+#[test]
+fn multi_page_writes_never_tear_on_durassd() {
+    let mut r = rng(0x7EA2);
+    for _ in 0..64 {
+        let n_writes = r.gen_range(1usize..30);
+        let cut_frac: f64 = r.gen();
         // 16KB (4-slot) overwrites of one location; any post-cut read must
         // see one whole version, never a mix.
         let mut ssd = Ssd::new(SsdConfig::tiny_test());
@@ -218,7 +237,7 @@ proptest! {
         ssd.read(8, 4, &mut buf, t).unwrap();
         let v0 = buf[0];
         for s in 1..4 {
-            prop_assert_eq!(buf[s * LOGICAL_PAGE], v0, "torn multi-page write");
+            assert_eq!(buf[s * LOGICAL_PAGE], v0, "torn multi-page write");
         }
     }
 }

@@ -33,17 +33,17 @@ fn full_page_writes_survive_crash_on_volatile_device() {
     // even on a volatile-cache device (with barriers).
     let mk = || Ssd::new(SsdConfig::ssd_a(8));
     let cfg = cfg_fpw();
-    let (mut e, t0) = Engine::create(mk(), mk(), cfg, 0);
-    let (tree, t1) = e.create_tree(t0);
+    let (mut e, t0) = Engine::create(mk(), mk(), cfg, 0).into_parts();
+    let (tree, t1) = e.create_tree(t0).into_parts();
     let mut now = e.checkpoint(t1);
     for i in 0..400u64 {
         now = e.put(tree, format!("k{i:04}").as_bytes(), &[b'f'; 150], now);
         now = e.commit(now);
     }
     let (d, l) = e.crash(now + 1);
-    let (mut e2, mut t2) = Engine::recover(d, l, cfg, now + 2).expect("FPW recovery");
+    let (mut e2, mut t2) = Engine::recover(d, l, cfg, now + 2).expect("FPW recovery").into_parts();
     for i in 0..400u64 {
-        let (v, t3) = e2.get(tree, format!("k{i:04}").as_bytes(), t2);
+        let (v, t3) = e2.get(tree, format!("k{i:04}").as_bytes(), t2).into_parts();
         t2 = t3;
         assert_eq!(v.unwrap(), [b'f'; 150].to_vec(), "k{i:04} under FPW");
     }
@@ -52,8 +52,9 @@ fn full_page_writes_survive_crash_on_volatile_device() {
 #[test]
 fn full_page_writes_log_images_once_per_checkpoint_interval() {
     let cfg = cfg_fpw();
-    let (mut e, t0) = Engine::create(MemDevice::new(16 * 1024), MemDevice::new(8 * 1024), cfg, 0);
-    let (tree, t1) = e.create_tree(t0);
+    let (mut e, t0) =
+        Engine::create(MemDevice::new(16 * 1024), MemDevice::new(8 * 1024), cfg, 0).into_parts();
+    let (tree, t1) = e.create_tree(t0).into_parts();
     let mut now = e.checkpoint(t1);
     // Two updates to the same key (same leaf page): the image is logged for
     // the first touch only.
@@ -87,8 +88,9 @@ fn catalog_ping_pong_survives_one_corrupt_copy() {
         log_file_blocks: 2048,
         dwb_pages: 16,
     };
-    let (mut e, t0) = Engine::create(MemDevice::new(16 * 1024), MemDevice::new(8 * 1024), cfg, 0);
-    let (tree, t1) = e.create_tree(t0);
+    let (mut e, t0) =
+        Engine::create(MemDevice::new(16 * 1024), MemDevice::new(8 * 1024), cfg, 0).into_parts();
+    let (tree, t1) = e.create_tree(t0).into_parts();
     let mut now = e.checkpoint(t1); // catalog seq 2 (slot 0)
     for i in 0..50u64 {
         now = e.put(tree, format!("k{i}").as_bytes(), b"v", now);
@@ -103,10 +105,11 @@ fn catalog_ping_pong_survives_one_corrupt_copy() {
     d.write(1, &garbage, now + 3).unwrap();
     let t = d.flush(now + 4).unwrap();
     d.power_cut(t + 1);
-    let (mut e2, mut t2) = Engine::recover(d, l, cfg, t + 2).expect("fall back to older catalog");
+    let (mut e2, mut t2) =
+        Engine::recover(d, l, cfg, t + 2).expect("fall back to older catalog").into_parts();
     // All committed data still reachable (log replay covers the gap).
     for i in 0..50u64 {
-        let (v, t3) = e2.get(tree, format!("k{i}").as_bytes(), t2);
+        let (v, t3) = e2.get(tree, format!("k{i}").as_bytes(), t2).into_parts();
         t2 = t3;
         assert!(v.is_some(), "k{i} lost after catalog corruption");
     }
@@ -116,7 +119,8 @@ fn catalog_ping_pong_survives_one_corrupt_copy() {
 fn docstore_crash_during_compaction_recovers_old_tree() {
     // A crash in the middle of compaction (before its commit header) must
     // fall back to the pre-compaction tree.
-    let cfg = DocStoreConfig { batch_size: 1, barriers: true, file_blocks: 4096, auto_compact_pct: 0 };
+    let cfg =
+        DocStoreConfig { batch_size: 1, barriers: true, file_blocks: 4096, auto_compact_pct: 0 };
     let mut s = DocStore::create(MemDevice::new(8 * 1024), cfg);
     let mut now = 0;
     for i in 0..120u64 {
@@ -128,15 +132,15 @@ fn docstore_crash_during_compaction_recovers_old_tree() {
     // path, then corrupt the post-compaction region and recover.
     now = s.compact(now);
     for i in 0..120u64 {
-        let (v, t) = s.get(format!("k{i:03}").as_bytes(), now);
+        let (v, t) = s.get(format!("k{i:03}").as_bytes(), now).into_parts();
         now = t;
         assert_eq!(v.unwrap(), vec![b'a'; 300]);
     }
     // Crash after compaction: the compacted tree is the recovery point.
     let dev = s.crash(now + 1);
-    let (mut s2, mut t2) = DocStore::recover(dev, cfg, now + 2);
+    let (mut s2, mut t2) = DocStore::recover(dev, cfg, now + 2).into_parts();
     for i in (0..120u64).step_by(7) {
-        let (v, t3) = s2.get(format!("k{i:03}").as_bytes(), t2);
+        let (v, t3) = s2.get(format!("k{i:03}").as_bytes(), t2).into_parts();
         t2 = t3;
         assert_eq!(v.unwrap(), vec![b'a'; 300], "k{i:03} after compaction+crash");
     }
@@ -144,17 +148,18 @@ fn docstore_crash_during_compaction_recovers_old_tree() {
 
 #[test]
 fn docstore_tombstones_survive_crash() {
-    let cfg = DocStoreConfig { batch_size: 1, barriers: true, file_blocks: 2048, auto_compact_pct: 0 };
+    let cfg =
+        DocStoreConfig { batch_size: 1, barriers: true, file_blocks: 2048, auto_compact_pct: 0 };
     let mut s = DocStore::create(MemDevice::new(4 * 1024), cfg);
     let mut now = 0;
     now = s.set(b"keep", b"1", now);
     now = s.set(b"gone", b"2", now);
     now = s.delete(b"gone", now);
     let dev = s.crash(now + 1);
-    let (mut s2, t2) = DocStore::recover(dev, cfg, now + 2);
-    let (v, t3) = s2.get(b"keep", t2);
+    let (mut s2, t2) = DocStore::recover(dev, cfg, now + 2).into_parts();
+    let (v, t3) = s2.get(b"keep", t2).into_parts();
     assert_eq!(v.unwrap(), b"1");
-    let (v, _) = s2.get(b"gone", t3);
+    let (v, _) = s2.get(b"gone", t3).into_parts();
     assert!(v.is_none(), "deletion must survive the crash");
 }
 
@@ -173,9 +178,10 @@ fn engine_recovers_from_empty_uncheckpointed_database() {
         log_file_blocks: 512,
         dwb_pages: 8,
     };
-    let (e, now) = Engine::create(MemDevice::new(8 * 1024), MemDevice::new(4 * 1024), cfg, 0);
+    let (e, now) =
+        Engine::create(MemDevice::new(8 * 1024), MemDevice::new(4 * 1024), cfg, 0).into_parts();
     let (d, l) = e.crash(now + 1);
-    let (e2, _) = Engine::recover(d, l, cfg, now + 2).expect("fresh DB recovers");
+    let (e2, _) = Engine::recover(d, l, cfg, now + 2).expect("fresh DB recovers").into_parts();
     assert_eq!(e2.stats().replayed_records, 0);
 }
 
@@ -215,9 +221,9 @@ fn group_commit_acks_are_durable_after_quiesce() {
         log_file_blocks: 1024,
         dwb_pages: 8,
     };
-    let (mut e, t0) = Engine::create(dura(), dura(), cfg, 0);
+    let (mut e, t0) = Engine::create(dura(), dura(), cfg, 0).into_parts();
     e.set_group_commit(true);
-    let (tree, t1) = e.create_tree(t0);
+    let (tree, t1) = e.create_tree(t0).into_parts();
     let mut now = e.checkpoint(t1);
     for i in 0..200u64 {
         now = e.put(tree, format!("k{i:03}").as_bytes(), b"v", now);
@@ -225,9 +231,9 @@ fn group_commit_acks_are_durable_after_quiesce() {
     }
     now = e.quiesce(now);
     let (d, l) = e.crash(now + 1);
-    let (mut e2, mut t2) = Engine::recover(d, l, cfg, now + 2).expect("recovery");
+    let (mut e2, mut t2) = Engine::recover(d, l, cfg, now + 2).expect("recovery").into_parts();
     for i in 0..200u64 {
-        let (v, t3) = e2.get(tree, format!("k{i:03}").as_bytes(), t2);
+        let (v, t3) = e2.get(tree, format!("k{i:03}").as_bytes(), t2).into_parts();
         t2 = t3;
         assert!(v.is_some(), "k{i:03} lost despite quiesce");
     }
