@@ -21,4 +21,14 @@ fi
 echo "== cargo test -q =="
 cargo test --workspace -q
 
+echo "== trace smoke (tiny workload, self-checked Chrome JSON + CSV) =="
+TRACE_TMP="$(mktemp -d)"
+trap 'rm -rf "$TRACE_TMP"' EXIT
+cargo run -p bench --release -q --bin trace -- \
+    --out "$TRACE_TMP/smoke" --records 400 --ops 200 --txns 60 --check \
+    --telemetry-out "$TRACE_TMP/smoke_telemetry.json"
+test -s "$TRACE_TMP/smoke.trace.json"
+test -s "$TRACE_TMP/smoke.series.csv"
+test -s "$TRACE_TMP/smoke_telemetry.json"
+
 echo "tier-1 gate: OK"

@@ -11,15 +11,17 @@
 //!
 //! Run: `cargo run -p bench --release --bin ablation`
 
-use bench::{durassd_bench, fmt_rate, rule};
+use bench::{durassd_bench, fmt_rate, rule, TelemetrySink};
 use durassd::{Ssd, SsdConfig};
 use relstore::{Engine, EngineConfig};
 use storage::device::{BlockDevice, LOGICAL_PAGE};
 use storage::volume::Volume;
+use telemetry::Telemetry;
 use workloads::fio::{run as fio_run, FioSpec};
 use workloads::linkbench::{load, run, LinkBenchSpec};
 
-fn torn_page_protection() {
+fn torn_page_protection(sink: &mut TelemetrySink) {
+    let tel = Telemetry::new();
     println!("1) Torn-page protection mechanisms (LinkBench, barriers ON, 4KB)\n");
     println!(
         "{:<22} {:>9} {:>12} {:>12} {:>10}",
@@ -43,6 +45,7 @@ fn torn_page_protection() {
             .build();
         let (mut e, t0) =
             Engine::create(durassd_bench(true), durassd_bench(true), cfg, 0).into_parts();
+        e.attach_telemetry(tel.clone());
         e.set_group_commit(true);
         let spec = LinkBenchSpec { warmup_ops: ops / 5, ops, ..LinkBenchSpec::scaled(nodes, ops) };
         let (mut g, t1) = load(&mut e, &spec, t0);
@@ -60,14 +63,17 @@ fn torn_page_protection() {
         );
     }
     println!();
+    sink.add("1 torn-page protection", &tel);
 }
 
-fn coalescing() {
+fn coalescing(sink: &mut TelemetrySink) {
+    let tel = Telemetry::new();
     println!("2) Write-cache coalescing under skewed rewrites (128 writers)\n");
     // Concurrent writers keep rewrites resident in the cache long enough to
     // coalesce — only the latest version of a hot page reaches flash.
     use simkit::ClosedLoop;
     let mut ssd = durassd_bench(true);
+    ssd.attach_telemetry(tel.clone());
     let page = vec![9u8; LOGICAL_PAGE];
     let mut i = 0u64;
     let mut driver = ClosedLoop::new(128, 0);
@@ -85,9 +91,11 @@ fn coalescing() {
         "   coalescing absorbed {:.1}% of the media traffic (endurance, §3.1.1)\n",
         100.0 * (1.0 - s.media_pages_written as f64 / s.pages_written as f64)
     );
+    sink.add("2 coalescing", &tel);
 }
 
-fn backend_cap() {
+fn backend_cap(sink: &mut TelemetrySink) {
+    let tel = Telemetry::new();
     println!("3) Backend bandwidth cap vs sustained random-write IOPS (128 jobs, no barrier)\n");
     println!("{:<18} {:>12} {:>14}", "cap (MB/s)", "IOPS", "MB/s achieved");
     rule(48);
@@ -97,6 +105,7 @@ fn backend_cap() {
             .backend_bytes_per_us(cap)
             .build();
         let mut vol = Volume::new(Ssd::new(cfg), false);
+        vol.attach_telemetry(tel.clone(), &format!("cap{cap}"));
         let spec = FioSpec {
             jobs: 128,
             total_ops: 40_000,
@@ -112,9 +121,11 @@ fn backend_cap() {
         );
     }
     println!("   (the 200 MB/s default reproduces Table 2's nobarrier row)\n");
+    sink.add("3 backend cap", &tel);
 }
 
-fn journal_threshold() {
+fn journal_threshold(sink: &mut TelemetrySink) {
+    let tel = Telemetry::new();
     println!("4) FTL mapping-journal threshold: loss window vs journal traffic\n");
     println!("{:<22} {:>14} {:>16}", "threshold (entries)", "meta programs", "loss window");
     rule(56);
@@ -124,6 +135,7 @@ fn journal_threshold() {
             .mapping_journal_threshold(thresh)
             .build();
         let mut ssd = Ssd::new(cfg);
+        ssd.attach_telemetry(tel.clone());
         let page = vec![3u8; LOGICAL_PAGE];
         let mut now = 0;
         for i in 0..30_000u64 {
@@ -137,11 +149,14 @@ fn journal_threshold() {
         );
     }
     println!("   (smaller threshold = smaller crash-loss window, more flash wear)\n");
+    sink.add("4 journal threshold", &tel);
 }
 
-fn capacitor_budget() {
+fn capacitor_budget(sink: &mut TelemetrySink) {
+    let tel = Telemetry::new();
     println!("5) Capacitor dump sizing: high-water dump bytes vs cache capacity\n");
     let mut ssd = durassd_bench(true);
+    ssd.attach_telemetry(tel.clone());
     let page = vec![5u8; LOGICAL_PAGE];
     let mut now = 0;
     for i in 0..30_000u64 {
@@ -161,13 +176,16 @@ fn capacitor_budget() {
         "   headroom {:.1}x — the paper's 'dozens of megabytes' from 15 tantalum caps\n",
         cfg.capacitor_energy_bytes as f64 / s.max_dump_bytes.max(1) as f64
     );
+    sink.add("5 capacitor budget", &tel);
 }
 
 fn main() {
+    let mut sink = TelemetrySink::from_args();
     println!("Design-choice ablations\n=======================\n");
-    torn_page_protection();
-    coalescing();
-    backend_cap();
-    journal_threshold();
-    capacitor_budget();
+    torn_page_protection(&mut sink);
+    coalescing(&mut sink);
+    backend_cap(&mut sink);
+    journal_threshold(&mut sink);
+    capacitor_budget(&mut sink);
+    sink.finish();
 }

@@ -14,11 +14,12 @@
 //!
 //! Run: `cargo run -p bench --release --bin crashmatrix [--keys N]`
 
-use bench::{arg_u64, durassd_bench, hdd_bench, rule, ssd_a_bench, ssd_b_bench};
+use bench::{arg_u64, durassd_bench, hdd_bench, rule, ssd_a_bench, ssd_b_bench, TelemetrySink};
 use docstore::{DocStore, DocStoreConfig};
 use relstore::{Engine, EngineConfig, Error};
 use simkit::Timed;
 use storage::device::BlockDevice;
+use telemetry::Telemetry;
 
 fn key_of(i: u64) -> Vec<u8> {
     format!("key{:06}", i).into_bytes()
@@ -34,7 +35,7 @@ enum Outcome {
     Unrecoverable(Error),
 }
 
-fn engine_trial<D, L>(data: D, log: L, safe: bool, keys: u64) -> Outcome
+fn engine_trial<D, L>(data: D, log: L, safe: bool, keys: u64, tel: &Telemetry) -> Outcome
 where
     D: BlockDevice,
     L: BlockDevice,
@@ -49,6 +50,7 @@ where
         .dwb_pages(128)
         .build();
     let (mut e, t0) = Engine::create(data, log, cfg, 0).into_parts();
+    e.attach_telemetry(tel.clone());
     let (tree, t) = e.create_tree(t0).into_parts();
     let mut now = e.checkpoint(t);
     // Strict commits: every put is acknowledged durable before the next.
@@ -81,9 +83,10 @@ where
     }
 }
 
-fn doc_trial<D: BlockDevice>(dev: D, barriers: bool, keys: u64) -> (u64, u64) {
+fn doc_trial<D: BlockDevice>(dev: D, barriers: bool, keys: u64, tel: &Telemetry) -> (u64, u64) {
     let cfg = DocStoreConfig { batch_size: 1, barriers, file_blocks: 65_536, auto_compact_pct: 0 };
     let mut s = DocStore::create(dev, cfg);
+    s.attach_telemetry(tel.clone());
     let mut now = 0;
     for i in 0..keys {
         now = s.set(&key_of(i), &val_of(i), now);
@@ -122,6 +125,7 @@ fn print_outcome(label: &str, o: Outcome, keys: u64) {
 }
 
 fn main() {
+    let mut sink = TelemetrySink::from_args();
     let keys = arg_u64("--keys", 1500);
     println!("Crash matrix: {keys} committed transactions, then power cut.\n");
     println!("Relational engine (commit per transaction):");
@@ -132,33 +136,36 @@ fn main() {
     rule(92);
     for safe in [true, false] {
         let tag = if safe { "ON/ON " } else { "OFF/OFF" };
+        let tel = Telemetry::new();
         print_outcome(
             &format!("DuraSSD            {tag}"),
-            engine_trial(durassd_bench(true), durassd_bench(true), safe, keys),
+            engine_trial(durassd_bench(true), durassd_bench(true), safe, keys, &tel),
             keys,
         );
         print_outcome(
             &format!("SSD-A (volatile)   {tag}"),
-            engine_trial(ssd_a_bench(true), ssd_a_bench(true), safe, keys),
+            engine_trial(ssd_a_bench(true), ssd_a_bench(true), safe, keys, &tel),
             keys,
         );
         print_outcome(
             &format!("SSD-B (lazy FTL)   {tag}"),
-            engine_trial(ssd_b_bench(true), ssd_b_bench(true), safe, keys),
+            engine_trial(ssd_b_bench(true), ssd_b_bench(true), safe, keys, &tel),
             keys,
         );
         print_outcome(
             &format!("Disk (write cache) {tag}"),
-            engine_trial(hdd_bench(true), hdd_bench(true), safe, keys),
+            engine_trial(hdd_bench(true), hdd_bench(true), safe, keys, &tel),
             keys,
         );
+        sink.add(&format!("engine {}", tag.trim_end()), &tel);
     }
     println!("\nDocument store (fsync per update):");
     println!("{:<34} {:>9} {:>9}", "device / barriers", "lost", "corrupt");
     rule(56);
     for barriers in [true, false] {
         let tag = if barriers { "barriers ON " } else { "barriers OFF" };
-        let (lost, corrupt) = doc_trial(durassd_bench(true), barriers, keys);
+        let tel = Telemetry::new();
+        let (lost, corrupt) = doc_trial(durassd_bench(true), barriers, keys, &tel);
         println!(
             "{:<34} {:>9} {:>9}   {}",
             format!("DuraSSD            {tag}"),
@@ -166,7 +173,7 @@ fn main() {
             corrupt,
             if lost == 0 { "SAFE" } else { "DATA LOSS" }
         );
-        let (lost, corrupt) = doc_trial(ssd_a_bench(true), barriers, keys);
+        let (lost, corrupt) = doc_trial(ssd_a_bench(true), barriers, keys, &tel);
         println!(
             "{:<34} {:>9} {:>9}   {}",
             format!("SSD-A (volatile)   {tag}"),
@@ -174,7 +181,9 @@ fn main() {
             corrupt,
             if lost == 0 { "SAFE" } else { "DATA LOSS" }
         );
+        sink.add(&format!("doc {}", tag.trim_end()), &tel);
     }
+    sink.finish();
     println!("\nThe paper's claim: OFF/OFF (no barriers, no redundant writes) is safe");
     println!("only when the device cache is durable — that is DuraSSD's contribution.");
 }

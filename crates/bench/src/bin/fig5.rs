@@ -12,7 +12,7 @@
 //!
 //! Run: `cargo run -p bench --release --bin fig5 [--nodes N] [--ops N]`
 
-use bench::{arg_u64, durassd_bench, fmt_rate, print_telemetry, rule};
+use bench::{arg_u64, durassd_bench, fmt_rate, print_telemetry, rule, TelemetrySink};
 use relstore::{Engine, EngineConfig};
 use telemetry::Telemetry;
 use workloads::linkbench::{load, run, LinkBenchSpec};
@@ -56,6 +56,7 @@ fn run_cell(
 }
 
 fn main() {
+    let mut sink = TelemetrySink::from_args();
     let nodes = arg_u64("--nodes", 60_000);
     let ops = arg_u64("--ops", 30_000);
     println!("Figure 5: LinkBench TPS, write-barrier / double-write grid");
@@ -86,7 +87,9 @@ fn main() {
             fmt_rate(paper[2] as f64)
         );
         print_telemetry("    ", &tel, &["engine.commit", "engine.get"]);
+        sink.add(label.trim_end(), &tel);
     }
+    sink.finish();
     println!(
         "\nThe barrier rows pay their time to `wal` (commit fsyncs that drain the\n\
          device cache) and their commit p50 sits in the milliseconds; the OFF\n\

@@ -10,7 +10,7 @@
 //!
 //! Run: `cargo run -p bench --release --bin fig6 [--nodes N] [--ops N]`
 
-use bench::{arg_u64, durassd_bench, fmt_rate, print_telemetry, rule};
+use bench::{arg_u64, durassd_bench, fmt_rate, print_telemetry, rule, TelemetrySink};
 use relstore::{Engine, EngineConfig};
 use telemetry::Telemetry;
 use workloads::linkbench::{load, run, LinkBenchSpec};
@@ -48,6 +48,7 @@ fn run_cell(
 }
 
 fn main() {
+    let mut sink = TelemetrySink::from_args();
     let nodes = arg_u64("--nodes", 60_000);
     let ops = arg_u64("--ops", 20_000);
     let buffers = [2u64, 4, 6, 8, 10];
@@ -96,5 +97,7 @@ fn main() {
     for (i, &ps) in sizes.iter().enumerate() {
         println!("{}KB:", ps / 1024);
         print_telemetry("    ", &tels[i], &["engine.commit", "engine.get", "pool.miss_stall"]);
+        sink.add(&format!("{}KB", ps / 1024), &tels[i]);
     }
+    sink.finish();
 }

@@ -6,7 +6,10 @@
 //!
 //! Run: `cargo run -p bench --release --bin table1 [--ops N]`
 
-use bench::{durassd_bench, fmt_rate, hdd_bench, print_telemetry, rule, ssd_a_bench, ssd_b_bench};
+use bench::{
+    durassd_bench, fmt_rate, hdd_bench, print_telemetry, rule, ssd_a_bench, ssd_b_bench,
+    TelemetrySink,
+};
 use storage::device::BlockDevice;
 use storage::volume::Volume;
 use telemetry::Telemetry;
@@ -60,6 +63,7 @@ fn ops_for(row: &str, fsync_every: Option<u32>) -> u64 {
 }
 
 fn main() {
+    let mut sink = TelemetrySink::from_args();
     println!("Table 1: 4KB random-write IOPS vs fsync frequency");
     println!("(paper value / measured value per cell)\n");
     let hdr = FREQS
@@ -99,7 +103,9 @@ fn main() {
             paper_vals.iter().map(|v| format!("{:>7}", fmt_rate(*v as f64))).collect::<Vec<_>>();
         println!("{:<16} {}   <- paper", "", paper_row.join(" "));
         print_telemetry("      ", &tel, &["dev.t1.write", "dev.t1.flush"]);
+        sink.add(row.trim_end(), &tel);
     }
+    sink.finish();
     println!(
         "\nNote the attribution shift: barriered rows burn their time in `flush`,\n\
          while `DuraSSD NoBarr` spends ~0% there — the durable cache absorbs it."

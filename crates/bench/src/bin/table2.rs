@@ -7,7 +7,7 @@
 //!
 //! Run: `cargo run -p bench --release --bin table2 [--ops N]`
 
-use bench::{arg_u64, durassd_bench, fmt_rate, hdd_bench, print_telemetry, rule};
+use bench::{arg_u64, durassd_bench, fmt_rate, hdd_bench, print_telemetry, rule, TelemetrySink};
 use storage::device::BlockDevice;
 use storage::volume::Volume;
 use telemetry::Telemetry;
@@ -58,6 +58,7 @@ fn measure<D: BlockDevice>(dev: D, row: &Row, block_size: usize, ops: u64, tel: 
 }
 
 fn main() {
+    let mut sink = TelemetrySink::from_args();
     let base_ops = arg_u64("--ops", 30_000);
     println!("Table 2: effect of page size on IOPS (paper / measured)\n");
     println!("(a) DuraSSD");
@@ -120,6 +121,7 @@ fn main() {
             fmt_rate(row.paper[2] as f64)
         );
         print_telemetry("      ", &tel, &["dev.t2.read", "dev.t2.write", "dev.t2.flush"]);
+        sink.add(&format!("DuraSSD {}", row.label), &tel);
     }
     println!("\n(b) Harddisk (15krpm)");
     let hdd_rows = [
@@ -166,5 +168,7 @@ fn main() {
             fmt_rate(row.paper[2] as f64)
         );
         print_telemetry("      ", &tel, &["dev.t2.read", "dev.t2.write", "dev.t2.flush"]);
+        sink.add(&format!("HDD {}", row.label), &tel);
     }
+    sink.finish();
 }

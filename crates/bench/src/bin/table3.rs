@@ -7,7 +7,7 @@
 //!
 //! Run: `cargo run -p bench --release --bin table3 [--nodes N] [--ops N]`
 
-use bench::{arg_u64, durassd_bench, print_telemetry, rule};
+use bench::{arg_u64, durassd_bench, print_telemetry, rule, TelemetrySink};
 use relstore::{Engine, EngineConfig};
 use telemetry::Telemetry;
 use workloads::linkbench::{load, run, LinkBenchReport, LinkBenchSpec};
@@ -49,14 +49,18 @@ fn print_report(title: &str, rep: &LinkBenchReport, tel: &Telemetry) {
 }
 
 fn main() {
+    let mut sink = TelemetrySink::from_args();
     let nodes = arg_u64("--nodes", 60_000);
     let ops = arg_u64("--ops", 30_000);
     println!("Table 3: LinkBench latency distributions ({nodes} nodes, {ops} ops)");
     println!("Paper headline: OFF/OFF+4KB cuts the mean 5-45x and P99 ~100x vs ON/ON+16KB.");
     let (worst, worst_tel) = run_config(true, true, 16384, nodes, ops);
     print_report("ON/ON with 16KB pages (MySQL default)", &worst, &worst_tel);
+    sink.add("ON/ON 16KB", &worst_tel);
     let (best, best_tel) = run_config(false, false, 4096, nodes, ops);
     print_report("OFF/OFF with 4KB pages (DuraSSD deployment)", &best, &best_tel);
+    sink.add("OFF/OFF 4KB", &best_tel);
+    sink.finish();
     // Summary ratios like the paper's narrative.
     println!("\nImprovement factors (ON/ON-16KB -> OFF/OFF-4KB):");
     for ((op, a), (_, b)) in worst.per_type.iter().zip(best.per_type.iter()) {

@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run -p bench --release --bin table4 [--warehouses N] [--txns N]`
 
-use bench::{arg_u64, durassd_bench, fmt_rate, print_telemetry, rule};
+use bench::{arg_u64, durassd_bench, fmt_rate, print_telemetry, rule, TelemetrySink};
 use relstore::{Engine, EngineConfig};
 use telemetry::Telemetry;
 use workloads::tpcc::{load, run, TpccSpec};
@@ -41,6 +41,7 @@ fn run_cell(barriers: bool, page_size: usize, warehouses: u32, txns: u64, tel: &
 }
 
 fn main() {
+    let mut sink = TelemetrySink::from_args();
     let warehouses = arg_u64("--warehouses", 8) as u32;
     let txns = arg_u64("--txns", 20_000);
     println!("Table 4: TPC-C throughput (tpmC), commercial-DBMS configuration");
@@ -71,5 +72,7 @@ fn main() {
             fmt_rate(paper[2] as f64)
         );
         print_telemetry("      ", &tel, &["engine.commit", "engine.put"]);
+        sink.add(label, &tel);
     }
+    sink.finish();
 }

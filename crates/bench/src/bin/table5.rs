@@ -7,7 +7,7 @@
 //!
 //! Run: `cargo run -p bench --release --bin table5 [--records N] [--ops N]`
 
-use bench::{arg_u64, durassd_bench, fmt_rate, print_telemetry, rule};
+use bench::{arg_u64, durassd_bench, fmt_rate, print_telemetry, rule, TelemetrySink};
 use docstore::{DocStore, DocStoreConfig};
 use telemetry::Telemetry;
 use workloads::ycsb::{load, run, YcsbSpec};
@@ -39,6 +39,7 @@ fn run_cell(
 }
 
 fn main() {
+    let mut sink = TelemetrySink::from_args();
     let records = arg_u64("--records", 20_000);
     let ops = arg_u64("--ops", 20_000);
     println!("Table 5: Couchbase/YCSB-A throughput (OPS), {records} docs, {ops} ops\n");
@@ -66,5 +67,7 @@ fn main() {
         }
         println!("   <- paper");
         print_telemetry("      ", &tel, &["doc.commit", "doc.set", "doc.get"]);
+        sink.add(label, &tel);
     }
+    sink.finish();
 }

@@ -9,7 +9,7 @@
 //!
 //! Run: `cargo run -p bench --release --bin tail [--ops N]`
 
-use bench::{arg_u64, durassd_bench, print_telemetry, rule, ssd_a_bench};
+use bench::{arg_u64, durassd_bench, print_telemetry, rule, ssd_a_bench, TelemetrySink};
 use simkit::dist::rng;
 use simkit::dist::Rng;
 use simkit::stats::LatencyStats;
@@ -85,6 +85,7 @@ fn report(name: &str, reads: &mut LatencyStats, writes: &mut LatencyStats) {
 }
 
 fn main() {
+    let mut sink = TelemetrySink::from_args();
     let ops = arg_u64("--ops", 60_000);
     println!("Tail latency under mixed read/write load (64 readers, 16 writers, fsync/8)\n");
     rule(110);
@@ -92,10 +93,13 @@ fn main() {
     let (mut r1, mut w1) = mixed_run(ssd_a_bench(true), true, ops, &tel1);
     report("volatile SSD, barriers ON", &mut r1, &mut w1);
     print_telemetry("    ", &tel1, &["dev.tail.read", "dev.tail.flush"]);
+    sink.add("volatile SSD, barriers ON", &tel1);
     let tel2 = Telemetry::new();
     let (mut r2, mut w2) = mixed_run(durassd_bench(true), false, ops, &tel2);
     report("DuraSSD, nobarrier", &mut r2, &mut w2);
     print_telemetry("    ", &tel2, &["dev.tail.read", "dev.tail.flush"]);
+    sink.add("DuraSSD, nobarrier", &tel2);
+    sink.finish();
     rule(110);
     let f = |a: &mut LatencyStats, b: &mut LatencyStats, p: f64| {
         a.percentile(p) as f64 / b.percentile(p).max(1) as f64

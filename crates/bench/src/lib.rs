@@ -47,6 +47,103 @@ pub fn arg_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// Parse a `--flag value` string argument (`None` when absent).
+pub fn arg_str(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// Whether a bare `--flag` is present.
+pub fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// Write `content` to `path` atomically: write a `.tmp` sibling, then
+/// rename over the target, so a crash or ctrl-C mid-write never leaves a
+/// truncated artifact behind.
+pub fn write_atomic(path: &str, content: &str) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, content)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Machine-readable telemetry output for the experiment binaries.
+///
+/// Every bin constructs one of these at the top of `main` and calls
+/// [`TelemetrySink::add`] once per measured section (device row, pool size,
+/// workload phase, ...) with the section's [`Telemetry`] registry, then
+/// [`TelemetrySink::finish`] at the end. When the bin was invoked with
+/// `--telemetry-out <path>`, finish writes one JSON document — an object
+/// keyed by section label, each value the full registry export
+/// ([`Telemetry::to_json`]: counters, gauges, stalls, histograms, and the
+/// sampled time-series when sampling was enabled) — atomically (tmp +
+/// rename) and prints the path. Without the flag everything is a no-op, so
+/// the human-readable tables stay the default interface.
+#[derive(Default)]
+pub struct TelemetrySink {
+    path: Option<String>,
+    sections: Vec<(String, String)>,
+}
+
+impl TelemetrySink {
+    /// Build from the process arguments (`--telemetry-out <path>`).
+    pub fn from_args() -> Self {
+        Self { path: arg_str("--telemetry-out"), sections: Vec::new() }
+    }
+
+    /// A sink that always writes to `path` (tests).
+    pub fn to_path(path: &str) -> Self {
+        Self { path: Some(path.to_string()), sections: Vec::new() }
+    }
+
+    /// Whether an output path was requested.
+    pub fn enabled(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Snapshot a section's registry under `label`. Duplicate labels get a
+    /// numeric suffix so no section silently overwrites another.
+    pub fn add(&mut self, label: &str, tel: &Telemetry) {
+        if self.path.is_none() {
+            return;
+        }
+        let mut name = label.to_string();
+        let mut n = 1usize;
+        while self.sections.iter().any(|(l, _)| *l == name) {
+            n += 1;
+            name = format!("{label}#{n}");
+        }
+        self.sections.push((name, tel.to_json()));
+    }
+
+    /// Write the collected sections (if an output path was given) and print
+    /// where they went. Returns the path written, if any.
+    pub fn finish(&self) -> Option<String> {
+        let path = self.path.as_deref()?;
+        let mut out = String::from("{");
+        for (i, (label, json)) in self.sections.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            for c in label.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push_str("\":");
+            out.push_str(json);
+        }
+        out.push('}');
+        write_atomic(path, &out).expect("telemetry output path is writable");
+        println!("telemetry: wrote {} section(s) to {path}", self.sections.len());
+        Some(path.to_string())
+    }
+}
+
 /// Print a rule line for report tables.
 pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
@@ -158,6 +255,32 @@ mod tests {
         assert_eq!(fmt_ns(900), "900ns");
         assert_eq!(fmt_ns(25_000), "25.0µs");
         assert_eq!(fmt_ns(12_000_000), "12.0ms");
+    }
+
+    #[test]
+    fn telemetry_sink_writes_labeled_sections_atomically() {
+        let dir = std::env::temp_dir().join("durassd_sink_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        let path = path.to_str().unwrap().to_string();
+        let mut sink = TelemetrySink::to_path(&path);
+        assert!(sink.enabled());
+        let t = Telemetry::new();
+        t.incr("ops", 3);
+        sink.add("row A", &t);
+        sink.add("row A", &t); // duplicate label gets a suffix, not clobbered
+        assert_eq!(sink.finish().as_deref(), Some(path.as_str()));
+        let doc = std::fs::read_to_string(&path).unwrap();
+        let v = telemetry::parse_json(&doc).unwrap();
+        let obj = v.as_object().unwrap();
+        assert!(obj.contains_key("row A") && obj.contains_key("row A#2"), "{doc}");
+        assert!(!std::path::Path::new(&format!("{path}.tmp")).exists(), "tmp file renamed away");
+        // Each section round-trips through the registry parser.
+        std::fs::remove_file(&path).ok();
+        // A sink without a path is inert.
+        let mut off = TelemetrySink::default();
+        off.add("x", &t);
+        assert!(!off.enabled() && off.finish().is_none());
     }
 
     #[test]

@@ -78,6 +78,10 @@ pub struct BufferPool {
     tail: usize, // LRU
     page_size: usize,
     stats: PoolStats,
+    /// Incrementally maintained count of dirty in-use frames, mirrored into
+    /// the `pool.dirty_pages` gauge on every transition (the O(n)
+    /// [`BufferPool::dirty_count`] stays as the ground truth for tests).
+    ndirty: usize,
     /// Optional telemetry sink. Dirty-victim writes run under a
     /// `PoolEviction` stall context so the paper's "read blocked behind a
     /// write" time is attributed to `pool_eviction`.
@@ -107,6 +111,7 @@ impl BufferPool {
             tail: NIL,
             page_size,
             stats: PoolStats::default(),
+            ndirty: 0,
             tel: None,
         }
     }
@@ -227,18 +232,24 @@ impl BufferPool {
             let write_start = now;
             if let Some(tel) = &self.tel {
                 tel.push_context(Stall::PoolEviction);
+                tel.trace_begin("pool", "pool.eviction", write_start);
             }
             now = backend.write_batch(&batch, now);
             if let Some(tel) = &self.tel {
                 tel.pop_context();
                 tel.record("pool.eviction_write", now.saturating_sub(write_start));
+                tel.trace_end("pool", "pool.eviction", now);
             }
             let n = batch_idx.len() as u64;
             for i in batch_idx {
+                if self.frames[i].dirty {
+                    self.ndirty -= 1;
+                }
                 self.frames[i].dirty = false;
             }
             self.stats.dirty_evictions += n;
             self.stats.blocked_reads += 1;
+            self.note_dirty_gauge();
         }
         self.map.remove(&self.frames[idx].page_no);
         self.detach(idx);
@@ -262,10 +273,14 @@ impl BufferPool {
             return (idx, now);
         }
         self.stats.misses += 1;
+        if let Some(tel) = &self.tel {
+            tel.trace_begin("pool", "pool.miss", now);
+        }
         let (idx, t) = self.take_frame(backend, now);
         let t = backend.read_page(page_no, &mut self.frames[idx].data, t);
         if let Some(tel) = &self.tel {
             tel.record("pool.miss_stall", t.saturating_sub(now));
+            tel.trace_end("pool", "pool.miss", t);
         }
         self.install(idx, page_no);
         (idx, t)
@@ -293,6 +308,10 @@ impl BufferPool {
 
     fn install(&mut self, idx: usize, page_no: u64) {
         self.frames[idx].page_no = page_no;
+        if self.frames[idx].dirty {
+            self.ndirty -= 1;
+            self.note_dirty_gauge();
+        }
         self.frames[idx].dirty = false;
         self.frames[idx].pins = 1;
         self.frames[idx].in_use = true;
@@ -315,8 +334,19 @@ impl BufferPool {
     /// Mutable access to a pinned frame's bytes; marks it dirty.
     pub fn data_mut(&mut self, idx: usize) -> &mut [u8] {
         debug_assert!(self.frames[idx].in_use);
-        self.frames[idx].dirty = true;
+        if !self.frames[idx].dirty {
+            self.ndirty += 1;
+            self.frames[idx].dirty = true;
+            self.note_dirty_gauge();
+        }
         &mut self.frames[idx].data
+    }
+
+    /// Mirror the incremental dirty count into the `pool.dirty_pages` gauge.
+    fn note_dirty_gauge(&self) {
+        if let Some(tel) = &self.tel {
+            tel.set_gauge("pool.dirty_pages", self.ndirty as i64);
+        }
     }
 
     /// The page number held by a frame.
@@ -345,14 +375,18 @@ impl BufferPool {
         for idx in dirty {
             t = backend.write_page(self.frames[idx].page_no, &self.frames[idx].data, t);
             self.frames[idx].dirty = false;
+            self.ndirty -= 1;
             self.stats.flush_writes += 1;
         }
+        self.note_dirty_gauge();
         t
     }
 
     /// Drop every frame without writing (crash simulation: the pool is in
     /// host DRAM and vanishes).
     pub fn invalidate_all(&mut self) {
+        self.ndirty = 0;
+        self.note_dirty_gauge();
         self.map.clear();
         self.free = (0..self.frames.len()).rev().collect();
         self.head = NIL;

@@ -87,10 +87,13 @@ impl Ssd {
     }
 
     /// Attach a telemetry sink: the FTL records GC pauses and NAND
-    /// program/erase latencies, the device itself records flush-queue drain
-    /// time (`ssd.cache_drain`) and the cache occupancy gauge.
+    /// program/erase latencies, the NAND array emits media-level trace
+    /// spans, and the device itself records flush-queue drain time
+    /// (`ssd.cache_drain`), the cache/flush trace spans, and the
+    /// occupancy/capacitor gauges.
     pub fn attach_telemetry(&mut self, tel: Telemetry) {
         self.ftl.attach_telemetry(tel.clone());
+        self.nand.attach_telemetry(tel.clone());
         self.tel = Some(tel);
     }
 
@@ -170,7 +173,13 @@ impl Ssd {
         let bytes = batch.len() as u64 * LOGICAL_PAGE as u64;
         let grant = self.pipe.acquire(t, bytes * 1_000 / self.cfg.backend_bytes_per_us);
         let items: Vec<(u64, &[u8])> = batch.iter().map(|(l, d)| (*l, &**d)).collect();
+        if let Some(tel) = &self.tel {
+            tel.trace_begin("ssd", "ssd.cache_drain", t);
+        }
         let done = self.ftl.program_slots(&mut self.nand, &items, grant);
+        if let Some(tel) = &self.tel {
+            tel.trace_end("ssd", "ssd.cache_drain", done);
+        }
         for (lpn, _) in &batch {
             self.cache.set_draining(*lpn, done);
         }
@@ -287,6 +296,9 @@ impl Ssd {
             preimages.push((slot_lpn, pre));
         }
         self.inflight.push(InflightWrite { done, preimages });
+        if let Some(tel) = &self.tel {
+            tel.trace_instant("ssd", "ssd.cache_admit", done);
+        }
         self.opportunistic_drain(now);
         done
     }
@@ -341,6 +353,26 @@ impl Ssd {
         self.xstats.dumps += 1;
         self.xstats.max_dump_bytes = self.xstats.max_dump_bytes.max(bytes);
         self.emergency_flag = true;
+    }
+
+    /// Refresh the device-state gauges the time-series sampler reads:
+    /// cache occupancy, unpersisted mapping entries (GC-journal debt), and
+    /// — on capacitor-backed devices — the remaining capacitor energy
+    /// headroom in bytes.
+    fn update_gauges(&self) {
+        if let Some(tel) = &self.tel {
+            let occ = self.cache.occupied() as i64;
+            let unpersisted = self.ftl.unpersisted_entries() as i64;
+            tel.set_gauge("ssd.cache_occupancy", occ);
+            tel.set_gauge("ftl.unpersisted_map", unpersisted);
+            if matches!(self.cfg.protection, CacheProtection::CapacitorBacked) {
+                let live = occ * LOGICAL_PAGE as i64 + unpersisted * 8;
+                tel.set_gauge(
+                    "ssd.capacitor_reserve",
+                    self.cfg.capacitor_energy_bytes as i64 - live,
+                );
+            }
+        }
     }
 }
 
@@ -400,6 +432,7 @@ impl BlockDevice for Ssd {
         } else {
             self.write_direct(lpn, data, start)
         };
+        self.update_gauges();
         Ok(done)
     }
 
@@ -412,6 +445,9 @@ impl BlockDevice for Ssd {
         let start = now.max(self.barrier_until);
         if let Some(tel) = &self.tel {
             tel.set_gauge("ssd.cache_occupancy", self.cache.occupied() as i64);
+            // The span every barrier pays and DuraSSD's nobarrier mount
+            // never emits: the trace-level twin of the flush_cache stall.
+            tel.trace_begin("ssd", "flush_cache", start);
         }
         let drained = self.drain_all(start);
         if let Some(tel) = &self.tel {
@@ -427,6 +463,10 @@ impl BlockDevice for Ssd {
         };
         let done = persisted + self.cfg.flush_fixed_cost;
         self.barrier_until = done;
+        if let Some(tel) = &self.tel {
+            tel.trace_end("ssd", "flush_cache", done);
+        }
+        self.update_gauges();
         Ok(done)
     }
 

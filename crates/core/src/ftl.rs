@@ -231,11 +231,14 @@ impl Ftl {
         let gc_end = self.maybe_gc(nand, plane, now);
         if gc_end > now {
             // The foreground program queues behind the GC work on this
-            // plane: the whole episode is a host-visible GC pause.
+            // plane: the whole episode is a host-visible GC pause, recorded
+            // both as a histogram sample and as a trace span.
             let pause = gc_end - now;
             self.stats.gc_ns += pause;
             if let Some(tel) = &self.tel {
                 tel.record("ftl.gc_pause", pause);
+                tel.trace_begin("ftl", "ftl.gc", now);
+                tel.trace_end("ftl", "ftl.gc", gc_end);
             }
         }
         let done = self.program_on_plane(nand, plane, items, now);
@@ -436,9 +439,15 @@ impl Ftl {
         let geo = *nand.geometry();
         let entries_per_page = geo.page_size / 8; // (lpn, slot) pairs, 8B packed
         let pages = self.unpersisted.len().div_ceil(entries_per_page).max(1);
+        if let Some(tel) = &self.tel {
+            tel.trace_begin("ftl", "ftl.map_persist", now);
+        }
         let mut t = now;
         for _ in 0..pages {
             t = self.program_meta_page(nand, t);
+        }
+        if let Some(tel) = &self.tel {
+            tel.trace_end("ftl", "ftl.map_persist", t);
         }
         self.unpersisted.clear();
         t

@@ -143,10 +143,22 @@ impl<D: BlockDevice> DocStore<D> {
         self.tel = Some(tel);
     }
 
-    /// Record a store-level operation latency.
+    /// Open a per-operation trace scope (see `relstore::Engine::begin_op`):
+    /// spans emitted below the store while the operation runs share the
+    /// trace-ID allocated here. Paired with the `end_op` in `note_op`.
+    fn begin_op(&self, name: &str, now: Nanos) {
+        if let Some(tel) = &self.tel {
+            tel.begin_op("doc", name, now);
+        }
+    }
+
+    /// Record a store-level operation latency, close the trace scope, and
+    /// let the gauge sampler take a cadence-gated snapshot.
     fn note_op(&self, name: &str, start: Nanos, done: Nanos) {
         if let Some(tel) = &self.tel {
             tel.record(name, done.saturating_sub(start));
+            tel.end_op("doc", name, done);
+            tel.sample(done);
         }
     }
 
@@ -315,6 +327,7 @@ impl<D: BlockDevice> DocStore<D> {
 
     /// Append a header block and fsync (the commit point).
     pub fn commit_header(&mut self, now: Nanos) -> Nanos {
+        self.begin_op("doc.commit", now);
         let done = self.commit_header_inner(now);
         self.note_op("doc.commit", now, done);
         done
@@ -342,6 +355,7 @@ impl<D: BlockDevice> DocStore<D> {
     /// Insert or update a document. Returns the completion time.
     pub fn set(&mut self, key: &[u8], doc: &[u8], now: Nanos) -> Nanos {
         self.stats.sets += 1;
+        self.begin_op("doc.set", now);
         let framed = frame_doc(doc);
         let ptr = self.space.append(&framed);
         self.stats.bytes_appended += framed.len() as u64;
@@ -356,6 +370,7 @@ impl<D: BlockDevice> DocStore<D> {
     /// Delete a document (tombstone entry).
     pub fn delete(&mut self, key: &[u8], now: Nanos) -> Nanos {
         self.stats.deletes += 1;
+        self.begin_op("doc.delete", now);
         let entry = Entry { key: key.to_vec(), ptr: 0, len: 0 };
         let t = self.apply_tree_update(key, entry, now);
         self.doc_cache.insert(key.to_vec(), None);
@@ -367,6 +382,7 @@ impl<D: BlockDevice> DocStore<D> {
     /// Fetch a document. Memory-first: the object cache serves hot keys; a
     /// miss walks the on-disk tree.
     pub fn get(&mut self, key: &[u8], now: Nanos) -> Timed<Option<Vec<u8>>> {
+        self.begin_op("doc.get", now);
         let (v, done) = self.get_inner(key, now);
         self.note_op("doc.get", now, done);
         Timed::new(v, done)

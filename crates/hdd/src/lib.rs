@@ -222,6 +222,12 @@ impl Hdd {
         if let Some(tel) = &self.tel {
             tel.record("hdd.destage", done.saturating_sub(now));
             tel.set_gauge("hdd.cache_dirty", self.cache.len() as i64);
+            if done > now {
+                // Span only when the arm actually moved; zero-length
+                // destages (empty cache) would just be trace noise.
+                tel.trace_begin("hdd", "hdd.destage", now);
+                tel.trace_end("hdd", "hdd.destage", done);
+            }
         }
         done
     }
@@ -330,12 +336,18 @@ impl BlockDevice for Hdd {
         }
         self.stats.flushes += 1;
         let now = now.max(self.barrier_until);
+        if let Some(tel) = &self.tel {
+            tel.trace_begin("hdd", "flush_cache", now);
+        }
         let drained = self.destage_all(now);
         self.draining.clear();
         // Journal commit for file metadata rides on every fsync-driven flush.
         let done = self.arm.acquire(drained, self.cfg.flush_journal_cost);
         let done = done + self.cfg.command_overhead;
         self.barrier_until = done;
+        if let Some(tel) = &self.tel {
+            tel.trace_end("hdd", "flush_cache", done);
+        }
         Ok(done)
     }
 

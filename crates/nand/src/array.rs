@@ -3,6 +3,7 @@
 use crate::geometry::{Geometry, Ppn};
 use simkit::{Nanos, Timeline};
 use std::collections::HashMap;
+use telemetry::Telemetry;
 
 /// Errors raised by raw NAND operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -86,6 +87,10 @@ pub struct NandArray {
     /// lazily. Used to shear pages on power cuts.
     inflight_programs: Vec<(Ppn, Nanos)>,
     inflight_erases: Vec<(u32, Nanos)>,
+    /// Optional telemetry sink: media-level trace events are emitted here,
+    /// at the source, under whatever trace-ID the host operation above us
+    /// pushed — the bottom of the causal chain.
+    tel: Option<Telemetry>,
 }
 
 impl NandArray {
@@ -100,6 +105,22 @@ impl NandArray {
             stats: NandStats::default(),
             inflight_programs: Vec::new(),
             inflight_erases: Vec::new(),
+            tel: None,
+        }
+    }
+
+    /// Attach a telemetry handle: every program/erase (and read) emits a
+    /// trace span under the caller's current trace-ID.
+    pub fn attach_telemetry(&mut self, tel: Telemetry) {
+        self.tel = Some(tel);
+    }
+
+    /// Emit a completed media-operation span (`B` at issue, `E` at the
+    /// virtual completion time).
+    fn trace_span(&self, name: &str, start: Nanos, done: Nanos) {
+        if let Some(tel) = &self.tel {
+            tel.trace_begin("nand", name, start);
+            tel.trace_end("nand", name, done);
         }
     }
 
@@ -148,6 +169,7 @@ impl NandArray {
         let cell_done = self.planes[plane].acquire(now, self.geo.t_read);
         let done = self.channel_bus[channel].acquire(cell_done, self.geo.bus_time(buf.len()));
         self.stats.reads += 1;
+        self.trace_span("nand.read", now, done);
         match self.pages.get(&ppn) {
             None => Err(NandError::Unwritten { ppn }),
             Some(p) if p.shorn => Err(NandError::Shorn { ppn }),
@@ -188,6 +210,7 @@ impl NandArray {
         self.pages.insert(ppn, PageState { data: data.into(), shorn: false });
         self.inflight_programs.push((ppn, done));
         self.stats.programs += 1;
+        self.trace_span("nand.program", now, done);
         Ok(done)
     }
 
@@ -210,6 +233,7 @@ impl NandArray {
         }
         self.inflight_erases.push((block, done));
         self.stats.erases += 1;
+        self.trace_span("nand.erase", now, done);
         Ok(done)
     }
 

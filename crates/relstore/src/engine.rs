@@ -387,10 +387,25 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
         self.tel = Some(tel);
     }
 
-    /// Record an engine-level operation latency.
+    /// Open a per-operation trace scope: every span emitted below the
+    /// engine while this operation runs (WAL flush, pool eviction, device
+    /// write, cache drain, NAND program, ...) carries the trace-ID
+    /// allocated here, so a whole commit renders as one track in Perfetto.
+    /// Paired with the `end_op` inside [`Engine::note_op`].
+    fn begin_op(&self, name: &str, now: Nanos) {
+        if let Some(tel) = &self.tel {
+            tel.begin_op("engine", name, now);
+        }
+    }
+
+    /// Record an engine-level operation latency, close the trace scope
+    /// opened by [`Engine::begin_op`], and give the gauge sampler a chance
+    /// to take a cadence-gated snapshot.
     fn note_op(&self, name: &str, start: Nanos, done: Nanos) {
         if let Some(tel) = &self.tel {
             tel.record(name, done.saturating_sub(start));
+            tel.end_op("engine", name, done);
+            tel.sample(done);
         }
     }
 
@@ -544,6 +559,7 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
     /// Insert or overwrite a key.
     pub fn put(&mut self, tree: TreeId, key: &[u8], value: &[u8], now: Nanos) -> Nanos {
         self.stats.puts += 1;
+        self.begin_op("engine.put", now);
         let root_before = self.trees[tree as usize].root();
         let height_before = self.trees[tree as usize].height();
         let (_, summary, t) =
@@ -566,6 +582,7 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
     /// Point lookup.
     pub fn get(&mut self, tree: TreeId, key: &[u8], now: Nanos) -> Timed<Option<Vec<u8>>> {
         self.stats.gets += 1;
+        self.begin_op("engine.get", now);
         let (r, summary, t) = self.op(now, |trees, view, t| trees[tree as usize].get(view, key, t));
         for idx in summary.retained {
             self.pool.unpin(idx);
@@ -577,6 +594,7 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
     /// Delete a key; returns whether it existed.
     pub fn delete(&mut self, tree: TreeId, key: &[u8], now: Nanos) -> Timed<bool> {
         self.stats.deletes += 1;
+        self.begin_op("engine.delete", now);
         let (existed, summary, t) =
             self.op(now, |trees, view, t| trees[tree as usize].delete(view, key, t));
         self.log_op(Op::Delete { tree, key: key.to_vec() }, summary, None);
@@ -594,6 +612,7 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
         now: Nanos,
     ) -> Timed<Vec<(Vec<u8>, Vec<u8>)>> {
         self.stats.gets += 1;
+        self.begin_op("engine.scan", now);
         let mut out = Vec::with_capacity(limit);
         let (_, summary, t) = self.op(now, |trees, view, t| {
             trees[tree as usize].scan(view, from, t, |k, v| {
@@ -611,6 +630,7 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
     /// Commit: make everything logged so far durable (group commit).
     pub fn commit(&mut self, now: Nanos) -> Nanos {
         self.stats.commits += 1;
+        self.begin_op("engine.commit", now);
         let target = self.wal.next_lsn();
         let t = self.wal.commit(&mut self.logv, target, now);
         self.note_op("engine.commit", now, t);
@@ -637,6 +657,7 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
     /// catalog, and truncate the log.
     pub fn checkpoint(&mut self, now: Nanos) -> Nanos {
         self.stats.checkpoints += 1;
+        self.begin_op("engine.checkpoint", now);
         let t = self.wal.quiesce(&mut self.logv, now);
         let ckpt_lsn = self.wal.next_lsn();
         let t = {

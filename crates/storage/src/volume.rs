@@ -97,9 +97,13 @@ impl<D: BlockDevice> Volume<D> {
     /// Direct read of logical pages.
     pub fn read(&mut self, lpn: u64, pages: u32, buf: &mut [u8], now: Nanos) -> DevResult<Nanos> {
         let gc0 = self.tel.as_ref().map(|_| self.dev.gc_time());
+        if let Some(tel) = &self.tel {
+            tel.tel.trace_begin("dev", &tel.read, now);
+        }
         let done = self.dev.read(lpn, pages, buf, now)?;
         if let (Some(tel), Some(gc0)) = (&self.tel, gc0) {
             Self::note_media(tel, 0, done.saturating_sub(now), self.dev.gc_time() - gc0);
+            tel.tel.trace_end("dev", &tel.read, done);
         }
         Ok(done)
     }
@@ -107,9 +111,13 @@ impl<D: BlockDevice> Volume<D> {
     /// Direct write of logical pages.
     pub fn write(&mut self, lpn: u64, data: &[u8], now: Nanos) -> DevResult<Nanos> {
         let gc0 = self.tel.as_ref().map(|_| self.dev.gc_time());
+        if let Some(tel) = &self.tel {
+            tel.tel.trace_begin("dev", &tel.write, now);
+        }
         let done = self.dev.write(lpn, data, now)?;
         if let (Some(tel), Some(gc0)) = (&self.tel, gc0) {
             Self::note_media(tel, 1, done.saturating_sub(now), self.dev.gc_time() - gc0);
+            tel.tel.trace_end("dev", &tel.write, done);
         }
         Ok(done)
     }
@@ -127,6 +135,9 @@ impl<D: BlockDevice> Volume<D> {
         self.fsyncs += 1;
         if self.barriers {
             let gc0 = self.tel.as_ref().map(|_| self.dev.gc_time());
+            if let Some(tel) = &self.tel {
+                tel.tel.trace_begin("dev", &tel.flush, now);
+            }
             let done = self.dev.flush(now)?;
             if let (Some(tel), Some(gc0)) = (&self.tel, gc0) {
                 let dur = done.saturating_sub(now);
@@ -136,11 +147,13 @@ impl<D: BlockDevice> Volume<D> {
                     tel.tel.stall(Stall::Gc, gc);
                 }
                 tel.tel.stall(Stall::FlushCache, dur - gc);
+                tel.tel.trace_end("dev", &tel.flush, done);
             }
             Ok(done)
         } else {
             if let Some(tel) = &self.tel {
                 tel.tel.record(&tel.fsync_soft, FSYNC_SOFT_COST);
+                tel.tel.trace_instant("dev", &tel.fsync_soft, now);
             }
             Ok(now + FSYNC_SOFT_COST)
         }
@@ -159,9 +172,13 @@ impl<D: BlockDevice> Volume<D> {
     /// TRIM a range (file deletion, compaction).
     pub fn discard(&mut self, lpn: u64, pages: u32, now: Nanos) -> DevResult<Nanos> {
         let gc0 = self.tel.as_ref().map(|_| self.dev.gc_time());
+        if let Some(tel) = &self.tel {
+            tel.tel.trace_begin("dev", &tel.discard, now);
+        }
         let done = self.dev.discard(lpn, pages, now)?;
         if let (Some(tel), Some(gc0)) = (&self.tel, gc0) {
             Self::note_media(tel, 2, done.saturating_sub(now), self.dev.gc_time() - gc0);
+            tel.tel.trace_end("dev", &tel.discard, done);
         }
         Ok(done)
     }

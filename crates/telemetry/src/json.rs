@@ -72,6 +72,14 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// Parse the number token as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => n.parse().ok(),
+            _ => None,
+        }
+    }
 }
 
 /// Escape and quote a string for JSON output.

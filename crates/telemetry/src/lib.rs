@@ -39,9 +39,14 @@ use std::rc::Rc;
 
 mod hist;
 mod json;
+mod trace;
 
 pub use hist::Histogram;
 pub use json::{parse as parse_json, JsonValue};
+pub use trace::{
+    validate_chrome_json, Event, Phase, Sampler, Series, TraceBuf, TraceCheck, TraceId,
+    CHROME_EVENT_FIELDS,
+};
 
 /// Why the host is blocked — the paper's stall taxonomy.
 ///
@@ -128,7 +133,8 @@ impl StallTotals {
 }
 
 /// The backing store for one telemetry domain: named histograms, counters,
-/// gauges, per-kind stall totals, and the attribution context stack.
+/// gauges, per-kind stall totals, the stall-attribution context stack, and
+/// (when enabled) the event-trace ring, trace-ID stack and gauge sampler.
 #[derive(Debug, Default, Clone)]
 pub struct Registry {
     hists: BTreeMap<String, Histogram>,
@@ -136,6 +142,10 @@ pub struct Registry {
     gauges: BTreeMap<String, i64>,
     stalls: [Nanos; 5],
     context: Vec<Stall>,
+    trace: Option<TraceBuf>,
+    trace_stack: Vec<TraceId>,
+    next_trace: u64,
+    sampler: Option<Sampler>,
 }
 
 impl Registry {
@@ -214,12 +224,116 @@ impl Registry {
         self.hists.keys().cloned().collect()
     }
 
-    /// Drop all recorded data (contexts are preserved).
+    /// Start recording trace events into a ring of `capacity` events.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.trace = Some(TraceBuf::new(capacity));
+    }
+
+    /// True once [`Registry::enable_tracing`] was called.
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// The trace ring, if tracing is enabled.
+    pub fn trace_buf(&self) -> Option<&TraceBuf> {
+        self.trace.as_ref()
+    }
+
+    /// Open a host-operation scope: allocates a fresh [`TraceId`], pushes
+    /// it on the trace-ID stack (every event emitted underneath — WAL,
+    /// volume, device, NAND — inherits it), and records the opening
+    /// `Begin`. Pair with [`Registry::end_op`]. Returns 0 and does nothing
+    /// when tracing is disabled.
+    pub fn begin_op(&mut self, cat: &str, name: &str, ts: Nanos) -> TraceId {
+        let Some(t) = self.trace.as_mut() else {
+            return 0;
+        };
+        self.next_trace += 1;
+        let id = self.next_trace;
+        self.trace_stack.push(id);
+        t.push(ts, id, Phase::Begin, cat, name);
+        id
+    }
+
+    /// Close the innermost host-operation scope opened by
+    /// [`Registry::begin_op`].
+    pub fn end_op(&mut self, cat: &str, name: &str, ts: Nanos) {
+        if let Some(t) = self.trace.as_mut() {
+            let id = self.trace_stack.pop().unwrap_or(0);
+            t.push(ts, id, Phase::End, cat, name);
+        }
+    }
+
+    /// The trace-ID of the operation currently in scope (0 if none).
+    pub fn current_trace(&self) -> TraceId {
+        *self.trace_stack.last().unwrap_or(&0)
+    }
+
+    /// Record a `Begin` event under the current trace-ID. No-op when
+    /// tracing is disabled.
+    pub fn trace_begin(&mut self, cat: &str, name: &str, ts: Nanos) {
+        let id = *self.trace_stack.last().unwrap_or(&0);
+        if let Some(t) = self.trace.as_mut() {
+            t.push(ts, id, Phase::Begin, cat, name);
+        }
+    }
+
+    /// Record an `End` event under the current trace-ID.
+    pub fn trace_end(&mut self, cat: &str, name: &str, ts: Nanos) {
+        let id = *self.trace_stack.last().unwrap_or(&0);
+        if let Some(t) = self.trace.as_mut() {
+            t.push(ts, id, Phase::End, cat, name);
+        }
+    }
+
+    /// Record an `Instant` event under the current trace-ID.
+    pub fn trace_instant(&mut self, cat: &str, name: &str, ts: Nanos) {
+        let id = *self.trace_stack.last().unwrap_or(&0);
+        if let Some(t) = self.trace.as_mut() {
+            t.push(ts, id, Phase::Instant, cat, name);
+        }
+    }
+
+    /// Start sampling all gauges every `cadence` virtual nanoseconds.
+    pub fn enable_sampling(&mut self, cadence: Nanos) {
+        self.sampler = Some(Sampler::new(cadence));
+    }
+
+    /// Tick the sampler at virtual time `now` (no-op unless sampling is
+    /// enabled and the cadence has elapsed). The engine and docstore call
+    /// this once per operation, so bench bins never need loop access.
+    pub fn sample(&mut self, now: Nanos) {
+        if let Some(s) = self.sampler.as_mut() {
+            s.sample_if_due(now, &self.gauges);
+        }
+    }
+
+    /// Take the final sample at end-of-run (always fires; see
+    /// [`Sampler::finish`]).
+    pub fn finish_sampling(&mut self, now: Nanos) {
+        if let Some(s) = self.sampler.as_mut() {
+            s.finish(now, &self.gauges);
+        }
+    }
+
+    /// The gauge sampler, if sampling is enabled.
+    pub fn sampler(&self) -> Option<&Sampler> {
+        self.sampler.as_ref()
+    }
+
+    /// Drop all recorded data (contexts are preserved; tracing and
+    /// sampling stay enabled but their buffers empty).
     pub fn reset(&mut self) {
         self.hists.clear();
         self.counters.clear();
         self.gauges.clear();
         self.stalls = [0; 5];
+        if let Some(t) = &mut self.trace {
+            t.clear();
+        }
+        if let Some(s) = &mut self.sampler {
+            s.clear();
+        }
     }
 
     /// Serialise the registry to a JSON object. Histograms are exported
@@ -255,7 +369,12 @@ impl Registry {
             }
             out.push_str(&format!("{}:{}", json::quote(k), h.to_json()));
         }
-        out.push_str("}}");
+        out.push('}');
+        if let Some(s) = &self.sampler {
+            out.push_str(",\"series\":");
+            out.push_str(&s.to_json());
+        }
+        out.push('}');
         out
     }
 
@@ -286,6 +405,9 @@ impl Registry {
             for (k, v) in hs {
                 reg.hists.insert(k.clone(), Histogram::from_json_value(v)?);
             }
+        }
+        if let Some(sv) = obj.get("series") {
+            reg.sampler = Some(Sampler::from_json_value(sv)?);
         }
         Ok(reg)
     }
@@ -370,6 +492,77 @@ impl Telemetry {
     /// Names of all histograms with samples.
     pub fn histogram_names(&self) -> Vec<String> {
         self.inner.borrow().histogram_names()
+    }
+
+    /// Start recording trace events into a ring of `capacity` events.
+    pub fn enable_tracing(&self, capacity: usize) {
+        self.inner.borrow_mut().enable_tracing(capacity);
+    }
+
+    /// True once tracing was enabled on this domain.
+    pub fn tracing_enabled(&self) -> bool {
+        self.inner.borrow().tracing_enabled()
+    }
+
+    /// Open a host-operation trace scope (see [`Registry::begin_op`]).
+    pub fn begin_op(&self, cat: &str, name: &str, ts: Nanos) -> TraceId {
+        self.inner.borrow_mut().begin_op(cat, name, ts)
+    }
+
+    /// Close the innermost host-operation trace scope.
+    pub fn end_op(&self, cat: &str, name: &str, ts: Nanos) {
+        self.inner.borrow_mut().end_op(cat, name, ts);
+    }
+
+    /// Trace-ID of the operation currently in scope (0 if none).
+    pub fn current_trace(&self) -> TraceId {
+        self.inner.borrow().current_trace()
+    }
+
+    /// Record a `Begin` trace event under the current trace-ID.
+    pub fn trace_begin(&self, cat: &str, name: &str, ts: Nanos) {
+        self.inner.borrow_mut().trace_begin(cat, name, ts);
+    }
+
+    /// Record an `End` trace event under the current trace-ID.
+    pub fn trace_end(&self, cat: &str, name: &str, ts: Nanos) {
+        self.inner.borrow_mut().trace_end(cat, name, ts);
+    }
+
+    /// Record an `Instant` trace event under the current trace-ID.
+    pub fn trace_instant(&self, cat: &str, name: &str, ts: Nanos) {
+        self.inner.borrow_mut().trace_instant(cat, name, ts);
+    }
+
+    /// Export the trace ring as Chrome trace-event JSON, if tracing is
+    /// enabled.
+    pub fn trace_chrome_json(&self) -> Option<String> {
+        self.inner.borrow().trace_buf().map(|t| t.to_chrome_json())
+    }
+
+    /// `(recorded, dropped)` event totals of the trace ring, if enabled.
+    pub fn trace_counts(&self) -> Option<(u64, u64)> {
+        self.inner.borrow().trace_buf().map(|t| (t.recorded(), t.dropped()))
+    }
+
+    /// Start sampling all gauges every `cadence` virtual nanoseconds.
+    pub fn enable_sampling(&self, cadence: Nanos) {
+        self.inner.borrow_mut().enable_sampling(cadence);
+    }
+
+    /// Tick the sampler at virtual time `now` (cadence-gated no-op).
+    pub fn sample(&self, now: Nanos) {
+        self.inner.borrow_mut().sample(now);
+    }
+
+    /// Take the final sample at end-of-run.
+    pub fn finish_sampling(&self, now: Nanos) {
+        self.inner.borrow_mut().finish_sampling(now);
+    }
+
+    /// Export the sampled gauge series as CSV, if sampling is enabled.
+    pub fn series_csv(&self) -> Option<String> {
+        self.inner.borrow().sampler().map(|s| s.to_csv())
     }
 
     /// Drop all recorded data.
@@ -507,6 +700,89 @@ mod tests {
         assert_eq!(h.count(), 6);
         assert_eq!(h.max(), u64::MAX);
         assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn op_scopes_assign_trace_ids_and_nest() {
+        let t = Telemetry::new();
+        // Disabled: begin_op is a free no-op returning 0.
+        assert_eq!(t.begin_op("engine", "engine.put", 0), 0);
+        assert_eq!(t.current_trace(), 0);
+        t.enable_tracing(1024);
+        let id1 = t.begin_op("engine", "engine.put", 10);
+        assert_eq!(id1, 1);
+        assert_eq!(t.current_trace(), id1);
+        t.trace_begin("wal", "wal.append", 12);
+        t.trace_end("wal", "wal.append", 20);
+        t.end_op("engine", "engine.put", 25);
+        assert_eq!(t.current_trace(), 0);
+        let id2 = t.begin_op("engine", "engine.commit", 30);
+        assert_eq!(id2, 2, "each op gets a fresh trace-ID");
+        t.end_op("engine", "engine.commit", 40);
+        let doc = t.trace_chrome_json().unwrap();
+        let chk = validate_chrome_json(&doc).expect("valid chrome trace");
+        assert_eq!(chk.begins, 3);
+        assert_eq!(chk.tracks, 2);
+        // The wal event inherited op 1's trace-ID.
+        assert!(doc.contains(
+            "\"name\":\"wal.append\",\"cat\":\"wal\",\"ph\":\"B\",\"ts\":0.012,\"pid\":1,\"tid\":1"
+        ));
+        assert_eq!(t.trace_counts(), Some((6, 0)));
+    }
+
+    #[test]
+    fn registry_json_round_trips_with_series() {
+        let t = Telemetry::new();
+        t.enable_sampling(100);
+        t.set_gauge("pool.dirty_pages", 5);
+        t.sample(0);
+        t.set_gauge("pool.dirty_pages", 9);
+        t.set_gauge("ssd.cache_occupancy", 3);
+        t.sample(150);
+        t.finish_sampling(220);
+        t.incr("ops", 2);
+        let j1 = t.to_json();
+        assert!(j1.contains("\"series\":{"), "series section must be exported");
+        let reg = Registry::from_json(&j1).expect("parse back");
+        assert_eq!(reg.to_json(), j1, "series round trip must be lossless");
+        let s = reg.sampler().unwrap();
+        assert_eq!(s.times(), &[0, 150, 220]);
+        assert_eq!(s.series()["ssd.cache_occupancy"].start, 1);
+    }
+
+    #[test]
+    fn sampling_is_cadence_gated() {
+        let t = Telemetry::new();
+        t.sample(0); // no-op before enable
+        t.enable_sampling(1_000);
+        t.set_gauge("g", 1);
+        t.sample(0);
+        t.sample(10); // below cadence: skipped
+        t.sample(999);
+        t.sample(1_000);
+        t.finish_sampling(1_500);
+        let csv = t.series_csv().unwrap();
+        assert_eq!(csv, "t_ns,g\n0,1\n1000,1\n1500,1\n");
+    }
+
+    #[test]
+    fn reset_clears_trace_and_series_but_keeps_them_enabled() {
+        let t = Telemetry::new();
+        t.enable_tracing(64);
+        t.enable_sampling(10);
+        t.set_gauge("g", 1);
+        let id = t.begin_op("engine", "op", 0);
+        t.end_op("engine", "op", 5);
+        t.sample(0);
+        t.reset();
+        assert!(t.tracing_enabled());
+        assert_eq!(t.trace_counts().map(|(r, _)| r), Some(2), "counters survive reset");
+        let doc = t.trace_chrome_json().unwrap();
+        assert_eq!(validate_chrome_json(&doc).unwrap().events, 0);
+        assert!(t.series_csv().unwrap().lines().count() == 1, "header only");
+        // Trace-IDs keep advancing; no reuse after reset.
+        t.set_gauge("g", 2);
+        assert!(t.begin_op("engine", "op", 10) > id);
     }
 
     #[test]

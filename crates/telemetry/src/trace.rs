@@ -1,0 +1,694 @@
+//! Event tracing and gauge time-series sampling.
+//!
+//! Aggregates (histograms, stall totals) answer *how much*; they cannot
+//! answer *which* NAND program or cache drain made one specific commit slow.
+//! This module adds the causal layer:
+//!
+//! * [`TraceBuf`] — a bounded, overwrite-on-full ring buffer of timestamped
+//!   events. Each event is `Begin`/`End`/`Instant` ([`Phase`]), stamped with
+//!   virtual [`Nanos`], an interned category and name, and the [`TraceId`]
+//!   of the host operation it belongs to. Export to Chrome trace-event JSON
+//!   ([`TraceBuf::to_chrome_json`]) loads directly in Perfetto or
+//!   `chrome://tracing`: one track (`tid`) per trace-ID, so a single
+//!   commit's causal chain — engine → WAL → volume → device cache → NAND —
+//!   reads top to bottom.
+//! * [`Sampler`] — snapshots every named gauge on a virtual-time cadence
+//!   into per-gauge time-series, for plotting how cache occupancy, GC debt,
+//!   capacitor reserve or dirty-page counts evolve across a burst.
+//! * [`validate_chrome_json`] — schema/consistency checker used by the CI
+//!   smoke step: every `B` must have an `E`, timestamps must be monotone
+//!   per track, and every event must carry the full Chrome field set.
+//!
+//! # Span semantics under asynchronous completion
+//!
+//! The simulated device acknowledges cached writes *before* the NAND
+//! programs they cause have finished; a child event can therefore carry a
+//! later timestamp than its parent's return. Begin/End pairs are matched in
+//! **emission order** per track (nesting is correct by construction: each
+//! layer emits `B` before calling down and `E` after returning), and export
+//! clamps timestamps monotone per track. A parent span consequently
+//! stretches to cover its asynchronous children — it shows the operation's
+//! **causal extent**, not the host-visible latency (which lives in the
+//! histograms). See DESIGN.md.
+
+use crate::json::{self, JsonValue};
+use simkit::Nanos;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt::Write as _;
+
+/// Identity of one host-level operation (put/commit/get/…). `0` means
+/// "outside any traced operation" and renders as the background track.
+pub type TraceId = u64;
+
+/// Event phase, mirroring the Chrome trace-event `ph` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Duration begin (`"B"`).
+    Begin,
+    /// Duration end (`"E"`).
+    End,
+    /// Instantaneous event (`"i"`).
+    Instant,
+}
+
+impl Phase {
+    /// The Chrome trace-event `ph` code.
+    pub fn code(self) -> char {
+        match self {
+            Phase::Begin => 'B',
+            Phase::End => 'E',
+            Phase::Instant => 'i',
+        }
+    }
+}
+
+/// One recorded event. Category and name are indices into the owning
+/// [`TraceBuf`]'s intern table, keeping events 4 words each.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// Virtual timestamp.
+    pub ts: Nanos,
+    /// Owning operation (Chrome `tid`).
+    pub trace: TraceId,
+    /// Begin / End / Instant.
+    pub ph: Phase,
+    /// Interned category index.
+    pub cat: u32,
+    /// Interned name index.
+    pub name: u32,
+}
+
+/// Bounded, overwrite-on-full event ring with string interning.
+///
+/// When the ring is full the **oldest** event is dropped and the drop
+/// counter advances; recording never fails and never reallocates past the
+/// configured capacity.
+#[derive(Debug, Clone)]
+pub struct TraceBuf {
+    cap: usize,
+    events: VecDeque<Event>,
+    names: Vec<String>,
+    intern: HashMap<String, u32>,
+    recorded: u64,
+    dropped: u64,
+}
+
+impl TraceBuf {
+    /// Ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        Self {
+            cap,
+            events: VecDeque::with_capacity(cap.min(1 << 16)),
+            names: Vec::new(),
+            intern: HashMap::new(),
+            recorded: 0,
+            dropped: 0,
+        }
+    }
+
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&i) = self.intern.get(s) {
+            return i;
+        }
+        let i = self.names.len() as u32;
+        self.names.push(s.to_string());
+        self.intern.insert(s.to_string(), i);
+        i
+    }
+
+    /// Append one event, evicting the oldest if the ring is full.
+    pub fn push(&mut self, ts: Nanos, trace: TraceId, ph: Phase, cat: &str, name: &str) {
+        let cat = self.intern(cat);
+        let name = self.intern(name);
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(Event { ts, trace, ph, cat, name });
+        self.recorded += 1;
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Total events ever recorded (including since-dropped ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drop buffered events (intern table and counters survive).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Resolve an interned index back to its string.
+    pub fn name(&self, idx: u32) -> &str {
+        &self.names[idx as usize]
+    }
+
+    /// Iterate buffered events oldest-first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Export as Chrome trace-event JSON (Perfetto / `chrome://tracing`).
+    ///
+    /// Guarantees on the output, regardless of ring wraparound:
+    /// * every `B` has a matching `E` on its track — an unmatched `Begin`
+    ///   (operation still open when the trace stopped) is **closed at
+    ///   end-of-trace**, not dropped;
+    /// * an orphan `E` whose `B` was overwritten by the ring is skipped;
+    /// * timestamps are monotone non-decreasing per track (asynchronous
+    ///   completions are clamped; see module docs).
+    pub fn to_chrome_json(&self) -> String {
+        struct Out {
+            name: u32,
+            cat: u32,
+            ph: char,
+            ts: Nanos,
+            tid: TraceId,
+        }
+        #[derive(Default)]
+        struct Track {
+            open: Vec<usize>, // indices into `out` of unmatched Begins
+            last_ts: Nanos,
+        }
+        let mut out: Vec<Out> = Vec::with_capacity(self.events.len());
+        let mut tracks: BTreeMap<TraceId, Track> = BTreeMap::new();
+        let mut max_ts: Nanos = 0;
+        for ev in &self.events {
+            let tr = tracks.entry(ev.trace).or_default();
+            let ts = ev.ts.max(tr.last_ts);
+            tr.last_ts = ts;
+            max_ts = max_ts.max(ts);
+            match ev.ph {
+                Phase::Begin => {
+                    tr.open.push(out.len());
+                    out.push(Out { name: ev.name, cat: ev.cat, ph: 'B', ts, tid: ev.trace });
+                }
+                Phase::End => {
+                    // Emission-order matching: this E closes the innermost
+                    // open B on its track. If there is none, its B was
+                    // evicted by the ring — drop the orphan.
+                    if tr.open.pop().is_some() {
+                        out.push(Out { name: ev.name, cat: ev.cat, ph: 'E', ts, tid: ev.trace });
+                    }
+                }
+                Phase::Instant => {
+                    out.push(Out { name: ev.name, cat: ev.cat, ph: 'i', ts, tid: ev.trace });
+                }
+            }
+        }
+        // Close still-open spans at end-of-trace, innermost first.
+        let closers: Vec<Out> = tracks
+            .iter()
+            .flat_map(|(tid, tr)| {
+                tr.open.iter().rev().map(|&i| Out {
+                    name: out[i].name,
+                    cat: out[i].cat,
+                    ph: 'E',
+                    ts: max_ts,
+                    tid: *tid,
+                })
+            })
+            .collect();
+        out.extend(closers);
+
+        let mut s = String::with_capacity(out.len() * 96 + 64);
+        s.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+        for (i, e) in out.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            // Chrome `ts` is in microseconds; keep nanosecond precision as
+            // a three-digit fraction.
+            let _ = write!(
+                s,
+                "{{\"name\":{},\"cat\":{},\"ph\":\"{}\",\"ts\":{}.{:03},\"pid\":1,\"tid\":{}}}",
+                json::quote(&self.names[e.name as usize]),
+                json::quote(&self.names[e.cat as usize]),
+                e.ph,
+                e.ts / 1000,
+                e.ts % 1000,
+                e.tid
+            );
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Result of [`validate_chrome_json`]: counts over a structurally valid
+/// trace document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCheck {
+    /// Total events in the document.
+    pub events: usize,
+    /// Duration-begin events (each verified to have a matching end).
+    pub begins: usize,
+    /// Instant events.
+    pub instants: usize,
+    /// Distinct tracks (`tid` values).
+    pub tracks: usize,
+}
+
+/// The Chrome trace-event fields every exported event must carry. Golden:
+/// checked by `tests/trace_golden.rs` and the CI smoke step.
+pub const CHROME_EVENT_FIELDS: [&str; 6] = ["name", "cat", "ph", "ts", "pid", "tid"];
+
+/// Validate a Chrome trace-event JSON document produced by
+/// [`TraceBuf::to_chrome_json`] (or any conforming tool): every event
+/// carries [`CHROME_EVENT_FIELDS`], every `B` has a matching `E` on its
+/// track, and timestamps are monotone non-decreasing per track.
+pub fn validate_chrome_json(doc: &str) -> Result<TraceCheck, String> {
+    let v = json::parse(doc)?;
+    let obj = v.as_object().ok_or("trace: expected top-level object")?;
+    let evs = obj
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .ok_or("trace: missing traceEvents array")?;
+    let mut open: HashMap<u64, Vec<String>> = HashMap::new();
+    let mut last_ts: HashMap<u64, f64> = HashMap::new();
+    let mut begins = 0usize;
+    let mut instants = 0usize;
+    for (i, e) in evs.iter().enumerate() {
+        let o = e.as_object().ok_or(format!("event {i}: expected object"))?;
+        for field in CHROME_EVENT_FIELDS {
+            if !o.contains_key(field) {
+                return Err(format!("event {i}: missing field \"{field}\""));
+            }
+        }
+        let name = o["name"].as_str().ok_or(format!("event {i}: name not a string"))?;
+        o["cat"].as_str().ok_or(format!("event {i}: cat not a string"))?;
+        let ph = o["ph"].as_str().ok_or(format!("event {i}: ph not a string"))?;
+        let ts = o["ts"].as_f64().ok_or(format!("event {i}: ts not a number"))?;
+        let tid = o["tid"].as_u64().ok_or(format!("event {i}: tid not a u64"))?;
+        let last = last_ts.entry(tid).or_insert(ts);
+        if ts < *last {
+            return Err(format!("event {i} ({name}): ts {ts} < previous {last} on tid {tid}"));
+        }
+        *last = ts;
+        match ph {
+            "B" => {
+                begins += 1;
+                open.entry(tid).or_default().push(name.to_string());
+            }
+            "E" => {
+                if open.entry(tid).or_default().pop().is_none() {
+                    return Err(format!("event {i} ({name}): E without open B on tid {tid}"));
+                }
+            }
+            "i" => instants += 1,
+            other => return Err(format!("event {i} ({name}): unknown ph \"{other}\"")),
+        }
+    }
+    for (tid, stack) in &open {
+        if let Some(name) = stack.last() {
+            return Err(format!("unclosed B ({name}) on tid {tid}"));
+        }
+    }
+    Ok(TraceCheck { events: evs.len(), begins, instants, tracks: last_ts.len() })
+}
+
+/// One gauge's sampled series. `start` is the index into the sampler's
+/// shared timestamp vector at which this gauge first existed: a gauge
+/// created mid-run has **no** points before `start` (absent, not zero).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Series {
+    /// Index of the first sample in [`Sampler::times`] this series covers.
+    pub start: usize,
+    /// One value per sample from `start` onward.
+    pub values: Vec<i64>,
+}
+
+/// Snapshots every named gauge on a virtual-time cadence.
+///
+/// Drive it with [`Sampler::sample_if_due`] from any point that observes
+/// the virtual clock (the engine and docstore tick it once per operation),
+/// and close the run with [`Sampler::finish`], which always takes a final
+/// sample — so a zero-duration run, or a cadence longer than the run,
+/// still yields at least one point per gauge.
+#[derive(Debug, Clone, Default)]
+pub struct Sampler {
+    cadence: Nanos,
+    next_due: Nanos,
+    times: Vec<Nanos>,
+    series: BTreeMap<String, Series>,
+}
+
+impl Sampler {
+    /// Sampler firing every `cadence` virtual nanoseconds (minimum 1). The
+    /// first `sample_if_due` call always fires.
+    pub fn new(cadence: Nanos) -> Self {
+        Self { cadence: cadence.max(1), next_due: 0, times: Vec::new(), series: BTreeMap::new() }
+    }
+
+    /// Configured cadence.
+    pub fn cadence(&self) -> Nanos {
+        self.cadence
+    }
+
+    /// Take a sample iff `now` has reached the next due time. Returns
+    /// whether a sample was taken.
+    pub fn sample_if_due(&mut self, now: Nanos, gauges: &BTreeMap<String, i64>) -> bool {
+        if now < self.next_due {
+            return false;
+        }
+        self.take(now, gauges);
+        true
+    }
+
+    /// Unconditionally take a final sample at `now` (deduplicated if the
+    /// last sample already landed on `now`).
+    pub fn finish(&mut self, now: Nanos, gauges: &BTreeMap<String, i64>) {
+        if self.times.last() == Some(&now) {
+            return;
+        }
+        self.take(now, gauges);
+    }
+
+    fn take(&mut self, now: Nanos, gauges: &BTreeMap<String, i64>) {
+        self.times.push(now);
+        let idx = self.times.len() - 1;
+        for (k, &v) in gauges {
+            match self.series.get_mut(k) {
+                Some(s) => s.values.push(v),
+                None => {
+                    // Gauge born mid-run: series begins at this sample.
+                    self.series.insert(k.clone(), Series { start: idx, values: vec![v] });
+                }
+            }
+        }
+        self.next_due = now.saturating_add(self.cadence);
+    }
+
+    /// Number of samples taken.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True when no samples were taken.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Sample timestamps, oldest first.
+    pub fn times(&self) -> &[Nanos] {
+        &self.times
+    }
+
+    /// All series, keyed by gauge name.
+    pub fn series(&self) -> &BTreeMap<String, Series> {
+        &self.series
+    }
+
+    /// Drop all samples (cadence survives; the next sample fires
+    /// immediately).
+    pub fn clear(&mut self) {
+        self.times.clear();
+        self.series.clear();
+        self.next_due = 0;
+    }
+
+    /// Export as CSV: header `t_ns,<gauge>,…`; one row per sample. Cells
+    /// before a mid-run gauge's first sample are empty, not zero.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str("t_ns");
+        for name in self.series.keys() {
+            out.push(',');
+            out.push_str(name);
+        }
+        out.push('\n');
+        for (i, t) in self.times.iter().enumerate() {
+            let _ = write!(out, "{t}");
+            for s in self.series.values() {
+                out.push(',');
+                if i >= s.start {
+                    let _ = write!(out, "{}", s.values[i - s.start]);
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// JSON object form, embedded in the registry export as `"series"`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\"cadence\":{},\"times\":[", self.cadence);
+        for (i, t) in self.times.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{t}");
+        }
+        out.push_str("],\"gauges\":{");
+        for (i, (k, s)) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{{\"start\":{},\"values\":[", json::quote(k), s.start);
+            for (j, v) in s.values.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{v}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Rebuild from the output of [`Sampler::to_json`]; exact round-trip.
+    pub fn from_json_value(v: &JsonValue) -> Result<Self, String> {
+        let obj = v.as_object().ok_or("series: expected object")?;
+        let cadence =
+            obj.get("cadence").and_then(|v| v.as_u64()).ok_or("series: missing cadence")?;
+        let mut s = Sampler::new(cadence);
+        if let Some(times) = obj.get("times").and_then(|v| v.as_array()) {
+            for t in times {
+                s.times.push(t.as_u64().ok_or("series: time not a u64")?);
+            }
+        }
+        if let Some(gs) = obj.get("gauges").and_then(|v| v.as_object()) {
+            for (k, g) in gs {
+                let go = g.as_object().ok_or("series: gauge not an object")?;
+                let start = go.get("start").and_then(|v| v.as_u64()).ok_or("series: no start")?;
+                let mut values = Vec::new();
+                if let Some(vs) = go.get("values").and_then(|v| v.as_array()) {
+                    for v in vs {
+                        values.push(v.as_i64().ok_or("series: value not an i64")?);
+                    }
+                }
+                s.series.insert(k.clone(), Series { start: start as usize, values });
+            }
+        }
+        s.next_due = s.times.last().map_or(0, |t| t.saturating_add(s.cadence));
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gauges(pairs: &[(&str, i64)]) -> BTreeMap<String, i64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn ring_wraparound_drops_oldest_and_counts() {
+        let mut b = TraceBuf::new(3);
+        for i in 0..5u64 {
+            b.push(i * 10, 1, Phase::Instant, "t", &format!("e{i}"));
+        }
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.capacity(), 3);
+        assert_eq!(b.recorded(), 5);
+        assert_eq!(b.dropped(), 2);
+        let names: Vec<&str> = b.events().map(|e| b.name(e.name)).collect();
+        assert_eq!(names, ["e2", "e3", "e4"], "oldest events must be the ones dropped");
+    }
+
+    #[test]
+    fn unmatched_begin_closed_at_end_of_trace() {
+        let mut b = TraceBuf::new(16);
+        b.push(10, 1, Phase::Begin, "t", "outer");
+        b.push(20, 1, Phase::Begin, "t", "inner");
+        b.push(30, 1, Phase::Instant, "t", "tick");
+        // Trace stops with both spans open.
+        let doc = b.to_chrome_json();
+        let chk = validate_chrome_json(&doc).expect("valid");
+        assert_eq!(chk.begins, 2);
+        assert_eq!(chk.instants, 1);
+        assert_eq!(chk.events, 5, "two closing E events synthesised at end-of-trace");
+        // Closers land at the max timestamp.
+        assert!(doc.matches("\"ph\":\"E\",\"ts\":0.030").count() == 2, "doc: {doc}");
+    }
+
+    #[test]
+    fn orphan_end_from_wraparound_is_dropped() {
+        let mut b = TraceBuf::new(2);
+        b.push(10, 1, Phase::Begin, "t", "a");
+        b.push(20, 1, Phase::Instant, "t", "x"); // evicts nothing yet
+        b.push(30, 1, Phase::End, "t", "a"); // evicts the Begin
+        assert_eq!(b.dropped(), 1);
+        let doc = b.to_chrome_json();
+        let chk = validate_chrome_json(&doc).expect("orphan E must not corrupt the trace");
+        assert_eq!(chk.begins, 0);
+        assert_eq!(chk.events, 1, "only the instant survives");
+    }
+
+    #[test]
+    fn async_children_clamped_monotone_per_track() {
+        let mut b = TraceBuf::new(16);
+        // Parent acks at 50 but its async child completes at 80: the E for
+        // the parent is emitted after the child's E with a smaller ts.
+        b.push(10, 7, Phase::Begin, "t", "parent");
+        b.push(20, 7, Phase::Begin, "t", "child");
+        b.push(80, 7, Phase::End, "t", "child");
+        b.push(50, 7, Phase::End, "t", "parent"); // clamped up to 80
+        let doc = b.to_chrome_json();
+        validate_chrome_json(&doc).expect("monotone after clamping");
+        assert!(doc.contains("\"ph\":\"E\",\"ts\":0.080,\"pid\":1,\"tid\":7"));
+    }
+
+    #[test]
+    fn tracks_are_independent() {
+        let mut b = TraceBuf::new(16);
+        b.push(100, 1, Phase::Begin, "t", "op1");
+        b.push(10, 2, Phase::Begin, "t", "op2"); // earlier ts, other track: fine
+        b.push(15, 2, Phase::End, "t", "op2");
+        b.push(110, 1, Phase::End, "t", "op1");
+        let chk = validate_chrome_json(&b.to_chrome_json()).expect("valid");
+        assert_eq!(chk.tracks, 2);
+        assert_eq!(chk.begins, 2);
+    }
+
+    #[test]
+    fn validator_rejects_bad_documents() {
+        assert!(validate_chrome_json("{}").is_err(), "no traceEvents");
+        assert!(validate_chrome_json(
+            r#"{"traceEvents":[{"name":"x","cat":"t","ph":"B","ts":1,"pid":1}]}"#
+        )
+        .is_err());
+        assert!(validate_chrome_json(
+            r#"{"traceEvents":[{"name":"x","cat":"t","ph":"E","ts":1,"pid":1,"tid":1}]}"#
+        )
+        .is_err());
+        assert!(validate_chrome_json(
+            r#"{"traceEvents":[
+                {"name":"a","cat":"t","ph":"i","ts":5,"pid":1,"tid":1},
+                {"name":"b","cat":"t","ph":"i","ts":4,"pid":1,"tid":1}]}"#
+        )
+        .is_err());
+        assert!(validate_chrome_json(
+            r#"{"traceEvents":[{"name":"x","cat":"t","ph":"Q","ts":1,"pid":1,"tid":1}]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn sampler_zero_duration_run_yields_one_sample() {
+        let mut s = Sampler::new(1_000_000);
+        s.finish(0, &gauges(&[("g", 42)]));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.times(), &[0]);
+        assert_eq!(s.series()["g"].values, [42]);
+        let csv = s.to_csv();
+        assert_eq!(csv, "t_ns,g\n0,42\n");
+    }
+
+    #[test]
+    fn sampler_cadence_longer_than_run() {
+        let mut s = Sampler::new(1_000_000_000);
+        let g = gauges(&[("depth", 3)]);
+        assert!(s.sample_if_due(0, &g), "first sample always fires");
+        assert!(!s.sample_if_due(500, &g));
+        assert!(!s.sample_if_due(9_000, &g));
+        s.finish(9_000, &g);
+        assert_eq!(s.len(), 2, "start + final sample despite huge cadence");
+        assert_eq!(s.times(), &[0, 9_000]);
+    }
+
+    #[test]
+    fn sampler_finish_dedupes_same_instant() {
+        let mut s = Sampler::new(10);
+        let g = gauges(&[("g", 1)]);
+        assert!(s.sample_if_due(100, &g));
+        s.finish(100, &g);
+        assert_eq!(s.len(), 1, "finish at the same instant must not duplicate");
+    }
+
+    #[test]
+    fn gauge_created_mid_run_starts_at_first_sample() {
+        let mut s = Sampler::new(10);
+        s.sample_if_due(0, &gauges(&[("early", 1)]));
+        s.sample_if_due(10, &gauges(&[("early", 2)]));
+        s.sample_if_due(20, &gauges(&[("early", 3), ("late", 100)]));
+        s.finish(25, &gauges(&[("early", 4), ("late", 101)]));
+        let late = &s.series()["late"];
+        assert_eq!(late.start, 2, "late gauge's series starts at its first sample");
+        assert_eq!(late.values, [100, 101]);
+        assert_eq!(s.series()["early"].values, [1, 2, 3, 4]);
+        // CSV: absent cells are empty, not zero.
+        let csv = s.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "t_ns,early,late");
+        assert_eq!(lines[1], "0,1,");
+        assert_eq!(lines[2], "10,2,");
+        assert_eq!(lines[3], "20,3,100");
+        assert_eq!(lines[4], "25,4,101");
+    }
+
+    #[test]
+    fn sampler_json_round_trips_exactly() {
+        let mut s = Sampler::new(7);
+        s.sample_if_due(0, &gauges(&[("a", -5)]));
+        s.sample_if_due(7, &gauges(&[("a", 6), ("b", 9)]));
+        s.finish(11, &gauges(&[("a", 7), ("b", 10)]));
+        let j1 = s.to_json();
+        let back = Sampler::from_json_value(&json::parse(&j1).unwrap()).unwrap();
+        assert_eq!(back.to_json(), j1);
+        assert_eq!(back.series()["b"].start, 1);
+        assert_eq!(back.cadence(), 7);
+    }
+
+    #[test]
+    fn chrome_export_is_parseable_json_with_schema_fields() {
+        let mut b = TraceBuf::new(8);
+        b.push(1_234_567, 3, Phase::Begin, "engine", "engine.commit");
+        b.push(1_500_000, 3, Phase::End, "engine", "engine.commit");
+        let doc = b.to_chrome_json();
+        let v = json::parse(&doc).expect("well-formed JSON");
+        let o = v.as_object().unwrap();
+        assert_eq!(o["displayTimeUnit"].as_str(), Some("ns"));
+        let ev = &o["traceEvents"].as_array().unwrap()[0];
+        let eo = ev.as_object().unwrap();
+        for f in CHROME_EVENT_FIELDS {
+            assert!(eo.contains_key(f), "missing {f}");
+        }
+        // Microsecond ts with nanosecond fraction.
+        assert_eq!(eo["ts"].as_f64(), Some(1234.567));
+    }
+}

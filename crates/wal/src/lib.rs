@@ -194,6 +194,9 @@ impl Wal {
         );
         self.buf.extend_from_slice(&rec);
         self.stats.appends += 1;
+        if let Some(tel) = &self.tel {
+            tel.set_gauge("wal.buffered_bytes", self.buf.len() as i64);
+        }
         lsn
     }
 
@@ -213,6 +216,7 @@ impl Wal {
         // time: re-attribute device stalls to `wal_fsync`.
         if let Some(tel) = &self.tel {
             tel.push_context(Stall::WalFsync);
+            tel.trace_begin("wal", "wal.flush", now);
         }
         let start_block = self.buf_start / BLOCK as u64;
         let start_off = (self.buf_start % BLOCK as u64) as usize;
@@ -261,6 +265,8 @@ impl Wal {
         if let Some(tel) = &self.tel {
             tel.pop_context();
             tel.record("wal.flush", t.saturating_sub(now));
+            tel.trace_end("wal", "wal.flush", t);
+            tel.set_gauge("wal.buffered_bytes", 0);
         }
         t
     }
@@ -308,9 +314,13 @@ impl Wal {
     /// flush already in flight just waits for it; in group-commit mode, a
     /// commit whose records are *not* covered joins the next batched flush.
     pub fn commit<D: BlockDevice>(&mut self, vol: &mut Volume<D>, lsn: Lsn, now: Nanos) -> Nanos {
+        if let Some(tel) = &self.tel {
+            tel.trace_begin("wal", "wal.commit", now);
+        }
         let done = self.commit_inner(vol, lsn, now);
         if let Some(tel) = &self.tel {
             tel.record("wal.commit", done.saturating_sub(now));
+            tel.trace_end("wal", "wal.commit", done);
         }
         done
     }
@@ -368,6 +378,9 @@ impl Wal {
     /// checkpoints and by crash harnesses that need strict durability under
     /// group-commit mode. Returns the completion time.
     pub fn quiesce<D: BlockDevice>(&mut self, vol: &mut Volume<D>, now: Nanos) -> Nanos {
+        if let Some(tel) = &self.tel {
+            tel.trace_begin("wal", "wal.quiesce", now);
+        }
         let mut t = now;
         if let Some((end, upto)) = self.inflight.take() {
             self.note_wait(end.saturating_sub(t));
@@ -382,6 +395,7 @@ impl Wal {
         }
         if let Some(tel) = &self.tel {
             tel.record("wal.quiesce", t.saturating_sub(now));
+            tel.trace_end("wal", "wal.quiesce", t);
         }
         t
     }
@@ -396,9 +410,13 @@ impl Wal {
     ) -> Nanos {
         assert!(lsn <= self.next_lsn);
         self.checkpoint_lsn = self.checkpoint_lsn.max(lsn);
+        if let Some(tel) = &self.tel {
+            tel.trace_begin("wal", "wal.checkpoint", now);
+        }
         let done = self.write_header(vol, now);
         if let Some(tel) = &self.tel {
             tel.record("wal.checkpoint", done.saturating_sub(now));
+            tel.trace_end("wal", "wal.checkpoint", done);
         }
         done
     }

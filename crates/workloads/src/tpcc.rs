@@ -97,6 +97,9 @@ pub struct TpccReport {
     pub counts: TpccReportCounts,
     /// Virtual duration of the measured phase.
     pub elapsed: Nanos,
+    /// Virtual time of the last completion (timeline continuation point
+    /// for callers that keep simulating, e.g. the trace recorder).
+    pub finished_at: Nanos,
     /// New-Order transactions per virtual minute.
     pub tpmc: f64,
 }
@@ -476,6 +479,7 @@ pub fn run<D: BlockDevice, L: BlockDevice>(
     TpccReport {
         counts,
         elapsed,
+        finished_at: rep.finished_at,
         tpmc: if minutes > 0.0 { counts.new_orders as f64 / minutes } else { 0.0 },
     }
 }

@@ -247,3 +247,89 @@ fn durable_cache_eliminates_flush_stalls() {
     assert!(durable.total() > 0, "durable run should still record media/WAL stalls");
     assert!(volatile.total() > durable.total());
 }
+
+/// Trace-level twin of [`stalls_for`]: same commit-heavy workload with
+/// event tracing enabled end to end (devices attached *before* the engine
+/// so firmware spans record), exported as Chrome trace JSON.
+fn trace_for(mut data: Ssd, mut log: Ssd, barriers: bool) -> String {
+    let cfg = EngineConfig::builder(4096)
+        .buffer_pool_bytes(32 * 4096)
+        .double_write(false)
+        .barriers(barriers)
+        .data_pages(4096)
+        .log_files(2)
+        .log_file_blocks(512)
+        .dwb_pages(32)
+        .build();
+    let tel = telemetry::Telemetry::new();
+    tel.enable_tracing(1 << 17);
+    data.attach_telemetry(tel.clone());
+    log.attach_telemetry(tel.clone());
+    let (mut e, t0) = Engine::create(data, log, cfg, 0).into_parts();
+    e.attach_telemetry(tel.clone());
+    let (tree, t1) = e.create_tree(t0).into_parts();
+    let mut now = e.checkpoint(t1);
+    for i in 0..600u64 {
+        now = e.put(tree, format!("k{:04}", i % 200).as_bytes(), &[b'x'; 256], now);
+        now = e.commit(now); // every transaction acknowledged durable
+        if e.needs_checkpoint() {
+            now = e.checkpoint(now);
+        }
+    }
+    e.checkpoint(now);
+    tel.trace_chrome_json().expect("tracing enabled")
+}
+
+/// Count `Begin` events named `name`, and the set of `tid`s carrying them.
+fn spans_named(doc: &telemetry::JsonValue, name: &str) -> (usize, Vec<i64>) {
+    let events = doc
+        .as_object()
+        .and_then(|o| o.get("traceEvents"))
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    let mut count = 0;
+    let mut tids = Vec::new();
+    for ev in events {
+        let obj = ev.as_object().expect("event object");
+        if obj.get("name").and_then(|v| v.as_str()) == Some(name)
+            && obj.get("ph").and_then(|v| v.as_str()) == Some("B")
+        {
+            count += 1;
+            let tid = obj.get("tid").and_then(|v| v.as_f64()).unwrap_or(-1.0) as i64;
+            if !tids.contains(&tid) {
+                tids.push(tid);
+            }
+        }
+    }
+    (count, tids)
+}
+
+/// The flush-elimination claim at span granularity: the exported trace of a
+/// volatile-cache run with barriers contains `flush_cache` spans (and they
+/// sit on the same track as the `engine.commit` that caused them — the
+/// trace-ID propagated from the engine down to the device firmware), while
+/// the durable-cache nobarrier run's trace contains none.
+#[test]
+fn trace_shows_flush_cache_spans_only_under_barriers() {
+    let volatile_json =
+        trace_for(Ssd::new(SsdConfig::ssd_a(16)), Ssd::new(SsdConfig::ssd_a(16)), true);
+    telemetry::validate_chrome_json(&volatile_json).expect("volatile trace well-formed");
+    let doc = telemetry::parse_json(&volatile_json).unwrap();
+    let (flushes, flush_tids) = spans_named(&doc, "flush_cache");
+    assert!(flushes >= 1, "barriered volatile run must record flush_cache spans");
+    let (commits, commit_tids) = spans_named(&doc, "engine.commit");
+    assert!(commits >= 1);
+    assert!(
+        flush_tids.iter().any(|t| commit_tids.contains(t)),
+        "some flush_cache span must share its track (trace-ID) with an engine.commit"
+    );
+
+    let durable_json = trace_for(dura(), dura(), false);
+    telemetry::validate_chrome_json(&durable_json).expect("durable trace well-formed");
+    let doc = telemetry::parse_json(&durable_json).unwrap();
+    let (flushes, _) = spans_named(&doc, "flush_cache");
+    assert_eq!(flushes, 0, "nobarrier on a durable cache must never emit a flush_cache span");
+    // The durable run still traced real work.
+    let (commits, _) = spans_named(&doc, "engine.commit");
+    assert!(commits >= 1, "durable trace still contains commit spans");
+}
