@@ -31,4 +31,13 @@ test -s "$TRACE_TMP/smoke.trace.json"
 test -s "$TRACE_TMP/smoke.series.csv"
 test -s "$TRACE_TMP/smoke_telemetry.json"
 
+echo "== crash-campaign smoke (--check fails on any DuraSSD acked-lost) =="
+cargo run -p bench --release -q --bin crashmatrix -- \
+    --keys 300 --cuts 3 --seed 7 --json "$TRACE_TMP/crash.json" --check \
+    >"$TRACE_TMP/crash.out"
+test -s "$TRACE_TMP/crash.json"
+test -s "$TRACE_TMP/crash.trace.json"
+grep -q '"schema":"durassd.forensics.v1"' "$TRACE_TMP/crash.json"
+grep -q '"name":"power_cut"' "$TRACE_TMP/crash.trace.json"
+
 echo "tier-1 gate: OK"

@@ -1,22 +1,41 @@
-//! **Crash matrix** — the durability claims of §2.1/§3.4/§5.2, measured.
+//! **Crash campaign** — the durability claims of §2.1/§3.4/§5.2, audited.
 //!
 //! For every device (DuraSSD, SSD-A, SSD-B, disk) × configuration
 //! (barriers+double-write ON, or both OFF), run a commit-per-op workload on
-//! the relational engine, cut power, recover, and count committed
-//! transactions that are lost or corrupt. The same sweep runs the document
-//! store with per-update fsync.
+//! the relational engine with a *durability ledger* attached, cut power at a
+//! seeded mid-workload point, collect the device postmortems captured inside
+//! `power_cut`, recover, probe every attempted key, and reconcile: each unit
+//! is classified `survived | acked-lost | torn | stale | never-acked` and
+//! every loss is attributed to the layer that dropped it (cache slot,
+//! channel queue, lazy FTL map, HDD write cache, host). The same sweep runs
+//! the document store with per-update fsync. Cut points repeat `--cuts`
+//! times with fresh seeded positions.
 //!
 //! Expected result (the paper's thesis):
 //! * ON/ON is safe on every device — at a large performance cost;
 //! * OFF/OFF is safe **only** on DuraSSD (capacitor-backed cache);
 //! * volatile-cache devices running OFF/OFF lose acknowledged commits, and
-//!   SSD-B's lazy mapping journal corrupts even some barrier-ON state.
+//!   the forensic report names the broken layer for every lost unit.
 //!
-//! Run: `cargo run -p bench --release --bin crashmatrix [--keys N]`
+//! Run: `cargo run -p bench --release --bin crashmatrix
+//!        [--keys N] [--cuts N] [--seed S] [--json PATH] [--check]`
+//!
+//! `--json` writes the `durassd.forensics.v1` campaign report (plus a
+//! Chrome-trace JSON of one representative DuraSSD trial, containing the
+//! `power_cut` Instant). `--check` validates the report schema in-process
+//! and exits non-zero if any DuraSSD row lost an acknowledged unit.
 
-use bench::{arg_u64, durassd_bench, hdd_bench, rule, ssd_a_bench, ssd_b_bench, TelemetrySink};
+use bench::{
+    arg_flag, arg_str, arg_u64, durassd_bench, hdd_bench, rule, ssd_a_bench, ssd_b_bench,
+    ssd_health_line, write_atomic, TelemetrySink,
+};
 use docstore::{DocStore, DocStoreConfig};
-use relstore::{Engine, EngineConfig, Error};
+use forensics::{
+    reconcile, validate_report, AckContract, CampaignReport, CutReport, DeviceHealth, Forensic,
+    Ledger, Probe, ProbeResult,
+};
+use relstore::{Engine, EngineConfig};
+use simkit::dist::{rng, Rng};
 use simkit::Timed;
 use storage::device::BlockDevice;
 use telemetry::Telemetry;
@@ -29,17 +48,52 @@ fn val_of(i: u64) -> Vec<u8> {
     format!("value-{i}-{}", "x".repeat(80)).into_bytes()
 }
 
-/// Outcome of one engine crash trial.
-enum Outcome {
-    Recovered { lost: u64, corrupt: u64, repaired: u64, recovery_ms: f64 },
-    Unrecoverable(Error),
+/// One trial's forensic row plus the recovered data device's health.
+struct TrialOut {
+    row: CutReport,
+    health: Option<DeviceHealth>,
 }
 
-fn engine_trial<D, L>(data: D, log: L, safe: bool, keys: u64, tel: &Telemetry) -> Outcome
+/// Where in the commit cycle the seeded cut lands.
+#[derive(Clone, Copy, PartialEq)]
+enum CutPhase {
+    /// After the put at the cut op, before its commit (intent un-acked).
+    AfterPut,
+    /// After the commit at the cut op (intent acknowledged durable).
+    AfterCommit,
+}
+
+impl CutPhase {
+    fn as_str(self) -> &'static str {
+        match self {
+            CutPhase::AfterPut => "after-put",
+            CutPhase::AfterCommit => "after-commit",
+        }
+    }
+}
+
+/// One engine trial: workload to the seeded cut point, power cut, postmortem
+/// harvest, recovery, key probe, reconciliation.
+#[allow(clippy::too_many_arguments)]
+fn engine_trial<D, L>(
+    mut data: D,
+    mut log: L,
+    contract: AckContract,
+    safe: bool,
+    cut_op: u64,
+    phase: CutPhase,
+    label: &str,
+    tel: &Telemetry,
+) -> TrialOut
 where
-    D: BlockDevice,
-    L: BlockDevice,
+    D: BlockDevice + Forensic,
+    L: BlockDevice + Forensic,
 {
+    let ledger = Ledger::new(contract);
+    // Device-level ack evidence (atomic-write acks, FLUSH CACHE acks) needs
+    // the ledger on the devices before the engine consumes them.
+    data.attach_ledger(ledger.clone());
+    log.attach_ledger(ledger.clone());
     let cfg = EngineConfig::builder(4096)
         .buffer_pool_bytes(96 * 4096) // small: forces evictions mid-run
         .double_write(safe)
@@ -51,139 +105,254 @@ where
         .build();
     let (mut e, t0) = Engine::create(data, log, cfg, 0).into_parts();
     e.attach_telemetry(tel.clone());
+    e.attach_ledger(ledger.clone());
     let (tree, t) = e.create_tree(t0).into_parts();
     let mut now = e.checkpoint(t);
-    // Strict commits: every put is acknowledged durable before the next.
-    for i in 0..keys {
+    // Strict commits up to the seeded cut point.
+    for i in 0..=cut_op {
         now = e.put(tree, &key_of(i), &val_of(i), now);
+        if phase == CutPhase::AfterPut && i == cut_op {
+            break;
+        }
         now = e.commit(now);
     }
-    let (d, l) = e.crash(now + 1);
-    match Engine::recover(d, l, cfg, now + 2).map(Timed::into_parts) {
-        Err(err) => Outcome::Unrecoverable(err),
+    let cut_at_ns = now + 1;
+    let (mut d, mut l) = e.crash(cut_at_ns);
+    let mut pms = Vec::new();
+    pms.extend(d.take_postmortem());
+    pms.extend(l.take_postmortem());
+    match Engine::recover(d, l, cfg, cut_at_ns + 1).map(Timed::into_parts) {
+        Err(err) => {
+            // The stack could not even restart: every attempted unit is
+            // gone, so every acknowledged one is acked-lost and attribution
+            // runs off the postmortem evidence (discarded cache slots,
+            // rolled-back mapping entries, ...).
+            let probes: Vec<Probe> =
+                (0..=cut_op).map(|i| Probe::new(&key_of(i), ProbeResult::Missing)).collect();
+            let mut row = reconcile(
+                label,
+                cut_op,
+                phase.as_str(),
+                cut_at_ns,
+                &ledger,
+                &probes,
+                pms,
+                Vec::new(),
+            );
+            row.verdict = format!("UNRECOVERABLE ({err}) — {}", row.verdict);
+            TrialOut { row, health: None }
+        }
         Ok((mut e2, ready)) => {
-            let recovery_ms = (ready - (now + 2)) as f64 / 1e6;
+            let mut recs = Vec::new();
+            recs.extend(e2.data_volume().device().recovery_snap().cloned());
+            recs.extend(e2.log_volume().device().recovery_snap().cloned());
+            let health = e2.data_volume().device().health();
+            let mut probes = Vec::with_capacity(cut_op as usize + 1);
             let mut t2 = ready;
-            let mut lost = 0;
-            for i in 0..keys {
+            for i in 0..=cut_op {
                 let (v, t3) = e2.get(tree, &key_of(i), t2).into_parts();
                 t2 = t3;
-                match v {
-                    Some(got) if got == val_of(i) => {}
-                    Some(_) | None => lost += 1,
-                }
+                let result = match v {
+                    Some(bytes) => ProbeResult::Value(Ledger::digest(&bytes)),
+                    None => ProbeResult::Missing,
+                };
+                probes.push(Probe::new(&key_of(i), result));
             }
-            Outcome::Recovered {
-                lost,
-                corrupt: e2.stats().corrupt_reads,
-                repaired: e2.stats().repaired_pages,
-                recovery_ms,
-            }
+            let row =
+                reconcile(label, cut_op, phase.as_str(), cut_at_ns, &ledger, &probes, pms, recs);
+            TrialOut { row, health }
         }
     }
 }
 
-fn doc_trial<D: BlockDevice>(dev: D, barriers: bool, keys: u64, tel: &Telemetry) -> (u64, u64) {
+/// One document-store trial (fsync per update; a set is its own commit).
+fn doc_trial<D: BlockDevice + Forensic>(
+    mut dev: D,
+    contract: AckContract,
+    barriers: bool,
+    cut_op: u64,
+    label: &str,
+    tel: &Telemetry,
+) -> TrialOut {
+    let ledger = Ledger::new(contract);
+    dev.attach_ledger(ledger.clone());
     let cfg = DocStoreConfig { batch_size: 1, barriers, file_blocks: 65_536, auto_compact_pct: 0 };
     let mut s = DocStore::create(dev, cfg);
     s.attach_telemetry(tel.clone());
+    s.attach_ledger(ledger.clone());
     let mut now = 0;
-    for i in 0..keys {
+    for i in 0..=cut_op {
         now = s.set(&key_of(i), &val_of(i), now);
     }
-    let dev = s.crash(now + 1);
-    let (mut s2, mut t2) = DocStore::recover(dev, cfg, now + 2).into_parts();
-    let mut lost = 0;
-    for i in 0..keys {
+    let cut_at_ns = now + 1;
+    let mut dev = s.crash(cut_at_ns);
+    let pms: Vec<_> = dev.take_postmortem().into_iter().collect();
+    let (mut s2, mut t2) = DocStore::recover(dev, cfg, cut_at_ns + 1).into_parts();
+    let recs: Vec<_> = s2.device().recovery_snap().cloned().into_iter().collect();
+    let health = s2.device().health();
+    let mut probes = Vec::with_capacity(cut_op as usize + 1);
+    for i in 0..=cut_op {
         let (v, t3) = s2.get(&key_of(i), t2).into_parts();
         t2 = t3;
-        if v.as_deref() != Some(val_of(i).as_slice()) {
-            lost += 1;
-        }
+        let result = match v {
+            Some(bytes) => ProbeResult::Value(Ledger::digest(&bytes)),
+            None => ProbeResult::Missing,
+        };
+        probes.push(Probe::new(&key_of(i), result));
     }
-    (lost, s2.stats().corrupt_reads)
+    let row = reconcile(label, cut_op, "after-set", cut_at_ns, &ledger, &probes, pms, recs);
+    TrialOut { row, health }
 }
 
-fn print_outcome(label: &str, o: Outcome, keys: u64) {
-    match o {
-        Outcome::Recovered { lost, corrupt, repaired, recovery_ms } => println!(
-            "{:<34} {:>9} {:>9} {:>9} {:>10.1}   {}",
-            label,
-            lost,
-            corrupt,
-            repaired,
-            recovery_ms,
-            if lost == 0 { "SAFE" } else { "DATA LOSS" }
-        ),
-        Outcome::Unrecoverable(e) => {
-            println!(
-                "{:<34} {:>9} {:>9} {:>9} {:>10}   UNRECOVERABLE ({e})",
-                label, keys, "-", "-", "-"
-            )
-        }
+fn print_row(out: &TrialOut) {
+    let r = &out.row;
+    let t = &r.tally;
+    println!(
+        "{:<30} {:>6} {:<12} {:>6} {:>6} {:>5} {:>5} {:>6}   {}",
+        r.label,
+        r.cut_at_op,
+        r.cut_phase,
+        t.survived,
+        t.acked_lost,
+        t.torn,
+        t.stale,
+        t.never_acked,
+        if r.durable { "SAFE" } else { "ACKED DATA LOSS" }
+    );
+    if let Some(h) = &out.health {
+        println!("      {}", ssd_health_line(h));
+    }
+    for loss in r.losses.iter().take(3) {
+        println!(
+            "      lost {} [{}] -> {}: {}",
+            loss.unit,
+            loss.classification.as_str(),
+            loss.layer.map(|l| l.as_str()).unwrap_or("unattributed"),
+            loss.evidence
+        );
+    }
+    if r.losses.len() > 3 {
+        println!("      ... {} more loss row(s) in the JSON report", r.losses.len() - 3);
     }
 }
 
 fn main() {
     let mut sink = TelemetrySink::from_args();
     let keys = arg_u64("--keys", 1500);
-    println!("Crash matrix: {keys} committed transactions, then power cut.\n");
-    println!("Relational engine (commit per transaction):");
+    let cuts = arg_u64("--cuts", 2).max(1);
+    let seed = arg_u64("--seed", 7);
+    let json_path = arg_str("--json");
+    let check = arg_flag("--check");
+    let mut cut_rng = rng(seed ^ 0xD00D_CAFE);
     println!(
-        "{:<34} {:>9} {:>9} {:>9} {:>10}",
-        "device / barriers+doublewrite", "lost", "corrupt", "repaired", "recov(ms)"
+        "Crash campaign: up to {keys} committed ops/trial, {cuts} seeded cut(s), seed {seed}.\n"
     );
-    rule(92);
-    for safe in [true, false] {
-        let tag = if safe { "ON/ON " } else { "OFF/OFF" };
-        let tel = Telemetry::new();
-        print_outcome(
-            &format!("DuraSSD            {tag}"),
-            engine_trial(durassd_bench(true), durassd_bench(true), safe, keys, &tel),
-            keys,
-        );
-        print_outcome(
-            &format!("SSD-A (volatile)   {tag}"),
-            engine_trial(ssd_a_bench(true), ssd_a_bench(true), safe, keys, &tel),
-            keys,
-        );
-        print_outcome(
-            &format!("SSD-B (lazy FTL)   {tag}"),
-            engine_trial(ssd_b_bench(true), ssd_b_bench(true), safe, keys, &tel),
-            keys,
-        );
-        print_outcome(
-            &format!("Disk (write cache) {tag}"),
-            engine_trial(hdd_bench(true), hdd_bench(true), safe, keys, &tel),
-            keys,
-        );
-        sink.add(&format!("engine {}", tag.trim_end()), &tel);
+    println!(
+        "{:<30} {:>6} {:<12} {:>6} {:>6} {:>5} {:>5} {:>6}",
+        "configuration", "cut@op", "phase", "surv", "lost", "torn", "stale", "n-ack"
+    );
+    rule(100);
+
+    let mut report = CampaignReport { seed, keys, cuts, rows: Vec::new() };
+    // Chrome trace of one representative DuraSSD trial (first OFF/OFF cut):
+    // must contain the `power_cut` Instant on the ssd timeline.
+    let mut trace_json: Option<String> = None;
+
+    for cut in 0..cuts {
+        let lo = (keys / 4).max(1);
+        let cut_op = cut_rng.gen_range(lo..keys);
+        let phase = if cut_rng.gen_bool(0.5) { CutPhase::AfterCommit } else { CutPhase::AfterPut };
+        for safe in [true, false] {
+            let tag = if safe { "ON/ON" } else { "OFF/OFF" };
+            let trials: [(&str, AckContract); 4] = [
+                ("DuraSSD", AckContract::DurableCacheAck),
+                ("SSD-A", AckContract::VolatileAck),
+                ("SSD-B", AckContract::VolatileAck),
+                ("Disk", AckContract::VolatileAck),
+            ];
+            for (dev_name, contract) in trials {
+                let label = format!("engine {dev_name} {tag}");
+                let tel = Telemetry::new();
+                let traced = dev_name == "DuraSSD" && !safe && cut == 0;
+                if traced {
+                    tel.enable_tracing(1 << 18);
+                }
+                let out = match dev_name {
+                    "Disk" => {
+                        let (d, l) = (hdd_bench(true), hdd_bench(true));
+                        engine_trial(d, l, contract, safe, cut_op, phase, &label, &tel)
+                    }
+                    _ => {
+                        let (mut d, mut l) = match dev_name {
+                            "DuraSSD" => (durassd_bench(true), durassd_bench(true)),
+                            "SSD-A" => (ssd_a_bench(true), ssd_a_bench(true)),
+                            _ => (ssd_b_bench(true), ssd_b_bench(true)),
+                        };
+                        if traced {
+                            d.attach_telemetry(tel.clone());
+                            l.attach_telemetry(tel.clone());
+                        }
+                        engine_trial(d, l, contract, safe, cut_op, phase, &label, &tel)
+                    }
+                };
+                if traced {
+                    trace_json = tel.trace_chrome_json();
+                }
+                print_row(&out);
+                sink.add(&format!("{label} cut{cut}"), &tel);
+                report.rows.push(out.row);
+            }
+        }
+        for barriers in [true, false] {
+            let tag = if barriers { "barriers-on" } else { "barriers-off" };
+            for (dev_name, contract) in
+                [("DuraSSD", AckContract::DurableCacheAck), ("SSD-A", AckContract::VolatileAck)]
+            {
+                let label = format!("doc {dev_name} {tag}");
+                let tel = Telemetry::new();
+                let dev =
+                    if dev_name == "DuraSSD" { durassd_bench(true) } else { ssd_a_bench(true) };
+                let out = doc_trial(dev, contract, barriers, cut_op, &label, &tel);
+                print_row(&out);
+                sink.add(&format!("{label} cut{cut}"), &tel);
+                report.rows.push(out.row);
+            }
+        }
     }
-    println!("\nDocument store (fsync per update):");
-    println!("{:<34} {:>9} {:>9}", "device / barriers", "lost", "corrupt");
-    rule(56);
-    for barriers in [true, false] {
-        let tag = if barriers { "barriers ON " } else { "barriers OFF" };
-        let tel = Telemetry::new();
-        let (lost, corrupt) = doc_trial(durassd_bench(true), barriers, keys, &tel);
-        println!(
-            "{:<34} {:>9} {:>9}   {}",
-            format!("DuraSSD            {tag}"),
-            lost,
-            corrupt,
-            if lost == 0 { "SAFE" } else { "DATA LOSS" }
-        );
-        let (lost, corrupt) = doc_trial(ssd_a_bench(true), barriers, keys, &tel);
-        println!(
-            "{:<34} {:>9} {:>9}   {}",
-            format!("SSD-A (volatile)   {tag}"),
-            lost,
-            corrupt,
-            if lost == 0 { "SAFE" } else { "DATA LOSS" }
-        );
-        sink.add(&format!("doc {}", tag.trim_end()), &tel);
+
+    println!("\nPer-configuration verdicts across all cut points:");
+    rule(70);
+    for line in report.summary_lines() {
+        println!("{line}");
     }
     sink.finish();
+
+    let doc = report.to_json();
+    if let Some(path) = &json_path {
+        write_atomic(path, &doc).expect("forensic report path is writable");
+        println!("\nforensics: wrote campaign report to {path}");
+        if let Some(trace) = &trace_json {
+            let trace_path = match path.strip_suffix(".json") {
+                Some(stem) => format!("{stem}.trace.json"),
+                None => format!("{path}.trace.json"),
+            };
+            write_atomic(&trace_path, trace).expect("trace path is writable");
+            println!("forensics: wrote DuraSSD OFF/OFF cut trace to {trace_path}");
+        }
+    }
+    if check {
+        if let Err(e) = validate_report(&doc) {
+            eprintln!("forensics: report FAILED schema validation: {e}");
+            std::process::exit(1);
+        }
+        let durassd_lost = report.acked_lost_for("DuraSSD");
+        if durassd_lost > 0 {
+            eprintln!("forensics: DuraSSD lost {durassd_lost} acknowledged unit(s) — durable-cache claim violated");
+            std::process::exit(1);
+        }
+        println!("forensics: report schema valid; DuraSSD acked_lost == 0 at every cut point");
+    }
+
     println!("\nThe paper's claim: OFF/OFF (no barriers, no redundant writes) is safe");
     println!("only when the device cache is durable — that is DuraSSD's contribution.");
 }

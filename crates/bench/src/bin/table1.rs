@@ -8,8 +8,9 @@
 
 use bench::{
     durassd_bench, fmt_rate, hdd_bench, print_telemetry, rule, ssd_a_bench, ssd_b_bench,
-    TelemetrySink,
+    ssd_health_line, TelemetrySink,
 };
+use forensics::{DeviceHealth, Forensic};
 use storage::device::BlockDevice;
 use storage::volume::Volume;
 use telemetry::Telemetry;
@@ -31,13 +32,13 @@ const PAPER: &[(&str, [u64; 9])] = &[
     ("DuraSSD NoBarr", [14484, 14800, 14813, 14824, 14840, 14863, 15063, 15181, 15458]),
 ];
 
-fn measure<D: BlockDevice>(
+fn measure<D: BlockDevice + Forensic>(
     dev: D,
     barriers: bool,
     fsync_every: Option<u32>,
     ops: u64,
     tel: &Telemetry,
-) -> f64 {
+) -> (f64, Option<DeviceHealth>) {
     let mut vol = Volume::new(dev, barriers);
     vol.attach_telemetry(tel.clone(), "t1");
     // Random writes over most of the device, like fio on a raw drive (for
@@ -45,7 +46,7 @@ fn measure<D: BlockDevice>(
     let span = vol.capacity_pages() * 3 / 4;
     let spec = FioSpec::random_write_4k(span, fsync_every, ops);
     let rep = run(&mut vol, &spec, 0);
-    rep.throughput()
+    (rep.throughput(), vol.device().health())
 }
 
 fn ops_for(row: &str, fsync_every: Option<u32>) -> u64 {
@@ -81,9 +82,10 @@ fn main() {
         // of the device/barrier combination, aggregated across fsync freqs.
         let tel = Telemetry::new();
         let mut cells = Vec::new();
+        let mut health: Option<DeviceHealth> = None;
         for (i, &freq) in FREQS.iter().enumerate() {
             let ops = ops_for(row, freq);
-            let iops = match *row {
+            let (iops, h) = match *row {
                 "HDD        OFF" => measure(hdd_bench(false), true, freq, ops, &tel),
                 "HDD        ON " => measure(hdd_bench(true), true, freq, ops, &tel),
                 "SSD-A      OFF" => measure(ssd_a_bench(false), true, freq, ops, &tel),
@@ -95,6 +97,7 @@ fn main() {
                 "DuraSSD NoBarr" => measure(durassd_bench(true), false, freq, ops, &tel),
                 _ => unreachable!(),
             };
+            health = h.or(health);
             cells.push(format!("{:>7}", fmt_rate(iops)));
             let _ = paper_vals[i];
         }
@@ -103,6 +106,9 @@ fn main() {
             paper_vals.iter().map(|v| format!("{:>7}", fmt_rate(*v as f64))).collect::<Vec<_>>();
         println!("{:<16} {}   <- paper", "", paper_row.join(" "));
         print_telemetry("      ", &tel, &["dev.t1.write", "dev.t1.flush"]);
+        if let Some(h) = &health {
+            println!("      {}", ssd_health_line(h));
+        }
         sink.add(row.trim_end(), &tel);
     }
     sink.finish();

@@ -9,7 +9,10 @@
 //!
 //! Run: `cargo run -p bench --release --bin tail [--ops N]`
 
-use bench::{arg_u64, durassd_bench, print_telemetry, rule, ssd_a_bench, TelemetrySink};
+use bench::{
+    arg_u64, durassd_bench, print_telemetry, rule, ssd_a_bench, ssd_health_line, TelemetrySink,
+};
+use forensics::{DeviceHealth, Forensic};
 use simkit::dist::rng;
 use simkit::dist::Rng;
 use simkit::stats::LatencyStats;
@@ -18,12 +21,12 @@ use storage::device::{BlockDevice, LOGICAL_PAGE};
 use storage::volume::Volume;
 use telemetry::Telemetry;
 
-fn mixed_run<D: BlockDevice>(
+fn mixed_run<D: BlockDevice + Forensic>(
     dev: D,
     barriers: bool,
     ops: u64,
     tel: &Telemetry,
-) -> (LatencyStats, LatencyStats) {
+) -> (LatencyStats, LatencyStats, Option<DeviceHealth>) {
     let mut vol = Volume::new(dev, barriers);
     let span = vol.capacity_pages() / 2;
     // Preload so reads hit media.
@@ -61,7 +64,8 @@ fn mixed_run<D: BlockDevice>(
             done
         }
     });
-    (reads, writes)
+    let health = vol.device().health();
+    (reads, writes, health)
 }
 
 fn report(name: &str, reads: &mut LatencyStats, writes: &mut LatencyStats) {
@@ -90,14 +94,20 @@ fn main() {
     println!("Tail latency under mixed read/write load (64 readers, 16 writers, fsync/8)\n");
     rule(110);
     let tel1 = Telemetry::new();
-    let (mut r1, mut w1) = mixed_run(ssd_a_bench(true), true, ops, &tel1);
+    let (mut r1, mut w1, h1) = mixed_run(ssd_a_bench(true), true, ops, &tel1);
     report("volatile SSD, barriers ON", &mut r1, &mut w1);
     print_telemetry("    ", &tel1, &["dev.tail.read", "dev.tail.flush"]);
+    if let Some(h) = &h1 {
+        println!("    {}", ssd_health_line(h));
+    }
     sink.add("volatile SSD, barriers ON", &tel1);
     let tel2 = Telemetry::new();
-    let (mut r2, mut w2) = mixed_run(durassd_bench(true), false, ops, &tel2);
+    let (mut r2, mut w2, h2) = mixed_run(durassd_bench(true), false, ops, &tel2);
     report("DuraSSD, nobarrier", &mut r2, &mut w2);
     print_telemetry("    ", &tel2, &["dev.tail.read", "dev.tail.flush"]);
+    if let Some(h) = &h2 {
+        println!("    {}", ssd_health_line(h));
+    }
     sink.add("DuraSSD, nobarrier", &tel2);
     sink.finish();
     rule(110);

@@ -6,6 +6,7 @@
 //! seconds of wall-clock time; override with `--scale N` where supported.
 
 use durassd::{Ssd, SsdConfig};
+use forensics::DeviceHealth;
 use hdd::{Hdd, HddConfig};
 use telemetry::Telemetry;
 
@@ -169,6 +170,18 @@ pub fn stall_breakdown(tel: &Telemetry) -> String {
         pct(s.gc),
         pct(s.wal_fsync),
         pct(s.pool_eviction)
+    )
+}
+
+/// One-line durability-health summary for a device that tracks it
+/// ([`forensics::Forensic::health`]): shorn reads, emergency dumps (and how
+/// many blew the capacitor budget), the largest dump, recovery runs, and
+/// acked slots destroyed. Printed next to the stall breakdown so a run's
+/// performance story and its durability story sit on adjacent lines.
+pub fn ssd_health_line(h: &DeviceHealth) -> String {
+    format!(
+        "ssd health | shorn_reads {}  dumps {} (over-budget {})  max_dump {}B  recoveries {}  lost_acked {}",
+        h.shorn_reads, h.dumps, h.dump_over_budget, h.max_dump_bytes, h.recoveries, h.lost_acked_slots
     )
 }
 

@@ -4,6 +4,10 @@
 use crate::cache::{CacheEntry, WriteCache};
 use crate::config::{CacheProtection, SsdConfig};
 use crate::ftl::{Ftl, SlotRead};
+use forensics::{
+    CacheSlotSnap, DeviceHealth, DevicePostmortem, DumpOutcome, EvidenceKind, Forensic, Ledger,
+    RecoverySnap,
+};
 use nand::NandArray;
 use simkit::{Nanos, Timeline};
 use storage::device::{check_io, BlockDevice, DevError, DevResult, DeviceStats, LOGICAL_PAGE};
@@ -28,6 +32,10 @@ pub struct SsdStats {
     pub max_dump_bytes: u64,
     /// Recovery runs at reboot.
     pub recoveries: u64,
+    /// Emergency dumps that exceeded the capacitor energy budget and were
+    /// abandoned (the device degraded to volatile behaviour for that cut).
+    /// A mis-tuned budget is a reportable forensic finding, not an abort.
+    pub dump_over_budget: u64,
 }
 
 /// A record of a host write whose acknowledgement lies in the future; if
@@ -62,6 +70,13 @@ pub struct Ssd {
     last_arrival: Nanos,
     /// Optional telemetry sink (cache-drain durations, occupancy gauge).
     tel: Option<Telemetry>,
+    /// Optional durability ledger: records device-level acknowledgement
+    /// evidence (atomic-write acks, FLUSH CACHE acks).
+    ledger: Option<Ledger>,
+    /// Postmortem captured by the most recent `power_cut`.
+    postmortem: Option<DevicePostmortem>,
+    /// Snapshot captured by the most recent `reboot`.
+    recovery: Option<RecoverySnap>,
 }
 
 impl Ssd {
@@ -82,6 +97,9 @@ impl Ssd {
             inflight: Vec::new(),
             last_arrival: 0,
             tel: None,
+            ledger: None,
+            postmortem: None,
+            recovery: None,
             cfg,
         }
     }
@@ -95,6 +113,14 @@ impl Ssd {
         self.ftl.attach_telemetry(tel.clone());
         self.nand.attach_telemetry(tel.clone());
         self.tel = Some(tel);
+    }
+
+    /// Attach a durability ledger: every host write acknowledgement and
+    /// FLUSH CACHE completion is recorded as aggregate evidence, tagged
+    /// with the contract behind it (a FLUSH ack is a barrier ack; a plain
+    /// write ack carries the device cache's own contract).
+    pub fn attach_ledger(&mut self, ledger: Ledger) {
+        self.ledger = Some(ledger);
     }
 
     /// The device configuration.
@@ -338,21 +364,26 @@ impl Ssd {
 
     /// Capacitor dump at power-cut time (§3.4.1). The dump itself runs on
     /// backup power after host time stops, so it costs no virtual time; what
-    /// matters is that it *fits the energy budget* and that the dumped state
-    /// survives in the device (the cache/mapping structures stay intact).
-    fn emergency_dump(&mut self, now: Nanos) {
+    /// matters is whether it *fits the energy budget*. When it does, the
+    /// dumped state survives in the device (the cache/mapping structures
+    /// stay intact). When it does not — a mis-tuned budget the flow control
+    /// failed to bound — the capacitor dies mid-dump and the cut is recorded
+    /// as a structured over-budget outcome instead of aborting the process;
+    /// the caller then degrades the device to volatile behaviour.
+    fn emergency_dump(&mut self, now: Nanos) -> DumpOutcome {
         // Only slots not yet on flash need dumping (dirty + still-draining);
         // completed-but-unreclaimed entries are already safe on media.
         let live_slots = self.cache.occupied_at(now) as u64;
         let bytes = live_slots * LOGICAL_PAGE as u64 + self.ftl.unpersisted_entries() as u64 * 8;
-        assert!(
-            bytes <= self.cfg.capacitor_energy_bytes,
-            "dump of {bytes}B exceeds capacitor budget {}B — flow control must bound the cache",
-            self.cfg.capacitor_energy_bytes
-        );
-        self.xstats.dumps += 1;
-        self.xstats.max_dump_bytes = self.xstats.max_dump_bytes.max(bytes);
-        self.emergency_flag = true;
+        let within_budget = bytes <= self.cfg.capacitor_energy_bytes;
+        if within_budget {
+            self.xstats.dumps += 1;
+            self.xstats.max_dump_bytes = self.xstats.max_dump_bytes.max(bytes);
+            self.emergency_flag = true;
+        } else {
+            self.xstats.dump_over_budget += 1;
+        }
+        DumpOutcome { bytes, budget_bytes: self.cfg.capacitor_energy_bytes, within_budget }
     }
 
     /// Refresh the device-state gauges the time-series sampler reads:
@@ -432,6 +463,10 @@ impl BlockDevice for Ssd {
         } else {
             self.write_direct(lpn, data, start)
         };
+        if let Some(ledger) = &self.ledger {
+            // A plain write ack carries the device cache's own contract.
+            ledger.evidence(EvidenceKind::AtomicWriteAck, lpn, done, false);
+        }
         self.update_gauges();
         Ok(done)
     }
@@ -465,6 +500,10 @@ impl BlockDevice for Ssd {
         self.barrier_until = done;
         if let Some(tel) = &self.tel {
             tel.trace_end("ssd", "flush_cache", done);
+        }
+        if let Some(ledger) = &self.ledger {
+            // A FLUSH CACHE completion is by definition a barrier ack.
+            ledger.evidence(EvidenceKind::DeviceFlush, self.stats.flushes, done, true);
         }
         self.update_gauges();
         Ok(done)
@@ -502,8 +541,29 @@ impl BlockDevice for Ssd {
         let now = now.max(self.last_arrival);
         self.powered = false;
         self.barrier_until = 0;
+        if let Some(tel) = &self.tel {
+            tel.trace_instant("ssd", "power_cut", now);
+        }
+        // Postmortem: capture everything the cut is about to destroy —
+        // per-channel drain positions and the un-journalled mapping delta
+        // *before* the NAND array and FTL react to the cut.
+        let mut pm = DevicePostmortem {
+            device: "ssd".into(),
+            protection: match self.cfg.protection {
+                CacheProtection::Volatile => "volatile".into(),
+                CacheProtection::CapacitorBacked => "capacitor-backed".into(),
+            },
+            cut_at: now,
+            channel_drain_positions: (0..self.cfg.geometry.planes())
+                .map(|p| self.nand.plane_busy_until(p))
+                .collect(),
+            unpersisted_map: self.ftl.unpersisted_delta(),
+            ..Default::default()
+        };
         // 1. In-flight NAND programs shear.
+        let shorn_before = self.nand.stats().shorn_pages;
         self.nand.power_cut(now);
+        pm.nand_shorn_pages = self.nand.stats().shorn_pages - shorn_before;
         // 2. Atomic writer: host commands whose acknowledgement had not been
         //    sent yet are rolled back entirely — the host must never observe
         //    a half-applied command (§3.2).
@@ -511,24 +571,51 @@ impl BlockDevice for Ssd {
         for w in pending.into_iter().rev() {
             if w.done > now {
                 self.xstats.aborted_inflight_writes += 1;
+                pm.aborted_inflight_writes += 1;
                 for (lpn, pre) in w.preimages.into_iter().rev() {
                     self.cache.rollback(lpn, pre);
                 }
             }
         }
+        // Snapshot the cache *after* the atomic-writer rollback: what is
+        // left are the slots the host believes durable (plus drains whose
+        // reclaim never came).
+        pm.dirty_slots = self
+            .cache
+            .iter()
+            .map(|(&lpn, e)| CacheSlotSnap {
+                lpn,
+                draining: e.draining_until.is_some(),
+                ackable_at: e.ackable_at,
+            })
+            .collect();
         match self.cfg.protection {
             CacheProtection::Volatile => {
                 // 3a. Acked-but-cached data evaporates; un-journalled
                 //     mapping updates roll back.
+                pm.rolled_back_map_entries = pm.unpersisted_map.len() as u64;
                 let lost = self.cache.discard_all();
                 self.xstats.lost_acked_slots += lost as u64;
+                pm.discarded_dirty_slots = lost as u64;
                 self.ftl.rollback_unpersisted();
             }
             CacheProtection::CapacitorBacked => {
-                // 3b. The power-off detector fires the dump (§3.4.1).
-                self.emergency_dump(now);
+                // 3b. The power-off detector fires the dump (§3.4.1). An
+                //     over-budget dump fails and the device degrades to
+                //     volatile behaviour for this cut — recorded, not fatal.
+                let outcome = self.emergency_dump(now);
+                if !outcome.within_budget {
+                    pm.rolled_back_map_entries = pm.unpersisted_map.len() as u64;
+                    let lost = self.cache.discard_all();
+                    self.xstats.lost_acked_slots += lost as u64;
+                    pm.discarded_dirty_slots = lost as u64;
+                    self.ftl.rollback_unpersisted();
+                }
+                pm.dump = Some(outcome);
             }
         }
+        self.postmortem = Some(pm);
+        self.recovery = None;
     }
 
     fn reboot(&mut self, now: Nanos) -> Nanos {
@@ -537,7 +624,11 @@ impl BlockDevice for Ssd {
         }
         self.powered = true;
         self.last_arrival = 0;
-        match self.cfg.protection {
+        if let Some(tel) = &self.tel {
+            tel.trace_begin("ssd", "postmortem_recovery", now);
+        }
+        let mut snap = RecoverySnap { device: "ssd".into(), ..Default::default() };
+        let ready = match self.cfg.protection {
             CacheProtection::CapacitorBacked => {
                 let mut t = now + self.cfg.recharge_time; // recharge first (§3.4.2)
                 if self.emergency_flag {
@@ -553,6 +644,8 @@ impl BlockDevice for Ssd {
                         + self.cfg.geometry.t_read * (requeued as u64 / 4 + 1);
                     t += read_time;
                     self.emergency_flag = false;
+                    snap.requeued_slots = requeued as u64;
+                    snap.recovered_via_dump = true;
                 }
                 self.last_arrival = t;
                 t
@@ -561,11 +654,18 @@ impl BlockDevice for Ssd {
                 // Mapping was already rolled back to the journalled state at
                 // cut time; charge a boot-time journal scan.
                 self.xstats.recoveries += 1;
+                snap.scan_only = true;
                 let t = now + 50_000_000;
                 self.last_arrival = t;
                 t
             }
+        };
+        snap.ready_at = ready;
+        self.recovery = Some(snap);
+        if let Some(tel) = &self.tel {
+            tel.trace_end("ssd", "postmortem_recovery", ready);
         }
+        ready
     }
 
     fn is_powered(&self) -> bool {
@@ -585,6 +685,35 @@ impl BlockDevice for Ssd {
             erases: n.erases,
             ..self.stats
         }
+    }
+}
+
+impl Forensic for Ssd {
+    fn postmortem(&self) -> Option<&DevicePostmortem> {
+        self.postmortem.as_ref()
+    }
+
+    fn take_postmortem(&mut self) -> Option<DevicePostmortem> {
+        self.postmortem.take()
+    }
+
+    fn recovery_snap(&self) -> Option<&RecoverySnap> {
+        self.recovery.as_ref()
+    }
+
+    fn attach_ledger(&mut self, ledger: Ledger) {
+        Ssd::attach_ledger(self, ledger);
+    }
+
+    fn health(&self) -> Option<DeviceHealth> {
+        Some(DeviceHealth {
+            shorn_reads: self.xstats.shorn_reads,
+            dumps: self.xstats.dumps,
+            dump_over_budget: self.xstats.dump_over_budget,
+            max_dump_bytes: self.xstats.max_dump_bytes,
+            recoveries: self.xstats.recoveries,
+            lost_acked_slots: self.xstats.lost_acked_slots,
+        })
     }
 }
 

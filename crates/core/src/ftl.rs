@@ -168,6 +168,20 @@ impl Ftl {
         self.unpersisted.len()
     }
 
+    /// The un-journalled mapping delta, for the power-cut postmortem:
+    /// `(lpn, old_slot)` pairs, `old_slot == None` when the page was mapped
+    /// for the first time since the last persist. Sorted by LPN so reports
+    /// are deterministic.
+    pub fn unpersisted_delta(&self) -> Vec<(u64, Option<u64>)> {
+        let mut v: Vec<(u64, Option<u64>)> = self
+            .unpersisted
+            .iter()
+            .map(|(&lpn, &old)| (lpn, (old != NONE).then_some(old)))
+            .collect();
+        v.sort_unstable_by_key(|&(lpn, _)| lpn);
+        v
+    }
+
     /// The reserved dump blocks (used by the device's recovery manager).
     pub fn dump_blocks(&self) -> &[u32] {
         &self.dump_blocks

@@ -23,6 +23,7 @@ use cowtree::{
     decode_node, encode_node, node_size, route, split_entries, Entry, KIND_INTERNAL, KIND_LEAF,
     NODE_CAP,
 };
+use forensics::{Ledger, UnitKind};
 use simkit::{crc32, Nanos, Timed};
 use std::collections::HashMap;
 use storage::device::BlockDevice;
@@ -98,6 +99,8 @@ pub struct DocStore<D: BlockDevice> {
     stats: DocStats,
     /// Optional telemetry sink; see [`DocStore::attach_telemetry`].
     tel: Option<Telemetry>,
+    /// Optional durability ledger; see [`DocStore::attach_ledger`].
+    ledger: Option<Ledger>,
 }
 
 /// Frame a document for the append space: `[len u32][crc u32][bytes]`.
@@ -127,6 +130,7 @@ impl<D: BlockDevice> DocStore<D> {
             updates_since_sync: 0,
             stats: DocStats::default(),
             tel: None,
+            ledger: None,
         }
     }
 
@@ -141,6 +145,16 @@ impl<D: BlockDevice> DocStore<D> {
     pub fn attach_telemetry(&mut self, tel: Telemetry) {
         self.vol.attach_telemetry(tel.clone(), "doc");
         self.tel = Some(tel);
+    }
+
+    /// Attach a durability ledger to the store and its volume. Every `set`
+    /// / `delete` pends a [`UnitKind::DocstoreUpdate`] unit; the batch
+    /// header fsync (the couchstore commit point) acknowledges everything
+    /// pending, under the flush-barrier contract when barriers are on and
+    /// the device's own contract when they are off.
+    pub fn attach_ledger(&mut self, ledger: Ledger) {
+        self.vol.attach_ledger(ledger.clone());
+        self.ledger = Some(ledger);
     }
 
     /// Open a per-operation trace scope (see `relstore::Engine::begin_op`):
@@ -175,6 +189,12 @@ impl<D: BlockDevice> DocStore<D> {
     /// Device statistics of the underlying volume.
     pub fn device_stats(&self) -> storage::device::DeviceStats {
         self.vol.device_stats()
+    }
+
+    /// The underlying device (read-only), e.g. to collect forensic
+    /// snapshots after recovery.
+    pub fn device(&self) -> &D {
+        self.vol.device()
     }
 
     /// Bytes appended so far.
@@ -349,13 +369,22 @@ impl<D: BlockDevice> DocStore<D> {
         self.stats.bytes_appended += hdr.len() as u64;
         self.stats.headers += 1;
         self.updates_since_sync = 0;
-        self.space.sync(&mut self.vol, now)
+        let done = self.space.sync(&mut self.vol, now);
+        if let Some(ledger) = &self.ledger {
+            // The header fsync is couchstore's commit point: everything
+            // appended since the previous header is now acknowledged.
+            ledger.ack_all_pending(done, self.cfg.barriers);
+        }
+        done
     }
 
     /// Insert or update a document. Returns the completion time.
     pub fn set(&mut self, key: &[u8], doc: &[u8], now: Nanos) -> Nanos {
         self.stats.sets += 1;
         self.begin_op("doc.set", now);
+        if let Some(ledger) = &self.ledger {
+            ledger.pend(UnitKind::DocstoreUpdate, key, Ledger::digest(doc), now);
+        }
         let framed = frame_doc(doc);
         let ptr = self.space.append(&framed);
         self.stats.bytes_appended += framed.len() as u64;
@@ -371,6 +400,10 @@ impl<D: BlockDevice> DocStore<D> {
     pub fn delete(&mut self, key: &[u8], now: Nanos) -> Nanos {
         self.stats.deletes += 1;
         self.begin_op("doc.delete", now);
+        if let Some(ledger) = &self.ledger {
+            // Tombstone digest: a surviving delete reads back as Missing.
+            ledger.pend(UnitKind::DocstoreUpdate, key, Ledger::digest(&[]), now);
+        }
         let entry = Entry { key: key.to_vec(), ptr: 0, len: 0 };
         let t = self.apply_tree_update(key, entry, now);
         self.doc_cache.insert(key.to_vec(), None);
@@ -611,6 +644,7 @@ impl<D: BlockDevice> DocStore<D> {
                 updates_since_sync: 0,
                 stats: DocStats::default(),
                 tel: None,
+                ledger: None,
             },
             t,
         )

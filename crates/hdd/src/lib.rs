@@ -17,6 +17,7 @@
 //! when the cache is write-through; the model charges that inside `flush`
 //! (paper Fig. 2 shows fsync carrying file metadata with it).
 
+use forensics::{CacheSlotSnap, DevicePostmortem, Forensic, RecoverySnap};
 use simkit::{Nanos, Timeline};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
@@ -92,6 +93,10 @@ pub struct Hdd {
     barrier_until: Nanos,
     /// Optional telemetry sink (destage-batch durations, dirty gauge).
     tel: Option<Telemetry>,
+    /// Postmortem captured by the most recent `power_cut`.
+    postmortem: Option<DevicePostmortem>,
+    /// Snapshot captured by the most recent `reboot`.
+    recovery: Option<RecoverySnap>,
 }
 
 impl Hdd {
@@ -110,6 +115,8 @@ impl Hdd {
             inflight: Vec::new(),
             barrier_until: 0,
             tel: None,
+            postmortem: None,
+            recovery: None,
         }
     }
 
@@ -351,9 +358,28 @@ impl BlockDevice for Hdd {
         Ok(done)
     }
 
-    fn power_cut(&mut self, _now: Nanos) {
+    fn power_cut(&mut self, now: Nanos) {
         self.powered = false;
-        self.lost_acked_pages += self.cache.len() as u64;
+        if let Some(tel) = &self.tel {
+            tel.trace_instant("hdd", "power_cut", now);
+        }
+        // Postmortem: the pages the volatile write cache is about to drop,
+        // with their owner LBAs, captured before the cache is cleared.
+        let lost = self.cache.len() as u64;
+        self.postmortem = Some(DevicePostmortem {
+            device: "hdd".into(),
+            protection: "hdd-write-cache".into(),
+            cut_at: now,
+            dirty_slots: self
+                .cache
+                .keys()
+                .map(|&lpn| CacheSlotSnap { lpn, draining: false, ackable_at: 0 })
+                .collect(),
+            discarded_dirty_slots: lost,
+            ..Default::default()
+        });
+        self.recovery = None;
+        self.lost_acked_pages += lost;
         self.cache.clear();
         self.arm.reset();
         self.draining.clear();
@@ -364,7 +390,19 @@ impl BlockDevice for Hdd {
     fn reboot(&mut self, now: Nanos) -> Nanos {
         self.powered = true;
         // Spin-up.
-        now + 5_000_000_000
+        let ready = now + 5_000_000_000;
+        if let Some(tel) = &self.tel {
+            tel.trace_begin("hdd", "postmortem_recovery", now);
+            tel.trace_end("hdd", "postmortem_recovery", ready);
+        }
+        self.recovery = Some(RecoverySnap {
+            device: "hdd".into(),
+            ready_at: ready,
+            requeued_slots: 0,
+            recovered_via_dump: false,
+            scan_only: true,
+        });
+        ready
     }
 
     fn is_powered(&self) -> bool {
@@ -373,6 +411,20 @@ impl BlockDevice for Hdd {
 
     fn stats(&self) -> DeviceStats {
         self.stats
+    }
+}
+
+impl Forensic for Hdd {
+    fn postmortem(&self) -> Option<&DevicePostmortem> {
+        self.postmortem.as_ref()
+    }
+
+    fn take_postmortem(&mut self) -> Option<DevicePostmortem> {
+        self.postmortem.take()
+    }
+
+    fn recovery_snap(&self) -> Option<&RecoverySnap> {
+        self.recovery.as_ref()
     }
 }
 

@@ -26,6 +26,7 @@ use crate::records::{Op, RedoRecord};
 use btree::{node as bnode, BTree, PageStore};
 use bufferpool::{BufferPool, PageBackend, PoolStats};
 use durassd::Error;
+use forensics::{Ledger, UnitKind};
 use simkit::{crc32, Nanos, Timed};
 use std::collections::HashMap;
 use storage::device::{BlockDevice, DevError};
@@ -316,6 +317,8 @@ pub struct Engine<D: BlockDevice, L: BlockDevice> {
     stats: EngineStats,
     /// Optional telemetry sink; see [`Engine::attach_telemetry`].
     tel: Option<Telemetry>,
+    /// Optional durability ledger; see [`Engine::attach_ledger`].
+    ledger: Option<Ledger>,
 }
 
 /// On-volume layout: (catalog, double-write area, tablespace, log files).
@@ -364,6 +367,7 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
             scratch: Vec::with_capacity(cfg.page_size),
             stats: EngineStats::default(),
             tel: None,
+            ledger: None,
             cfg,
         };
         let t = eng.write_catalog(t);
@@ -385,6 +389,21 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
         self.pool.attach_telemetry(tel.clone());
         self.wal.attach_telemetry(tel.clone());
         self.tel = Some(tel);
+    }
+
+    /// Attach a durability ledger to the engine and every layer under it:
+    /// `put`/`delete` register pending units (key + value digest), `commit`
+    /// acknowledges them at the WAL-durable timestamp under the contract in
+    /// force (barrier ack when `cfg.barriers`, otherwise the device cache's
+    /// own contract), the WAL records `wal-flush` evidence, and both
+    /// volumes record `fsync-ack` evidence. Device-internal evidence
+    /// (atomic write acks, FLUSH CACHE acks) requires attaching the same
+    /// ledger to the device *before* handing it to [`Engine::create`].
+    pub fn attach_ledger(&mut self, ledger: Ledger) {
+        self.data.attach_ledger(ledger.clone());
+        self.logv.attach_ledger(ledger.clone());
+        self.wal.attach_ledger(ledger.clone());
+        self.ledger = Some(ledger);
     }
 
     /// Open a per-operation trace scope: every span emitted below the
@@ -575,6 +594,9 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
             summary,
             root_change,
         );
+        if let Some(ledger) = &self.ledger {
+            ledger.pend(UnitKind::RelstoreCommit, key, Ledger::digest(value), now);
+        }
         self.note_op("engine.put", now, t);
         t
     }
@@ -598,6 +620,11 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
         let (existed, summary, t) =
             self.op(now, |trees, view, t| trees[tree as usize].delete(view, key, t));
         self.log_op(Op::Delete { tree, key: key.to_vec() }, summary, None);
+        if let Some(ledger) = &self.ledger {
+            // A delete's "value" is absence: record the tombstone digest so
+            // the reconciler expects `Missing` for a surviving delete.
+            ledger.pend(UnitKind::RelstoreCommit, key, Ledger::digest(&[]), now);
+        }
         self.note_op("engine.delete", now, t);
         Timed::new(existed, t)
     }
@@ -633,6 +660,12 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
         self.begin_op("engine.commit", now);
         let target = self.wal.next_lsn();
         let t = self.wal.commit(&mut self.logv, target, now);
+        if let Some(ledger) = &self.ledger {
+            // Everything logged so far is acknowledged durable at `t`. The
+            // contract is a barrier ack only when the log volume really
+            // issues FLUSH on fsync.
+            ledger.ack_all_pending(t, self.cfg.barriers);
+        }
         self.note_op("engine.commit", now, t);
         t
     }
@@ -842,6 +875,7 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
             scratch: Vec::with_capacity(cfg.page_size),
             stats,
             tel: None,
+            ledger: None,
             cfg,
         };
         // 4. Replay.

@@ -2,6 +2,7 @@
 //! extent allocator for carving page files out of a device.
 
 use crate::device::{check_io, BlockDevice, DevResult, DeviceStats};
+use forensics::{EvidenceKind, Ledger};
 use simkit::Nanos;
 use telemetry::{Stall, Telemetry};
 
@@ -42,12 +43,23 @@ pub struct Volume<D: BlockDevice> {
     barriers: bool,
     fsyncs: u64,
     tel: Option<VolumeTel>,
+    ledger: Option<Ledger>,
 }
 
 impl<D: BlockDevice> Volume<D> {
     /// Mount `dev` with the given barrier policy.
     pub fn new(dev: D, barriers: bool) -> Self {
-        Self { dev, barriers, fsyncs: 0, tel: None }
+        Self { dev, barriers, fsyncs: 0, tel: None, ledger: None }
+    }
+
+    /// Attach a durability ledger: every fsync acknowledgement is recorded
+    /// as `fsync-ack` evidence. With barriers on the ack is backed by a
+    /// device flush (a barrier contract); with barriers off the volume
+    /// acknowledges without flushing — the ledger tags the ack with the
+    /// device cache's own contract, which is exactly the promise a power
+    /// cut puts to the test.
+    pub fn attach_ledger(&mut self, ledger: Ledger) {
+        self.ledger = Some(ledger);
     }
 
     /// Attach a telemetry handle; latencies are recorded under
@@ -149,13 +161,22 @@ impl<D: BlockDevice> Volume<D> {
                 tel.tel.stall(Stall::FlushCache, dur - gc);
                 tel.tel.trace_end("dev", &tel.flush, done);
             }
+            if let Some(ledger) = &self.ledger {
+                ledger.evidence(EvidenceKind::FsyncAck, self.fsyncs, done, true);
+            }
             Ok(done)
         } else {
             if let Some(tel) = &self.tel {
                 tel.tel.record(&tel.fsync_soft, FSYNC_SOFT_COST);
                 tel.tel.trace_instant("dev", &tel.fsync_soft, now);
             }
-            Ok(now + FSYNC_SOFT_COST)
+            let done = now + FSYNC_SOFT_COST;
+            if let Some(ledger) = &self.ledger {
+                // No barrier was issued: the ack rides on the device cache's
+                // own contract.
+                ledger.evidence(EvidenceKind::FsyncAck, self.fsyncs, done, false);
+            }
+            Ok(done)
         }
     }
 

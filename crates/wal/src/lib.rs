@@ -35,6 +35,7 @@
 //! flush window, so durability-sensitive tests either keep the strict mode
 //! (default) or call [`Wal::quiesce`] before inspecting the device.
 
+use forensics::{EvidenceKind, Ledger};
 use simkit::{crc32, Nanos};
 use storage::device::{BlockDevice, LOGICAL_PAGE};
 use storage::file::PageFile;
@@ -101,6 +102,9 @@ pub struct Wal {
     /// Optional telemetry sink. Physical flushes run under a `WalFsync`
     /// stall context so device-level blocked time is attributed to the log.
     tel: Option<Telemetry>,
+    /// Optional durability ledger: each physical flush completion is
+    /// recorded as `wal-flush` evidence with the LSN it covered.
+    ledger: Option<Ledger>,
 }
 
 impl Wal {
@@ -133,6 +137,7 @@ impl Wal {
             tail_image: vec![0u8; BLOCK],
             stats: WalStats::default(),
             tel: None,
+            ledger: None,
         };
         let t = wal.write_header(vol, now);
         (wal, t)
@@ -151,6 +156,13 @@ impl Wal {
     /// generic media time.
     pub fn attach_telemetry(&mut self, tel: Telemetry) {
         self.tel = Some(tel);
+    }
+
+    /// Attach a durability ledger: every physical flush completion is
+    /// recorded as `wal-flush` evidence carrying the LSN it covered and
+    /// whether the underlying fsync was barrier-backed.
+    pub fn attach_ledger(&mut self, ledger: Ledger) {
+        self.ledger = Some(ledger);
     }
 
     /// Next LSN to be assigned.
@@ -267,6 +279,11 @@ impl Wal {
             tel.record("wal.flush", t.saturating_sub(now));
             tel.trace_end("wal", "wal.flush", t);
             tel.set_gauge("wal.buffered_bytes", 0);
+        }
+        if let Some(ledger) = &self.ledger {
+            // The flush covered the stream up to `end`: with barriers the
+            // ack is barrier-backed, otherwise it rides on the device cache.
+            ledger.evidence(EvidenceKind::WalFlush, end, t, vol.barriers());
         }
         t
     }
@@ -463,6 +480,7 @@ impl Wal {
             tail_image: vec![0u8; BLOCK],
             stats: WalStats::default(),
             tel: None,
+            ledger: None,
         };
         let mut hdr = vec![0u8; BLOCK];
         let mut t = wal.files[0].read_page(vol, 0, &mut hdr, now).expect("header block");
