@@ -40,4 +40,13 @@ test -s "$TRACE_TMP/crash.trace.json"
 grep -q '"schema":"durassd.forensics.v1"' "$TRACE_TMP/crash.json"
 grep -q '"name":"power_cut"' "$TRACE_TMP/crash.trace.json"
 
+echo "== perf smoke (tiny ops, schema-validated BENCH_perf.json) =="
+# No absolute-speed gate: CI machines are noisy. --check fails on schema
+# drift, NaN or zero throughput; that is the invariant worth pinning.
+cargo run -p bench --release -q --bin perf -- \
+    --fio-ops 2000 --ycsb-records 200 --ycsb-ops 400 --warehouses 1 --txns 20 \
+    --out "$TRACE_TMP/perf.json" --check >"$TRACE_TMP/perf.out"
+test -s "$TRACE_TMP/perf.json"
+grep -q '"schema": *"durassd.perf.v1"' "$TRACE_TMP/perf.json"
+
 echo "tier-1 gate: OK"

@@ -1,0 +1,267 @@
+//! **perf** — reproducible wall-clock performance harness.
+//!
+//! Every other bench bin in this repo measures *virtual* time: the
+//! discrete-event model's answer to "how fast is the device". This one
+//! measures the *simulator itself* — wall-clock ops/sec, allocator traffic
+//! and peak RSS for three fixed, seeded scenarios — so successive PRs leave
+//! a host-side performance trajectory in `BENCH_perf.json` at the repo root
+//! instead of anecdotes.
+//!
+//! Scenarios (fixed op counts, fixed seeds — byte-identical virtual-time
+//! results run to run):
+//!
+//! 1. `fio_randwrite_4k` — fio-style 4KB random writes on DuraSSD (cache
+//!    ON, barriers, fsync every 32) — the Table 1 hot cell;
+//! 2. `ycsb_a_docstore` — YCSB-A on the document store (batch-10 group
+//!    commit, barriers ON);
+//! 3. `tpcc_relstore` — a TPC-C slice on the relational engine (8 clients,
+//!    strict commits).
+//!
+//! Reported per scenario: wall-clock ops/sec (the headline), sim-time
+//! throughput (must stay constant across host-side refactors — it is the
+//! determinism canary), heap allocations from the counting global allocator
+//! and allocations/op. Process-wide peak RSS (`VmHWM`) is reported once.
+//!
+//! Flags: `--fio-ops N`, `--ycsb-records N`, `--ycsb-ops N`,
+//! `--warehouses N`, `--txns N`, `--out PATH` (default `BENCH_perf.json`),
+//! `--check` (validate the written JSON: parses, schema tag, no NaN, no
+//! zero throughput; exit non-zero on violation).
+//!
+//! Run: `cargo run -p bench --release --bin perf`
+
+use bench::{arg_flag, arg_str, arg_u64, durassd_bench, fmt_rate, rule, write_atomic};
+use docstore::{DocStore, DocStoreConfig};
+use relstore::{Engine, EngineConfig};
+use simkit::alloc::{alloc_count, peak_rss_bytes, CountingAlloc};
+use storage::volume::Volume;
+use workloads::fio::FioSpec;
+use workloads::{fio, tpcc, ycsb};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+/// JSON schema tag; bump on layout changes so downstream tooling can gate.
+const SCHEMA: &str = "durassd.perf.v1";
+
+struct Scenario {
+    name: &'static str,
+    ops: u64,
+    wall_ns: u64,
+    sim_ns: u64,
+    allocs: u64,
+}
+
+impl Scenario {
+    fn wall_ops_per_sec(&self) -> f64 {
+        self.ops as f64 / (self.wall_ns.max(1) as f64 / 1e9)
+    }
+    fn sim_ops_per_sec(&self) -> f64 {
+        self.ops as f64 / (self.sim_ns.max(1) as f64 / 1e9)
+    }
+    fn allocs_per_op(&self) -> f64 {
+        self.allocs as f64 / self.ops.max(1) as f64
+    }
+}
+
+/// Measure a closure that returns `(ops, sim_ns)`; wall-clock and the
+/// allocation counter bracket exactly the measured phase (setup and load
+/// happen outside, in the caller).
+fn measure(name: &'static str, f: impl FnOnce() -> (u64, u64)) -> Scenario {
+    let a0 = alloc_count();
+    let t0 = std::time::Instant::now();
+    let (ops, sim_ns) = f();
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let allocs = alloc_count() - a0;
+    Scenario { name, ops, wall_ns, sim_ns, allocs }
+}
+
+fn fio_scenario(ops: u64) -> Scenario {
+    let mut vol = Volume::new(durassd_bench(true), true);
+    let span = vol.capacity_pages() * 3 / 4;
+    let spec = FioSpec::random_write_4k(span, Some(32), ops);
+    measure("fio_randwrite_4k", || {
+        let rep = fio::run(&mut vol, &spec, 0);
+        (rep.ops, rep.elapsed())
+    })
+}
+
+fn ycsb_scenario(records: u64, ops: u64) -> Scenario {
+    let dev = durassd_bench(true);
+    let cfg = DocStoreConfig {
+        batch_size: 10,
+        barriers: true,
+        file_blocks: 200_000,
+        auto_compact_pct: 0,
+    };
+    let mut store = DocStore::create(dev, cfg);
+    let spec = ycsb::YcsbSpec::workload_a(records, ops);
+    let t0 = ycsb::load(&mut store, &spec, 0);
+    measure("ycsb_a_docstore", || {
+        let rep = ycsb::run(&mut store, &spec, t0);
+        (rep.ops, rep.elapsed())
+    })
+}
+
+fn tpcc_scenario(warehouses: u32, txns: u64) -> Scenario {
+    let data = durassd_bench(true);
+    let log = durassd_bench(true);
+    let spec = tpcc::TpccSpec { clients: 8, ..tpcc::TpccSpec::scaled(warehouses, txns) };
+    let est = warehouses as u64
+        * (spec.items as u64 * 300 + spec.districts as u64 * spec.customers as u64 * 470 + 40_960);
+    let ecfg = EngineConfig::builder(4096)
+        .buffer_pool_bytes((est / 10).max(512 * 1024))
+        .barriers(true)
+        .data_pages((est * 4 / 4096).max(16_384))
+        .log_file_blocks(8_192)
+        .build();
+    let (mut engine, t0) = Engine::create(data, log, ecfg, 0).into_parts();
+    let (mut db, t1) = tpcc::load(&mut engine, &spec, t0);
+    measure("tpcc_relstore", || {
+        let rep = tpcc::run(&mut engine, &mut db, &spec, t1);
+        (txns, rep.finished_at.saturating_sub(t1).max(rep.elapsed))
+    })
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.2}")
+    } else {
+        // Keep the document valid JSON even if a scenario degenerates; the
+        // --check pass flags the zero.
+        "0".to_string()
+    }
+}
+
+fn render_json(scenarios: &[Scenario], rss: u64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{{\"schema\":\"{SCHEMA}\","));
+    out.push_str(&format!(
+        "\"profile\":\"{}\",",
+        if cfg!(debug_assertions) { "debug" } else { "release" }
+    ));
+    out.push_str(&format!("\"peak_rss_bytes\":{rss},"));
+    out.push_str("\"scenarios\":[");
+    for (i, s) in scenarios.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"ops\":{},\"wall_ns\":{},\"wall_ops_per_sec\":{},\
+             \"sim_ns\":{},\"sim_ops_per_sec\":{},\"allocs\":{},\"allocs_per_op\":{}}}",
+            s.name,
+            s.ops,
+            s.wall_ns,
+            json_f64(s.wall_ops_per_sec()),
+            s.sim_ns,
+            json_f64(s.sim_ops_per_sec()),
+            s.allocs,
+            json_f64(s.allocs_per_op()),
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Validate the serialized report: parses as JSON, schema tag present, every
+/// scenario has positive finite wall and sim throughput.
+fn check_report(doc: &str) -> Vec<String> {
+    let mut failures = Vec::new();
+    let v = match telemetry::parse_json(doc) {
+        Ok(v) => v,
+        Err(e) => return vec![format!("BENCH_perf.json does not parse: {e}")],
+    };
+    let Some(obj) = v.as_object() else {
+        return vec!["top level is not an object".into()];
+    };
+    match obj.get("schema").and_then(|s| s.as_str()) {
+        Some(s) if s == SCHEMA => {}
+        other => failures.push(format!("schema tag {other:?}, want {SCHEMA:?}")),
+    }
+    let scenarios = obj.get("scenarios").and_then(|s| s.as_array());
+    match scenarios {
+        None => failures.push("scenarios array missing".into()),
+        Some(list) if list.is_empty() => failures.push("scenarios array empty".into()),
+        Some(list) => {
+            for s in list {
+                let Some(s) = s.as_object() else {
+                    failures.push("scenario is not an object".into());
+                    continue;
+                };
+                let name = s.get("name").and_then(|v| v.as_str()).unwrap_or("?");
+                for key in ["wall_ops_per_sec", "sim_ops_per_sec"] {
+                    match s.get(key).and_then(|v| v.as_f64()) {
+                        Some(x) if x.is_finite() && x > 0.0 => {}
+                        other => {
+                            failures.push(format!("{name}.{key} = {other:?}: want finite positive"))
+                        }
+                    }
+                }
+                for key in ["ops", "wall_ns", "sim_ns"] {
+                    match s.get(key).and_then(|v| v.as_f64()) {
+                        Some(x) if x > 0.0 => {}
+                        other => failures.push(format!("{name}.{key} = {other:?}: want positive")),
+                    }
+                }
+            }
+        }
+    }
+    failures
+}
+
+fn main() {
+    let fio_ops = arg_u64("--fio-ops", 60_000);
+    let ycsb_records = arg_u64("--ycsb-records", 2_000);
+    let ycsb_ops = arg_u64("--ycsb-ops", 8_000);
+    let warehouses = arg_u64("--warehouses", 1) as u32;
+    let txns = arg_u64("--txns", 300);
+    let out = arg_str("--out").unwrap_or_else(|| "BENCH_perf.json".to_string());
+    let check = arg_flag("--check");
+
+    println!(
+        "perf: wall-clock harness ({} build) — fio {fio_ops} ops, \
+         YCSB-A {ycsb_records} recs/{ycsb_ops} ops, TPC-C {warehouses} wh/{txns} txns",
+        if cfg!(debug_assertions) { "debug" } else { "release" }
+    );
+    println!();
+    println!(
+        "{:<18} {:>10} {:>12} {:>12} {:>12} {:>10}",
+        "scenario", "ops", "wall ops/s", "sim ops/s", "allocs", "allocs/op"
+    );
+    rule(80);
+
+    let scenarios = vec![
+        fio_scenario(fio_ops),
+        ycsb_scenario(ycsb_records, ycsb_ops),
+        tpcc_scenario(warehouses, txns),
+    ];
+    for s in &scenarios {
+        println!(
+            "{:<18} {:>10} {:>12} {:>12} {:>12} {:>10.2}",
+            s.name,
+            s.ops,
+            fmt_rate(s.wall_ops_per_sec()),
+            fmt_rate(s.sim_ops_per_sec()),
+            s.allocs,
+            s.allocs_per_op(),
+        );
+    }
+    let rss = peak_rss_bytes();
+    println!();
+    println!("peak RSS: {:.1} MiB", rss as f64 / (1024.0 * 1024.0));
+
+    let doc = render_json(&scenarios, rss);
+    write_atomic(&out, &doc).expect("perf output path is writable");
+    println!("wrote {out}");
+
+    if check {
+        let failures = check_report(&doc);
+        if failures.is_empty() {
+            println!("check : OK (schema, finite positive throughputs)");
+        } else {
+            for f in &failures {
+                eprintln!("check FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -216,38 +216,41 @@ impl BufferPool {
         assert!(idx != NIL, "all frames pinned: pool too small for the working set");
         if self.frames[idx].dirty {
             // Sweep the tail for more dirty, unpinned frames to flush in the
-            // same batch.
-            let mut batch_idx = Vec::with_capacity(EVICT_BATCH);
+            // same batch. The batch is small and bounded, so it is staged on
+            // the stack — eviction sweeps allocate nothing.
+            let mut batch_idx = [0usize; EVICT_BATCH];
+            let mut nb = 0usize;
             let mut cur = self.tail;
-            while cur != NIL && batch_idx.len() < EVICT_BATCH {
+            while cur != NIL && nb < EVICT_BATCH {
                 if self.frames[cur].pins == 0 && self.frames[cur].dirty {
-                    batch_idx.push(cur);
+                    batch_idx[nb] = cur;
+                    nb += 1;
                 }
                 cur = self.frames[cur].prev;
             }
-            let batch: Vec<(u64, &[u8])> = batch_idx
-                .iter()
-                .map(|&i| (self.frames[i].page_no, &*self.frames[i].data))
-                .collect();
+            const EMPTY: &[u8] = &[];
+            let mut batch: [(u64, &[u8]); EVICT_BATCH] = [(0, EMPTY); EVICT_BATCH];
+            for (slot, &i) in batch.iter_mut().zip(batch_idx[..nb].iter()) {
+                *slot = (self.frames[i].page_no, &*self.frames[i].data);
+            }
             let write_start = now;
             if let Some(tel) = &self.tel {
                 tel.push_context(Stall::PoolEviction);
                 tel.trace_begin("pool", "pool.eviction", write_start);
             }
-            now = backend.write_batch(&batch, now);
+            now = backend.write_batch(&batch[..nb], now);
             if let Some(tel) = &self.tel {
                 tel.pop_context();
                 tel.record("pool.eviction_write", now.saturating_sub(write_start));
                 tel.trace_end("pool", "pool.eviction", now);
             }
-            let n = batch_idx.len() as u64;
-            for i in batch_idx {
+            for &i in &batch_idx[..nb] {
                 if self.frames[i].dirty {
                     self.ndirty -= 1;
                 }
                 self.frames[i].dirty = false;
             }
-            self.stats.dirty_evictions += n;
+            self.stats.dirty_evictions += nb as u64;
             self.stats.blocked_reads += 1;
             self.note_dirty_gauge();
         }

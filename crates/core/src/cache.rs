@@ -11,15 +11,44 @@
 //! * **draining** — a NAND program has been scheduled but has not completed;
 //!   the DRAM slot is still occupied (and still dump-covered on power cut);
 //! * gone — the program completed, the slot was reclaimed (lazy).
+//!
+//! ## Zero-copy and complexity
+//!
+//! Slot contents live in [`PageBuf`] leases from the device's page pool, so
+//! admission, drain and reclaim move *ownership*, never bytes: the flusher
+//! borrows a popped slot's data in place ([`WriteCache::pop_dirty`] returns
+//! the LPN; the caller reads via [`WriteCache::get`]) and the slot's buffer
+//! returns to the pool when the entry is reclaimed. The hot-path queries the
+//! device issues per host command are kept cheap with two side structures:
+//!
+//! * `draining_by_done` — drain completion times sorted ascending, so
+//!   [`occupied_at`](WriteCache::occupied_at) is a binary search,
+//!   [`earliest_drain_done`](WriteCache::earliest_drain_done) is a peek and
+//!   [`reclaim`](WriteCache::reclaim) pops a prefix, instead of each being a
+//!   full scan of the slot table;
+//! * `ack_heap` — a lazy min-heap over command acknowledgement times, so
+//!   [`next_ackable`](WriteCache::next_ackable) is an amortised peek.
+//!
+//! Both structures are bookkeeping only: every query returns exactly what
+//! the scan-based implementation returned, so virtual-time results are
+//! byte-identical.
 
-use simkit::Nanos;
-use std::collections::{HashMap, VecDeque};
+use simkit::{Nanos, PageBuf};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// `draining_until` sentinel between `pop_dirty` and `set_draining`: the
+/// entry has been handed to the flusher but its program completion time is
+/// not known yet. Sentinel-marked entries count as occupied at every `t`
+/// (like the real completion, which is always in the future) and are not in
+/// `draining_by_done`.
+const DRAIN_PENDING: Nanos = Nanos::MAX;
 
 /// One cached 4KB slot.
 #[derive(Debug, Clone)]
 pub struct CacheEntry {
-    /// Page content (4KB).
-    pub data: Box<[u8]>,
+    /// Page content (4KB), leased from the device's buffer pool.
+    pub data: PageBuf,
     /// When `Some(done)`, a NAND program for this entry completes at `done`;
     /// the slot is reclaimable after that time.
     pub draining_until: Option<Nanos>,
@@ -43,6 +72,14 @@ pub struct WriteCache {
     /// Number of entries not yet handed to the flusher (== live fifo refs).
     dirty: usize,
     next_gen: u64,
+    /// `(done, lpn)` for every entry with a known drain completion time,
+    /// sorted ascending by `done`. Exactly mirrors the entries whose
+    /// `draining_until` is `Some(d)` with `d != DRAIN_PENDING`.
+    draining_by_done: VecDeque<(Nanos, u64)>,
+    /// Lazy min-heap of `(ackable_at, lpn, gen)` over dirty entries. May
+    /// hold stale tuples (dead generation, changed ack time, drained);
+    /// `next_ackable` pops them on sight.
+    ack_heap: BinaryHeap<Reverse<(Nanos, u64, u64)>>,
 }
 
 impl WriteCache {
@@ -62,7 +99,8 @@ impl WriteCache {
     /// in DRAM until the device knows no power cut can predate its program
     /// (see `Ssd::note_arrival`).
     pub fn occupied_at(&self, t: Nanos) -> usize {
-        self.entries.values().filter(|e| e.draining_until.is_none_or(|done| done > t)).count()
+        let drained = self.draining_by_done.partition_point(|&(done, _)| done <= t);
+        self.entries.len() - drained
     }
 
     /// Slots waiting for the flusher.
@@ -75,16 +113,65 @@ impl WriteCache {
         self.entries.len() as u64 * 4096
     }
 
-    /// Look up a slot (read hit path). Draining entries still hit.
+    /// Look up a slot (read hit path). Draining entries still hit. The
+    /// caller copies into its own buffer — the cache never clones a page to
+    /// serve a read.
     pub fn get(&self, lpn: u64) -> Option<&[u8]> {
         self.entries.get(&lpn).map(|e| &*e.data)
+    }
+
+    /// Remove the `(done, lpn)` reference from the sorted drain index.
+    fn remove_drain_ref(&mut self, done: Nanos, lpn: u64) {
+        if done == DRAIN_PENDING {
+            return; // sentinel entries are not indexed
+        }
+        let mut i = self.draining_by_done.partition_point(|&(d, _)| d < done);
+        while let Some(&(d, l)) = self.draining_by_done.get(i) {
+            debug_assert!(d >= done);
+            if d != done {
+                break;
+            }
+            if l == lpn {
+                self.draining_by_done.remove(i);
+                return;
+            }
+            i += 1;
+        }
+        debug_assert!(false, "drain ref ({done}, {lpn}) missing from index");
+    }
+
+    /// Insert `(done, lpn)` into the sorted drain index (usually at the
+    /// back: completions are handed out in near-ascending order).
+    fn insert_drain_ref(&mut self, done: Nanos, lpn: u64) {
+        let i = self.draining_by_done.partition_point(|&(d, _)| d <= done);
+        if i == self.draining_by_done.len() {
+            self.draining_by_done.push_back((done, lpn));
+        } else {
+            self.draining_by_done.insert(i, (done, lpn));
+        }
+    }
+
+    /// Drop stale tuples so the heap stays proportional to the live set.
+    fn maybe_shrink_ack_heap(&mut self) {
+        if self.ack_heap.len() > 2 * self.entries.len() + 1024 {
+            let mut heap = std::mem::take(&mut self.ack_heap);
+            let drained: Vec<_> = heap.drain().collect();
+            for Reverse((a, lpn, gen)) in drained {
+                if let Some(e) = self.entries.get(&lpn) {
+                    if e.gen == gen && e.draining_until.is_none() && e.ackable_at == a {
+                        heap.push(Reverse((a, lpn, gen)));
+                    }
+                }
+            }
+            self.ack_heap = heap;
+        }
     }
 
     /// Insert or coalesce a host write whose command acknowledges at
     /// `ackable_at`. Returns the entry this write replaced, if any (the
     /// atomic writer keeps it as a pre-image while the command is in
     /// flight).
-    pub fn insert(&mut self, lpn: u64, data: Box<[u8]>, ackable_at: Nanos) -> Option<CacheEntry> {
+    pub fn insert(&mut self, lpn: u64, data: PageBuf, ackable_at: Nanos) -> Option<CacheEntry> {
         // Coalescing with a still-dirty copy keeps its FIFO position (same
         // generation); otherwise the entry gets a fresh reference.
         let keep_gen = self.entries.get(&lpn).and_then(|e| {
@@ -100,10 +187,20 @@ impl WriteCache {
         });
         let prev =
             self.entries.insert(lpn, CacheEntry { data, draining_until: None, ackable_at, gen });
+        if let Some(p) = &prev {
+            if let Some(d) = p.draining_until {
+                // Replaced a draining entry: its completion no longer
+                // matters for occupancy — the slot is re-occupied by the
+                // new dirty copy.
+                self.remove_drain_ref(d, lpn);
+            }
+        }
         if keep_gen.is_none() {
             self.fifo.push_back((lpn, gen));
             self.dirty += 1;
         }
+        self.ack_heap.push(Reverse((ackable_at, lpn, gen)));
+        self.maybe_shrink_ack_heap();
         prev
     }
 
@@ -112,8 +209,21 @@ impl WriteCache {
     pub fn rollback(&mut self, lpn: u64, pre: Option<CacheEntry>) {
         match pre {
             Some(e) => {
-                let was_dirty =
-                    self.entries.insert(lpn, e).is_none_or(|cur| cur.draining_until.is_none());
+                let restored_drain = e.draining_until;
+                let restored_ack = (e.ackable_at, e.gen);
+                let cur = self.entries.insert(lpn, e);
+                if let Some(c) = &cur {
+                    if let Some(d) = c.draining_until {
+                        self.remove_drain_ref(d, lpn);
+                    }
+                }
+                match restored_drain {
+                    Some(d) if d != DRAIN_PENDING => self.insert_drain_ref(d, lpn),
+                    Some(_) => {}
+                    // A restored dirty entry must have its ack tuple live.
+                    None => self.ack_heap.push(Reverse((restored_ack.0, lpn, restored_ack.1))),
+                }
+                let was_dirty = cur.is_none_or(|c| c.draining_until.is_none());
                 // The rolled-back entry occupied a dirty FIFO slot that the
                 // restored pre-image now owns; nothing to adjust unless the
                 // new write had created the dirty ref itself.
@@ -121,8 +231,9 @@ impl WriteCache {
             }
             None => {
                 if let Some(e) = self.entries.remove(&lpn) {
-                    if e.draining_until.is_none() {
-                        self.dirty = self.dirty.saturating_sub(1);
+                    match e.draining_until {
+                        None => self.dirty = self.dirty.saturating_sub(1),
+                        Some(d) => self.remove_drain_ref(d, lpn),
                     }
                 }
             }
@@ -130,9 +241,11 @@ impl WriteCache {
     }
 
     /// Take the oldest dirty entry whose command has acknowledged by `now`,
-    /// marking it draining. Returns `(lpn, data)`; the completion time is
-    /// set via [`WriteCache::set_draining`] once the program is scheduled.
-    pub fn pop_dirty(&mut self, now: Nanos) -> Option<(u64, Box<[u8]>)> {
+    /// marking it drain-pending, and return its LPN. The caller reads the
+    /// page data in place via [`WriteCache::get`] — nothing is copied — and
+    /// records the program completion time with [`WriteCache::set_draining`]
+    /// once the program is scheduled.
+    pub fn pop_dirty(&mut self, now: Nanos) -> Option<u64> {
         while let Some(&(lpn, gen)) = self.fifo.front() {
             match self.entries.get_mut(&lpn) {
                 Some(e) if e.gen == gen && e.draining_until.is_none() => {
@@ -142,7 +255,8 @@ impl WriteCache {
                     }
                     self.fifo.pop_front();
                     self.dirty -= 1;
-                    return Some((lpn, e.data.clone()));
+                    e.draining_until = Some(DRAIN_PENDING);
+                    return Some(lpn);
                 }
                 // Stale reference: removed, replaced or already draining.
                 _ => {
@@ -155,29 +269,58 @@ impl WriteCache {
 
     /// Earliest time at which a currently-dirty entry becomes drainable, if
     /// any entry is still gated on its command acknowledgement.
-    pub fn next_ackable(&self) -> Option<Nanos> {
-        self.entries.values().filter(|e| e.draining_until.is_none()).map(|e| e.ackable_at).min()
+    pub fn next_ackable(&mut self) -> Option<Nanos> {
+        while let Some(&Reverse((a, lpn, gen))) = self.ack_heap.peek() {
+            match self.entries.get(&lpn) {
+                Some(e) if e.gen == gen && e.draining_until.is_none() && e.ackable_at == a => {
+                    return Some(a);
+                }
+                _ => {
+                    self.ack_heap.pop();
+                }
+            }
+        }
+        None
     }
 
     /// Record the NAND completion time for an entry handed out by
     /// [`WriteCache::pop_dirty`].
     pub fn set_draining(&mut self, lpn: u64, done: Nanos) {
-        if let Some(e) = self.entries.get_mut(&lpn) {
-            e.draining_until = Some(done);
+        let Some(e) = self.entries.get_mut(&lpn) else { return };
+        let old = e.draining_until.replace(done);
+        match old {
+            Some(o) if o == done => return, // already indexed at this time
+            Some(o) if o != DRAIN_PENDING => self.remove_drain_ref(o, lpn),
+            _ => {}
         }
+        self.insert_drain_ref(done, lpn);
     }
 
-    /// Reclaim slots whose programs completed by `now`.
+    /// Reclaim slots whose programs completed by `now`. Their page buffers
+    /// return to the pool as the entries drop.
     pub fn reclaim(&mut self, now: Nanos) {
-        self.entries.retain(|_, e| match e.draining_until {
-            Some(done) => done > now,
-            None => true,
-        });
+        while let Some(&(done, lpn)) = self.draining_by_done.front() {
+            if done > now {
+                break;
+            }
+            self.draining_by_done.pop_front();
+            let removed = self.entries.remove(&lpn);
+            debug_assert!(
+                removed.as_ref().is_some_and(|e| e.draining_until == Some(done)),
+                "drain index out of sync for lpn {lpn}"
+            );
+        }
     }
 
     /// Earliest completion among draining entries (for flow-control waits).
     pub fn earliest_drain_done(&self) -> Option<Nanos> {
-        self.entries.values().filter_map(|e| e.draining_until).min()
+        self.draining_by_done.front().map(|&(done, _)| done)
+    }
+
+    /// Latest completion among draining entries (FLUSH CACHE waits for the
+    /// entire in-flight set).
+    pub fn latest_drain_done(&self) -> Option<Nanos> {
+        self.draining_by_done.back().map(|&(done, _)| done)
     }
 
     /// All occupied entries (dump path).
@@ -189,8 +332,9 @@ impl WriteCache {
     /// gone and will not be flushed.
     pub fn remove(&mut self, lpn: u64) {
         if let Some(e) = self.entries.remove(&lpn) {
-            if e.draining_until.is_none() {
-                self.dirty = self.dirty.saturating_sub(1);
+            match e.draining_until {
+                None => self.dirty = self.dirty.saturating_sub(1),
+                Some(d) => self.remove_drain_ref(d, lpn),
             }
         }
     }
@@ -198,26 +342,41 @@ impl WriteCache {
     /// Re-mark every draining entry as dirty (recovery path: the NAND
     /// programs they were waiting on sheared when power was cut, so the
     /// dumped copies must be flushed again). Returns how many were requeued.
+    ///
+    /// The requeue order is deterministic — drain-completion time first
+    /// (mirroring the order the flusher issued the programs), lpn as the
+    /// tie-break, schedule-pending entries last — because `entries` is a
+    /// hash map whose iteration order varies per process, and recovery must
+    /// replay identically for a fixed seed.
     pub fn requeue_draining(&mut self) -> usize {
-        let mut n = 0;
-        for (lpn, e) in self.entries.iter_mut() {
-            if e.draining_until.take().is_some() {
-                self.next_gen += 1;
-                e.gen = self.next_gen;
-                self.fifo.push_back((*lpn, e.gen));
-                n += 1;
-            }
+        let mut order: Vec<(Nanos, u64)> = self
+            .entries
+            .iter()
+            .filter_map(|(lpn, e)| e.draining_until.map(|d| (d, *lpn)))
+            .collect();
+        order.sort_unstable();
+        let n = order.len();
+        for (_, lpn) in order {
+            let e = self.entries.get_mut(&lpn).expect("collected above");
+            e.draining_until = None;
+            self.next_gen += 1;
+            e.gen = self.next_gen;
+            self.fifo.push_back((lpn, e.gen));
+            self.ack_heap.push(Reverse((e.ackable_at, lpn, e.gen)));
         }
+        self.draining_by_done.clear();
         self.dirty += n;
         n
     }
 
     /// Discard everything (volatile cache on power cut). Returns how many
-    /// slots were lost.
+    /// slots were lost. The page buffers return to the pool immediately.
     pub fn discard_all(&mut self) -> usize {
         let n = self.entries.len();
         self.entries.clear();
         self.fifo.clear();
+        self.draining_by_done.clear();
+        self.ack_heap.clear();
         self.dirty = 0;
         n
     }
@@ -226,15 +385,23 @@ impl WriteCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use simkit::BufPool;
 
-    fn data(fill: u8) -> Box<[u8]> {
-        vec![fill; 4096].into_boxed_slice()
+    fn pool() -> BufPool {
+        BufPool::new(4096)
+    }
+
+    fn data(pool: &BufPool, fill: u8) -> PageBuf {
+        let mut b = pool.checkout();
+        b.fill(fill);
+        b
     }
 
     #[test]
     fn insert_and_get() {
+        let p = pool();
         let mut c = WriteCache::new();
-        assert!(c.insert(5, data(1), 0).is_none());
+        assert!(c.insert(5, data(&p, 1), 0).is_none());
         assert_eq!(c.get(5).unwrap()[0], 1);
         assert_eq!(c.occupied(), 1);
         assert_eq!(c.dirty(), 1);
@@ -242,127 +409,241 @@ mod tests {
 
     #[test]
     fn coalescing_keeps_one_copy() {
+        let p = pool();
         let mut c = WriteCache::new();
-        c.insert(5, data(1), 0);
-        let prev = c.insert(5, data(2), 0).unwrap();
+        c.insert(5, data(&p, 1), 0);
+        let prev = c.insert(5, data(&p, 2), 0).unwrap();
         assert_eq!(prev.data[0], 1);
         assert_eq!(c.occupied(), 1);
         assert_eq!(c.dirty(), 1);
         assert_eq!(c.get(5).unwrap()[0], 2);
         // Only the latest version is handed to the flusher.
-        let (lpn, d) = c.pop_dirty(u64::MAX).unwrap();
-        assert_eq!((lpn, d[0]), (5, 2));
+        let lpn = c.pop_dirty(u64::MAX).unwrap();
+        assert_eq!(lpn, 5);
+        assert_eq!(c.get(lpn).unwrap()[0], 2);
         assert!(c.pop_dirty(u64::MAX).is_none());
     }
 
     #[test]
     fn fifo_order_preserved() {
+        let p = pool();
         let mut c = WriteCache::new();
-        c.insert(1, data(1), 0);
-        c.insert(2, data(2), 0);
-        c.insert(3, data(3), 0);
-        assert_eq!(c.pop_dirty(u64::MAX).unwrap().0, 1);
-        assert_eq!(c.pop_dirty(u64::MAX).unwrap().0, 2);
-        assert_eq!(c.pop_dirty(u64::MAX).unwrap().0, 3);
+        c.insert(1, data(&p, 1), 0);
+        c.insert(2, data(&p, 2), 0);
+        c.insert(3, data(&p, 3), 0);
+        assert_eq!(c.pop_dirty(u64::MAX).unwrap(), 1);
+        assert_eq!(c.pop_dirty(u64::MAX).unwrap(), 2);
+        assert_eq!(c.pop_dirty(u64::MAX).unwrap(), 3);
+    }
+
+    #[test]
+    fn pop_serves_data_in_place_without_copying() {
+        let p = pool();
+        let mut c = WriteCache::new();
+        c.insert(7, data(&p, 9), 0);
+        let before = p.checkouts();
+        let lpn = c.pop_dirty(u64::MAX).unwrap();
+        // The flusher reads the popped entry's bytes where they are: no
+        // pool checkout (and no heap allocation) happened.
+        assert_eq!(c.get(lpn).unwrap()[0], 9);
+        assert_eq!(p.checkouts(), before);
     }
 
     #[test]
     fn draining_entries_still_serve_reads_then_reclaim() {
+        let p = pool();
         let mut c = WriteCache::new();
-        c.insert(7, data(9), 0);
-        let (lpn, _) = c.pop_dirty(u64::MAX).unwrap();
+        c.insert(7, data(&p, 9), 0);
+        let lpn = c.pop_dirty(u64::MAX).unwrap();
         c.set_draining(lpn, 1000);
         assert_eq!(c.get(7).unwrap()[0], 9);
         c.reclaim(999);
         assert!(c.get(7).is_some(), "not reclaimable before completion");
         c.reclaim(1000);
         assert!(c.get(7).is_none());
+        // The reclaimed entry's buffer went back to the pool.
+        assert_eq!(p.outstanding(), 0);
     }
 
     #[test]
     fn rewrite_of_draining_entry_requeues() {
+        let p = pool();
         let mut c = WriteCache::new();
-        c.insert(7, data(1), 0);
-        let (lpn, _) = c.pop_dirty(u64::MAX).unwrap();
+        c.insert(7, data(&p, 1), 0);
+        let lpn = c.pop_dirty(u64::MAX).unwrap();
         c.set_draining(lpn, 1000);
         assert_eq!(c.dirty(), 0);
         // Host rewrites the page while the old version is still draining.
-        c.insert(7, data(2), 0);
+        c.insert(7, data(&p, 2), 0);
         assert_eq!(c.dirty(), 1);
-        let (_, d) = c.pop_dirty(u64::MAX).unwrap();
-        assert_eq!(d[0], 2);
+        let l = c.pop_dirty(u64::MAX).unwrap();
+        assert_eq!(c.get(l).unwrap()[0], 2);
     }
 
     #[test]
     fn rollback_restores_preimage() {
+        let p = pool();
         let mut c = WriteCache::new();
-        c.insert(7, data(1), 0);
-        let pre = c.insert(7, data(2), 0);
+        c.insert(7, data(&p, 1), 0);
+        let pre = c.insert(7, data(&p, 2), 0);
         c.rollback(7, pre);
         assert_eq!(c.get(7).unwrap()[0], 1);
         // Rolling back a fresh insert removes it.
-        let pre2 = c.insert(9, data(3), 0);
+        let pre2 = c.insert(9, data(&p, 3), 0);
         c.rollback(9, pre2);
         assert!(c.get(9).is_none());
         assert_eq!(c.dirty(), 1); // only lpn 7 remains dirty
     }
 
     #[test]
-    fn discard_all_clears_everything() {
+    fn rollback_of_draining_preimage_keeps_drain_index_consistent() {
+        let p = pool();
         let mut c = WriteCache::new();
-        c.insert(1, data(1), 0);
-        c.insert(2, data(2), 0);
-        assert_eq!(c.discard_all(), 2);
-        assert_eq!(c.occupied(), 0);
-        assert!(c.pop_dirty(u64::MAX).is_none());
+        c.insert(7, data(&p, 1), 0);
+        let lpn = c.pop_dirty(u64::MAX).unwrap();
+        c.set_draining(lpn, 1000);
+        // Host overwrites the draining entry; the pre-image is the draining
+        // copy.
+        let pre = c.insert(7, data(&p, 2), 0);
+        assert!(pre.as_ref().unwrap().draining_until.is_some());
+        assert_eq!(c.earliest_drain_done(), None, "replaced drain no longer pending");
+        c.rollback(7, pre);
+        assert_eq!(c.earliest_drain_done(), Some(1000), "restored drain re-indexed");
+        c.reclaim(1000);
+        assert!(c.get(7).is_none());
     }
 
     #[test]
-    fn earliest_drain_done() {
+    fn discard_all_clears_everything() {
+        let p = pool();
         let mut c = WriteCache::new();
-        c.insert(1, data(1), 0);
-        c.insert(2, data(2), 0);
-        let (a, _) = c.pop_dirty(u64::MAX).unwrap();
+        c.insert(1, data(&p, 1), 0);
+        c.insert(2, data(&p, 2), 0);
+        assert_eq!(c.discard_all(), 2);
+        assert_eq!(c.occupied(), 0);
+        assert!(c.pop_dirty(u64::MAX).is_none());
+        assert_eq!(p.outstanding(), 0, "discarded buffers returned to pool");
+    }
+
+    #[test]
+    fn earliest_and_latest_drain_done() {
+        let p = pool();
+        let mut c = WriteCache::new();
+        c.insert(1, data(&p, 1), 0);
+        c.insert(2, data(&p, 2), 0);
+        let a = c.pop_dirty(u64::MAX).unwrap();
         c.set_draining(a, 500);
-        let (b, _) = c.pop_dirty(u64::MAX).unwrap();
+        let b = c.pop_dirty(u64::MAX).unwrap();
         c.set_draining(b, 300);
         assert_eq!(c.earliest_drain_done(), Some(300));
+        assert_eq!(c.latest_drain_done(), Some(500));
+    }
+
+    #[test]
+    fn occupied_at_counts_by_completion_time() {
+        let p = pool();
+        let mut c = WriteCache::new();
+        for lpn in 0..4 {
+            c.insert(lpn, data(&p, lpn as u8), 0);
+        }
+        for done in [100u64, 200, 300] {
+            let l = c.pop_dirty(u64::MAX).unwrap();
+            c.set_draining(l, done);
+        }
+        assert_eq!(c.occupied(), 4);
+        assert_eq!(c.occupied_at(0), 4);
+        assert_eq!(c.occupied_at(100), 3);
+        assert_eq!(c.occupied_at(250), 2);
+        assert_eq!(c.occupied_at(300), 1, "only the dirty entry remains");
     }
 
     #[test]
     fn unacked_entries_are_not_drainable() {
+        let p = pool();
         let mut c = WriteCache::new();
-        c.insert(1, data(1), 100); // acks at t=100
+        c.insert(1, data(&p, 1), 100); // acks at t=100
         assert!(c.pop_dirty(50).is_none(), "flusher must not see unacked data");
         assert_eq!(c.next_ackable(), Some(100));
-        assert_eq!(c.pop_dirty(100).unwrap().0, 1);
+        assert_eq!(c.pop_dirty(100).unwrap(), 1);
     }
 
     #[test]
     fn ack_gate_blocks_younger_entries_behind_fifo_head() {
+        let p = pool();
         let mut c = WriteCache::new();
-        c.insert(1, data(1), 100);
-        c.insert(2, data(2), 50);
+        c.insert(1, data(&p, 1), 100);
+        c.insert(2, data(&p, 2), 50);
         // FIFO head (lpn 1) not ackable at 60: drain stalls even though
         // lpn 2 acked earlier (ack order == FIFO order in the device).
         assert!(c.pop_dirty(60).is_none());
-        assert_eq!(c.pop_dirty(100).unwrap().0, 1);
-        assert_eq!(c.pop_dirty(100).unwrap().0, 2);
+        assert_eq!(c.pop_dirty(100).unwrap(), 1);
+        assert_eq!(c.pop_dirty(100).unwrap(), 2);
+    }
+
+    #[test]
+    fn next_ackable_tracks_coalesced_ack_times() {
+        let p = pool();
+        let mut c = WriteCache::new();
+        c.insert(1, data(&p, 1), 100);
+        // Coalescing moves the ack time later; the stale heap tuple must
+        // not surface.
+        c.insert(1, data(&p, 2), 400);
+        assert_eq!(c.next_ackable(), Some(400));
+        c.insert(2, data(&p, 3), 250);
+        assert_eq!(c.next_ackable(), Some(250));
+        // The FIFO head (lpn 1, acks at 400) gates the queue even though
+        // lpn 2 acked earlier.
+        assert!(c.pop_dirty(250).is_none());
+        assert_eq!(c.pop_dirty(400).unwrap(), 1);
+        assert_eq!(c.pop_dirty(400).unwrap(), 2);
     }
 
     #[test]
     fn remove_clears_any_state() {
+        let p = pool();
         let mut c = WriteCache::new();
-        c.insert(1, data(1), 0);
+        c.insert(1, data(&p, 1), 0);
         c.remove(1);
         assert!(c.get(1).is_none());
         assert_eq!(c.dirty(), 0);
         // Removing a draining entry.
-        c.insert(2, data(2), 0);
-        let (l, _) = c.pop_dirty(10).unwrap();
+        c.insert(2, data(&p, 2), 0);
+        let l = c.pop_dirty(10).unwrap();
         c.set_draining(l, 100);
         c.remove(2);
         assert!(c.get(2).is_none());
         assert_eq!(c.occupied(), 0);
+        assert_eq!(c.earliest_drain_done(), None);
+    }
+
+    #[test]
+    fn requeue_draining_restores_dirty_and_clears_index() {
+        let p = pool();
+        let mut c = WriteCache::new();
+        c.insert(1, data(&p, 1), 0);
+        c.insert(2, data(&p, 2), 0);
+        for _ in 0..2 {
+            let l = c.pop_dirty(u64::MAX).unwrap();
+            c.set_draining(l, 900);
+        }
+        assert_eq!(c.requeue_draining(), 2);
+        assert_eq!(c.dirty(), 2);
+        assert_eq!(c.earliest_drain_done(), None);
+        assert_eq!(c.pop_dirty(u64::MAX).unwrap(), 1);
+        assert_eq!(c.pop_dirty(u64::MAX).unwrap(), 2);
+    }
+
+    #[test]
+    fn ack_heap_shrinks_under_churn() {
+        let p = pool();
+        let mut c = WriteCache::new();
+        // Hammer one LPN with coalescing writes: each insert pushes a heap
+        // tuple but the live set stays size 1. The lazy shrink keeps the
+        // heap bounded.
+        for i in 0..100_000u64 {
+            c.insert(1, data(&p, (i % 251) as u8), i);
+        }
+        assert!(c.ack_heap.len() <= 2 * c.entries.len() + 1024);
+        assert_eq!(c.next_ackable(), Some(99_999));
     }
 }

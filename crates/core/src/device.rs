@@ -9,7 +9,8 @@ use forensics::{
     RecoverySnap,
 };
 use nand::NandArray;
-use simkit::{Nanos, Timeline};
+use simkit::{BufPool, Nanos, Timeline};
+use std::collections::VecDeque;
 use storage::device::{check_io, BlockDevice, DevError, DevResult, DeviceStats, LOGICAL_PAGE};
 use telemetry::Telemetry;
 
@@ -64,7 +65,18 @@ pub struct Ssd {
     /// progress are held until it completes (paper Fig. 2 — "a database
     /// system is usually blocked while a fsync call is being processed").
     barrier_until: Nanos,
-    inflight: Vec<InflightWrite>,
+    /// Host writes whose acknowledgement may still be in the future, oldest
+    /// completion first (acknowledgement times are near-monotone, so the
+    /// deque retires from the front in O(retired) instead of a full scan
+    /// per command).
+    inflight: VecDeque<InflightWrite>,
+    /// Recycled pre-image vectors: retired [`InflightWrite`]s hand their
+    /// (emptied) allocation back so steady-state writes stay heap-free.
+    preimage_pool: Vec<Vec<(u64, Option<CacheEntry>)>>,
+    /// Slab of 4KB page buffers backing the write cache: host writes check
+    /// out a lease, reclaim/discard returns it. Steady-state admission and
+    /// drain perform zero heap allocations.
+    page_pool: BufPool,
     /// Monotonically increasing arrival clock (the closed-loop driver feeds
     /// commands in virtual-time order; asserted in debug builds).
     last_arrival: Nanos,
@@ -94,7 +106,9 @@ impl Ssd {
             powered: true,
             emergency_flag: false,
             barrier_until: 0,
-            inflight: Vec::new(),
+            inflight: VecDeque::new(),
+            preimage_pool: Vec::new(),
+            page_pool: BufPool::new(LOGICAL_PAGE),
             last_arrival: 0,
             tel: None,
             ledger: None,
@@ -113,6 +127,19 @@ impl Ssd {
         self.ftl.attach_telemetry(tel.clone());
         self.nand.attach_telemetry(tel.clone());
         self.tel = Some(tel);
+    }
+
+    /// Preallocate the NAND layer to its geometric bound (one buffer per
+    /// physical page, page map at full occupancy, in-flight op vectors at
+    /// their ceilings) so device operation never allocates for media state.
+    ///
+    /// Opt-in because it makes resident memory proportional to the *raw*
+    /// device size rather than the written working set — cheap for test
+    /// geometries, deliberate for multi-gigabyte ones. The host-side pools
+    /// (cache slots, pre-image vectors) are workload-bounded and warm up on
+    /// their own.
+    pub fn prewarm(&mut self) {
+        self.nand.prewarm();
     }
 
     /// Attach a durability ledger: every host write acknowledgement and
@@ -168,8 +195,30 @@ impl Ssd {
         // Track the high-water mark and purge with a safety margin.
         self.last_arrival = self.last_arrival.max(now);
         let watermark = self.last_arrival.saturating_sub(1_000_000_000);
-        // Acked writes are now stable facts; free the bookkeeping.
-        self.inflight.retain(|w| w.done > watermark);
+        // Acked writes are now stable facts; free the bookkeeping. The
+        // retired entries' pre-image vectors are recycled (and any pre-image
+        // page buffers return to the pool as the entries drop).
+        // Acknowledgement times are near-monotone (bounded NCQ reordering),
+        // so retirement pops from the front until it meets a still-young
+        // entry: O(retired) amortised, versus a full O(in-flight) scan per
+        // command. A slightly out-of-order entry behind a younger head just
+        // retires a few calls later — bookkeeping only, no observable
+        // difference.
+        while let Some(w) = self.inflight.front_mut() {
+            if w.done > watermark {
+                break;
+            }
+            let mut v = std::mem::take(&mut w.preimages);
+            v.clear();
+            // The pool's size is naturally bounded by the peak number of
+            // simultaneously in-flight writes (the 1-second retirement
+            // window), so no explicit cap is needed — capping below that
+            // watermark would put an allocation back on every write.
+            if v.capacity() > 0 {
+                self.preimage_pool.push(v);
+            }
+            self.inflight.pop_front();
+        }
         self.cache.reclaim(watermark.min(now));
         self.sata.purge_before(watermark);
         self.pipe.purge_before(watermark);
@@ -184,30 +233,44 @@ impl Ssd {
 
     /// Drain one pair of dirty slots to NAND at `t`; returns the program's
     /// completion time, or `None` when the cache holds nothing dirty.
+    ///
+    /// Zero-copy: the popped entries' page data is borrowed from the cache
+    /// slots in place and handed to the FTL as slices — no buffer leaves
+    /// the cache until reclaim returns it to the pool.
     fn drain_pair(&mut self, t: Nanos) -> Option<Nanos> {
+        const MAX_SPP: usize = 8;
         let spp = self.cfg.slots_per_page();
-        let mut batch: Vec<(u64, Box<[u8]>)> = Vec::with_capacity(spp);
-        for _ in 0..spp {
+        debug_assert!(spp <= MAX_SPP, "slots_per_page exceeds drain batch capacity");
+        let mut lpns = [0u64; MAX_SPP];
+        let mut n = 0usize;
+        while n < spp {
             match self.cache.pop_dirty(t) {
-                Some((lpn, data)) => batch.push((lpn, data)),
+                Some(lpn) => {
+                    lpns[n] = lpn;
+                    n += 1;
+                }
                 None => break,
             }
         }
-        if batch.is_empty() {
+        if n == 0 {
             return None;
         }
-        let bytes = batch.len() as u64 * LOGICAL_PAGE as u64;
+        let bytes = n as u64 * LOGICAL_PAGE as u64;
         let grant = self.pipe.acquire(t, bytes * 1_000 / self.cfg.backend_bytes_per_us);
-        let items: Vec<(u64, &[u8])> = batch.iter().map(|(l, d)| (*l, &**d)).collect();
+        const EMPTY: &[u8] = &[];
+        let mut items: [(u64, &[u8]); MAX_SPP] = [(0, EMPTY); MAX_SPP];
+        for (slot, &lpn) in items.iter_mut().zip(lpns[..n].iter()) {
+            *slot = (lpn, self.cache.get(lpn).expect("popped entry is present"));
+        }
         if let Some(tel) = &self.tel {
             tel.trace_begin("ssd", "ssd.cache_drain", t);
         }
-        let done = self.ftl.program_slots(&mut self.nand, &items, grant);
+        let done = self.ftl.program_slots(&mut self.nand, &items[..n], grant);
         if let Some(tel) = &self.tel {
             tel.trace_end("ssd", "ssd.cache_drain", done);
         }
-        for (lpn, _) in &batch {
-            self.cache.set_draining(*lpn, done);
+        for &lpn in &lpns[..n] {
+            self.cache.set_draining(lpn, done);
         }
         Some(done)
     }
@@ -252,10 +315,8 @@ impl Ssd {
             break;
         }
         // Wait for everything already in flight too.
-        for (_, e) in self.cache.iter() {
-            if let Some(d) = e.draining_until {
-                last = last.max(d);
-            }
+        if let Some(d) = self.cache.latest_drain_done() {
+            last = last.max(d);
         }
         let last = last.max(t);
         self.cache.reclaim(last);
@@ -285,6 +346,11 @@ impl Ssd {
         let mut t = xfer_done;
         let mut guard = 0u32;
         loop {
+            // Fast path: occupied() bounds occupied_at() from above, so a
+            // cache with raw headroom needs no completion-time accounting.
+            if self.cache.occupied() + n <= self.cfg.cache_slots {
+                break;
+            }
             if self.cache.occupied_at(t) + n <= self.cfg.cache_slots {
                 break;
             }
@@ -314,14 +380,16 @@ impl Ssd {
         // command acknowledgement time passes; the flusher ignores the
         // entries until then.
         let done = t + self.cfg.host_write_overhead;
-        let mut preimages = Vec::with_capacity(n);
+        let mut preimages = self.preimage_pool.pop().unwrap_or_default();
+        preimages.reserve(n);
         for i in 0..n {
             let slot_lpn = lpn + i as u64;
-            let chunk: Box<[u8]> = data[i * LOGICAL_PAGE..(i + 1) * LOGICAL_PAGE].into();
+            let chunk =
+                self.page_pool.checkout_from(&data[i * LOGICAL_PAGE..(i + 1) * LOGICAL_PAGE]);
             let pre = self.cache.insert(slot_lpn, chunk, done);
             preimages.push((slot_lpn, pre));
         }
-        self.inflight.push(InflightWrite { done, preimages });
+        self.inflight.push_back(InflightWrite { done, preimages });
         if let Some(tel) = &self.tel {
             tel.trace_instant("ssd", "ssd.cache_admit", done);
         }
@@ -589,6 +657,9 @@ impl BlockDevice for Ssd {
                 ackable_at: e.ackable_at,
             })
             .collect();
+        // The slot table iterates in hash order; sort so postmortem reports
+        // are byte-identical run to run.
+        pm.dirty_slots.sort_unstable_by_key(|s| s.lpn);
         match self.cfg.protection {
             CacheProtection::Volatile => {
                 // 3a. Acked-but-cached data evaporates; un-journalled

@@ -18,7 +18,6 @@
 use crate::config::SsdConfig;
 use nand::{NandArray, NandError};
 use simkit::Nanos;
-use std::collections::HashMap;
 use telemetry::Telemetry;
 
 /// Sentinel: logical page not mapped / slot not in use.
@@ -87,8 +86,25 @@ pub struct Ftl {
     planes: usize,
     slots_per_block: u32,
     gc_threshold: usize,
-    /// lpn -> mapping value at the last persist (for rollback/dump sizing).
-    unpersisted: HashMap<u64, u64>,
+    /// Flat unpersisted-map overlay, replacing a per-entry hash map: for
+    /// every lpn whose mapping changed since the last persist,
+    /// `up_mark[lpn] == up_epoch` and `up_old[lpn]` holds the value at the
+    /// last persist. `up_list` records touched lpns in first-touch order;
+    /// a persist advances the epoch instead of clearing the arrays, so the
+    /// hot path is two dense-array accesses and zero allocations.
+    up_old: Vec<u64>,
+    up_mark: Vec<u32>,
+    up_epoch: u32,
+    up_list: Vec<u64>,
+    /// Grow-once scratch page for frontier/meta programs (no `vec!` per
+    /// program).
+    page_scratch: Vec<u8>,
+    /// Grow-once scratch page for slot/GC reads.
+    read_scratch: Vec<u8>,
+    /// GC relocation staging: survivor lpns and their 4KB slot data, flat.
+    /// Reused across collections (grow-only).
+    gc_lpns: Vec<u64>,
+    gc_data: Vec<u8>,
     stats: FtlStats,
     tel: Option<Telemetry>,
 }
@@ -140,7 +156,14 @@ impl Ftl {
             planes,
             slots_per_block: (geo.pages_per_block * spp) as u32,
             gc_threshold: cfg.gc_free_threshold,
-            unpersisted: HashMap::new(),
+            up_old: vec![NONE; cfg.logical_capacity_pages as usize],
+            up_mark: vec![0; cfg.logical_capacity_pages as usize],
+            up_epoch: 1,
+            up_list: Vec::new(),
+            page_scratch: vec![0u8; geo.page_size],
+            read_scratch: vec![0u8; geo.page_size],
+            gc_lpns: Vec::new(),
+            gc_data: Vec::new(),
             stats: FtlStats::default(),
             tel: None,
         }
@@ -165,7 +188,7 @@ impl Ftl {
 
     /// Number of mapping entries modified since the last persist.
     pub fn unpersisted_entries(&self) -> usize {
-        self.unpersisted.len()
+        self.up_list.len()
     }
 
     /// The un-journalled mapping delta, for the power-cut postmortem:
@@ -174,9 +197,12 @@ impl Ftl {
     /// are deterministic.
     pub fn unpersisted_delta(&self) -> Vec<(u64, Option<u64>)> {
         let mut v: Vec<(u64, Option<u64>)> = self
-            .unpersisted
+            .up_list
             .iter()
-            .map(|(&lpn, &old)| (lpn, (old != NONE).then_some(old)))
+            .map(|&lpn| {
+                let old = self.up_old[lpn as usize];
+                (lpn, (old != NONE).then_some(old))
+            })
             .collect();
         v.sort_unstable_by_key(|&(lpn, _)| lpn);
         v
@@ -196,7 +222,23 @@ impl Ftl {
     }
 
     fn note_map_change(&mut self, lpn: u64, old: u64) {
-        self.unpersisted.entry(lpn).or_insert(old);
+        let i = lpn as usize;
+        if self.up_mark[i] != self.up_epoch {
+            self.up_mark[i] = self.up_epoch;
+            self.up_old[i] = old;
+            self.up_list.push(lpn);
+        }
+    }
+
+    /// Forget the delta by advancing the epoch (the dense arrays are left
+    /// in place; a u32 wrap resets the marks so stale epochs cannot alias).
+    fn clear_unpersisted(&mut self) {
+        self.up_list.clear();
+        self.up_epoch = self.up_epoch.wrapping_add(1);
+        if self.up_epoch == 0 {
+            self.up_mark.fill(0);
+            self.up_epoch = 1;
+        }
     }
 
     fn invalidate(&mut self, slot: u64) {
@@ -276,14 +318,19 @@ impl Ftl {
         let geo = *nand.geometry();
         let (block, page) = self.take_frontier_page(plane);
         let ppn = geo.make_ppn(block, page);
-        let mut buf = vec![0u8; geo.page_size];
+        // Stage the slots in the reusable page scratch (no per-program heap
+        // allocation); the tail beyond the last slot must stay zeroed so the
+        // programmed NAND bytes are identical to the old `vec![0u8; ..]` path.
         for (i, (lpn, data)) in items.iter().enumerate() {
             assert_eq!(data.len(), 4096, "slots are 4KB");
-            buf[i * 4096..(i + 1) * 4096].copy_from_slice(data);
+            self.page_scratch[i * 4096..(i + 1) * 4096].copy_from_slice(data);
             let slot = ppn * self.spp as u64 + i as u64;
             self.set_mapping(*lpn, slot);
         }
-        nand.program(ppn, &buf, now).expect("frontier program is always in order")
+        if items.len() * 4096 < geo.page_size {
+            self.page_scratch[items.len() * 4096..].fill(0);
+        }
+        nand.program(ppn, &self.page_scratch, now).expect("frontier program is always in order")
     }
 
     /// Hand out the frontier page of a plane, opening a new block as needed.
@@ -359,24 +406,36 @@ impl Ftl {
     fn collect(&mut self, nand: &mut NandArray, plane: usize, victim: u32, now: Nanos) -> Nanos {
         let geo = *nand.geometry();
         let pages_per_block = geo.pages_per_block as u32;
-        let mut pending: Vec<(u64, Vec<u8>)> = Vec::new();
+        // Stage survivors flat in the reusable GC scratch (parallel arrays:
+        // lpn list + 4KB-per-slot data blob) — no per-slot `to_vec()`.
+        let mut gc_lpns = std::mem::take(&mut self.gc_lpns);
+        let mut gc_data = std::mem::take(&mut self.gc_data);
+        gc_lpns.clear();
+        gc_data.clear();
+        let mut read_buf = std::mem::take(&mut self.read_scratch);
         let mut t = now;
+        const MAX_SPP: usize = 16;
+        assert!(self.spp <= MAX_SPP, "spp fits the stack staging arrays");
         for page in 0..pages_per_block {
             let ppn = geo.make_ppn(victim, page);
             let base_slot = ppn * self.spp as u64;
-            let live: Vec<usize> = (0..self.spp)
-                .filter(|&i| self.rmap[(base_slot + i as u64) as usize] != NONE)
-                .collect();
-            if live.is_empty() {
+            let mut live = [0usize; MAX_SPP];
+            let mut n_live = 0;
+            for i in 0..self.spp {
+                if self.rmap[(base_slot + i as u64) as usize] != NONE {
+                    live[n_live] = i;
+                    n_live += 1;
+                }
+            }
+            if n_live == 0 {
                 continue;
             }
-            let mut buf = vec![0u8; geo.page_size];
-            match nand.read(ppn, &mut buf, t) {
+            match nand.read(ppn, &mut read_buf, t) {
                 Ok(done) => t = done,
                 Err(NandError::Shorn { .. }) | Err(NandError::Unwritten { .. }) => {
                     // A shorn page can hold no valid mapping in a correctly
                     // recovered device; treat its slots as dead.
-                    for i in live {
+                    for &i in &live[..n_live] {
                         let s = base_slot + i as u64;
                         let lpn = self.rmap[s as usize];
                         if lpn != NONE {
@@ -390,20 +449,28 @@ impl Ftl {
                 }
                 Err(e) => panic!("GC read failed: {e}"),
             }
-            for i in live {
+            for &i in &live[..n_live] {
                 let lpn = self.rmap[(base_slot + i as u64) as usize];
-                pending.push((lpn, buf[i * 4096..(i + 1) * 4096].to_vec()));
+                gc_lpns.push(lpn);
+                gc_data.extend_from_slice(&read_buf[i * 4096..(i + 1) * 4096]);
             }
         }
         // Re-program the survivors in pairs on this plane.
-        for chunk in pending.chunks(self.spp) {
-            let items: Vec<(u64, &[u8])> =
-                chunk.iter().map(|(lpn, d)| (*lpn, d.as_slice())).collect();
-            t = self.program_on_plane(nand, plane, &items, t);
-            self.stats.gc_relocated_slots += items.len() as u64;
-            self.stats.slots_programmed += items.len() as u64;
+        for (ci, chunk) in gc_lpns.chunks(self.spp).enumerate() {
+            let mut items: [(u64, &[u8]); MAX_SPP] = [(0, &[]); MAX_SPP];
+            let base = ci * self.spp;
+            for (j, &lpn) in chunk.iter().enumerate() {
+                let off = (base + j) * 4096;
+                items[j] = (lpn, &gc_data[off..off + 4096]);
+            }
+            t = self.program_on_plane(nand, plane, &items[..chunk.len()], t);
+            self.stats.gc_relocated_slots += chunk.len() as u64;
+            self.stats.slots_programmed += chunk.len() as u64;
             self.stats.data_programs += 1;
         }
+        self.read_scratch = read_buf;
+        self.gc_lpns = gc_lpns;
+        self.gc_data = gc_data;
         let end = nand.erase(victim, t).expect("victim block exists");
         if let Some(tel) = &self.tel {
             tel.record("nand.erase", end.saturating_sub(t));
@@ -434,8 +501,9 @@ impl Ftl {
         }
         let ppn = slot / self.spp as u64;
         let idx = (slot % self.spp as u64) as usize;
-        let mut page = vec![0u8; nand.geometry().page_size];
-        match nand.read(ppn, &mut page, now) {
+        let mut page = std::mem::take(&mut self.read_scratch);
+        let res = nand.read(ppn, &mut page, now);
+        let out = match res {
             Ok(done) => {
                 buf.copy_from_slice(&page[idx * 4096..(idx + 1) * 4096]);
                 SlotRead::Ok(done)
@@ -444,7 +512,9 @@ impl Ftl {
             // rollback: both surface as unreadable data.
             Err(NandError::Shorn { .. }) | Err(NandError::Unwritten { .. }) => SlotRead::Shorn,
             Err(e) => panic!("read of mapped slot failed: {e}"),
-        }
+        };
+        self.read_scratch = page;
+        out
     }
 
     /// Persist the mapping journal: programs `ceil(delta/entries_per_page)`
@@ -452,7 +522,7 @@ impl Ftl {
     pub fn persist_mapping(&mut self, nand: &mut NandArray, now: Nanos) -> Nanos {
         let geo = *nand.geometry();
         let entries_per_page = geo.page_size / 8; // (lpn, slot) pairs, 8B packed
-        let pages = self.unpersisted.len().div_ceil(entries_per_page).max(1);
+        let pages = self.up_list.len().div_ceil(entries_per_page).max(1);
         if let Some(tel) = &self.tel {
             tel.trace_begin("ftl", "ftl.map_persist", now);
         }
@@ -463,7 +533,7 @@ impl Ftl {
         if let Some(tel) = &self.tel {
             tel.trace_end("ftl", "ftl.map_persist", t);
         }
-        self.unpersisted.clear();
+        self.clear_unpersisted();
         t
     }
 
@@ -486,9 +556,9 @@ impl Ftl {
         let page = self.meta_next[plane];
         self.meta_next[plane] += 1;
         let ppn = geo.make_ppn(block, page);
-        let buf = vec![0u8; geo.page_size];
+        self.page_scratch.fill(0);
         self.stats.meta_programs += 1;
-        nand.program(ppn, &buf, now).expect("meta frontier in order")
+        nand.program(ppn, &self.page_scratch, now).expect("meta frontier in order")
     }
 
     /// TRIM a logical page: drop its mapping so GC never relocates the
@@ -507,8 +577,9 @@ impl Ftl {
     /// Roll the mapping back to the last persisted state (volatile cache
     /// power cut): every un-journalled update reverts.
     pub fn rollback_unpersisted(&mut self) {
-        let delta: Vec<(u64, u64)> = self.unpersisted.drain().collect();
-        for (lpn, old_slot) in delta {
+        let list = std::mem::take(&mut self.up_list);
+        for &lpn in &list {
+            let old_slot = self.up_old[lpn as usize];
             let cur = self.map[lpn as usize];
             if cur != NONE {
                 self.invalidate(cur);
@@ -522,6 +593,8 @@ impl Ftl {
                 self.valid[(old_slot / self.slots_per_block as u64) as usize] += 1;
             }
         }
+        self.up_list = list;
+        self.clear_unpersisted();
     }
 
     /// Total free blocks (all planes) — test instrumentation.

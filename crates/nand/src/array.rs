@@ -1,7 +1,7 @@
 //! The NAND array: state, timing and failure model.
 
 use crate::geometry::{Geometry, Ppn};
-use simkit::{Nanos, Timeline};
+use simkit::{BufPool, Nanos, PageBuf, Timeline};
 use std::collections::HashMap;
 use telemetry::Telemetry;
 
@@ -65,9 +65,13 @@ struct BlockState {
     torn_erase: bool,
 }
 
+/// One programmed page. `data` is a leased slab buffer: erasing the block
+/// (or dropping the array) returns it to the pool instead of freeing it, so
+/// steady-state program/erase churn recycles a bounded set of page-sized
+/// allocations.
 #[derive(Debug, Clone)]
 struct PageState {
-    data: Box<[u8]>,
+    data: PageBuf,
     shorn: bool,
 }
 
@@ -87,6 +91,8 @@ pub struct NandArray {
     /// lazily. Used to shear pages on power cuts.
     inflight_programs: Vec<(Ppn, Nanos)>,
     inflight_erases: Vec<(u32, Nanos)>,
+    /// Slab of physical-page buffers backing [`PageState::data`].
+    page_pool: BufPool,
     /// Optional telemetry sink: media-level trace events are emitted here,
     /// at the source, under whatever trace-ID the host operation above us
     /// pushed — the bottom of the causal chain.
@@ -105,6 +111,7 @@ impl NandArray {
             stats: NandStats::default(),
             inflight_programs: Vec::new(),
             inflight_erases: Vec::new(),
+            page_pool: BufPool::new(geo.page_size),
             tel: None,
         }
     }
@@ -113,6 +120,30 @@ impl NandArray {
     /// trace span under the caller's current trace-ID.
     pub fn attach_telemetry(&mut self, tel: Telemetry) {
         self.tel = Some(tel);
+    }
+
+    /// Preallocate every structure to its geometric bound so that no later
+    /// program/erase ever touches the heap.
+    ///
+    /// A real device has all of its media up front; the simulator stays
+    /// lazy by default so a multi-gigabyte geometry costs memory only for
+    /// pages actually written. Opting in trades resident memory (one buffer
+    /// per *physical* page, plus the page map at full occupancy) for fully
+    /// allocation-free operation — useful for allocation-regression tests
+    /// and latency-jitter-sensitive runs on small geometries.
+    pub fn prewarm(&mut self) {
+        let total = self.geo.total_pages() as usize;
+        // Live pages can never exceed the physical page count, so a free
+        // list covering the gap means `program` always recycles.
+        self.page_pool.reserve_free(total.saturating_sub(self.pages.len()));
+        self.pages.reserve(total.saturating_sub(self.pages.len()));
+        // At most one in-flight erase per block; programs are bounded by
+        // the per-plane pipelining window, for which a block's worth of
+        // pages per plane is a comfortable ceiling.
+        let blocks = self.geo.blocks();
+        let programs = self.geo.pages_per_block * self.geo.planes();
+        self.inflight_erases.reserve(blocks.saturating_sub(self.inflight_erases.len()));
+        self.inflight_programs.reserve(programs.saturating_sub(self.inflight_programs.len()));
     }
 
     /// Emit a completed media-operation span (`B` at issue, `E` at the
@@ -207,7 +238,22 @@ impl NandArray {
         let channel = self.geo.channel_of_block(block);
         let xfer_done = self.channel_bus[channel].acquire(now, self.geo.bus_time(data.len()));
         let done = self.planes[plane].acquire(xfer_done, self.geo.t_program);
-        self.pages.insert(ppn, PageState { data: data.into(), shorn: false });
+        // Reuse the target page's old buffer when overwriting after a shear
+        // (normal programs never hit an occupied slot); otherwise lease a
+        // buffer from the slab — erases return buffers there, so the pool
+        // reaches a steady state sized by the live page count.
+        match self.pages.get_mut(&ppn) {
+            Some(p) => {
+                p.data.copy_from_slice(data);
+                p.shorn = false;
+            }
+            None => {
+                self.pages.insert(
+                    ppn,
+                    PageState { data: self.page_pool.checkout_from(data), shorn: false },
+                );
+            }
+        }
         self.inflight_programs.push((ppn, done));
         self.stats.programs += 1;
         self.trace_span("nand.program", now, done);

@@ -11,10 +11,12 @@
 //! *relative* behaviour — who waits for whom, what saturates first — is
 //! preserved.
 
+pub mod alloc;
 pub mod clock;
 pub mod crc;
 pub mod dist;
 pub mod driver;
+pub mod pool;
 pub mod resource;
 pub mod rng;
 pub mod stats;
@@ -23,6 +25,7 @@ pub mod timed;
 pub use clock::{Nanos, MICROS, MILLIS, SECS};
 pub use crc::crc32;
 pub use driver::{ClosedLoop, DriverReport};
+pub use pool::{BufPool, PageBuf};
 pub use resource::{MultiServer, Timeline};
 pub use rng::{Rng, SimRng};
 pub use stats::{Counter, LatencyStats, Summary};

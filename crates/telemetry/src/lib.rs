@@ -155,18 +155,33 @@ impl Registry {
     }
 
     /// Record one latency sample into the named histogram.
+    ///
+    /// Steady-state recording is allocation-free: the name is only turned
+    /// into an owned `String` the first time it is seen.
     pub fn record(&mut self, name: &str, ns: Nanos) {
-        self.hists.entry(name.to_string()).or_default().record(ns);
+        if let Some(h) = self.hists.get_mut(name) {
+            h.record(ns);
+        } else {
+            self.hists.entry(name.to_string()).or_default().record(ns);
+        }
     }
 
-    /// Add to a named counter.
+    /// Add to a named counter (allocation-free after the first sample).
     pub fn incr(&mut self, name: &str, by: u64) {
-        *self.counters.entry(name.to_string()).or_insert(0) += by;
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += by;
+        } else {
+            self.counters.insert(name.to_string(), by);
+        }
     }
 
-    /// Set a named gauge.
+    /// Set a named gauge (allocation-free after the first sample).
     pub fn set_gauge(&mut self, name: &str, value: i64) {
-        self.gauges.insert(name.to_string(), value);
+        if let Some(g) = self.gauges.get_mut(name) {
+            *g = value;
+        } else {
+            self.gauges.insert(name.to_string(), value);
+        }
     }
 
     /// Attribute `ns` nanoseconds of host blocking. If an attribution
@@ -270,28 +285,26 @@ impl Registry {
     }
 
     /// Record a `Begin` event under the current trace-ID. No-op when
-    /// tracing is disabled.
+    /// tracing is disabled — returns before any name interning or
+    /// trace-stack work happens.
     pub fn trace_begin(&mut self, cat: &str, name: &str, ts: Nanos) {
+        let Some(t) = self.trace.as_mut() else { return };
         let id = *self.trace_stack.last().unwrap_or(&0);
-        if let Some(t) = self.trace.as_mut() {
-            t.push(ts, id, Phase::Begin, cat, name);
-        }
+        t.push(ts, id, Phase::Begin, cat, name);
     }
 
     /// Record an `End` event under the current trace-ID.
     pub fn trace_end(&mut self, cat: &str, name: &str, ts: Nanos) {
+        let Some(t) = self.trace.as_mut() else { return };
         let id = *self.trace_stack.last().unwrap_or(&0);
-        if let Some(t) = self.trace.as_mut() {
-            t.push(ts, id, Phase::End, cat, name);
-        }
+        t.push(ts, id, Phase::End, cat, name);
     }
 
     /// Record an `Instant` event under the current trace-ID.
     pub fn trace_instant(&mut self, cat: &str, name: &str, ts: Nanos) {
+        let Some(t) = self.trace.as_mut() else { return };
         let id = *self.trace_stack.last().unwrap_or(&0);
-        if let Some(t) = self.trace.as_mut() {
-            t.push(ts, id, Phase::Instant, cat, name);
-        }
+        t.push(ts, id, Phase::Instant, cat, name);
     }
 
     /// Start sampling all gauges every `cadence` virtual nanoseconds.

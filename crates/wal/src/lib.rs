@@ -98,6 +98,9 @@ pub struct Wal {
     checkpoint_lsn: Lsn,
     /// Content of the current partial tail block, as durable on disk.
     tail_image: Vec<u8>,
+    /// Grow-only scratch for materialising the block run of a flush; reused
+    /// across flushes so steady-state commits do not allocate.
+    run_scratch: Vec<u8>,
     stats: WalStats,
     /// Optional telemetry sink. Physical flushes run under a `WalFsync`
     /// stall context so device-level blocked time is attributed to the log.
@@ -135,6 +138,7 @@ impl Wal {
             last_flush_dur: 1_000_000,
             checkpoint_lsn: 0,
             tail_image: vec![0u8; BLOCK],
+            run_scratch: Vec::new(),
             stats: WalStats::default(),
             tel: None,
             ledger: None,
@@ -194,17 +198,17 @@ impl Wal {
     /// Append a record; returns its LSN. Not yet durable.
     pub fn append(&mut self, payload: &[u8]) -> Lsn {
         let lsn = self.next_lsn;
-        let mut rec = Vec::with_capacity(REC_HDR + payload.len());
-        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        rec.extend_from_slice(&lsn.to_le_bytes());
-        rec.extend_from_slice(&crc32(payload).to_le_bytes());
-        rec.extend_from_slice(payload);
-        self.next_lsn += rec.len() as u64;
+        // Frame the record directly into the tail buffer (no staging vec).
+        self.next_lsn += (REC_HDR + payload.len()) as u64;
         assert!(
             self.live_bytes() < self.capacity_bytes(),
             "log overflow: checkpoint was not taken in time"
         );
-        self.buf.extend_from_slice(&rec);
+        self.buf.reserve(REC_HDR + payload.len());
+        self.buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&lsn.to_le_bytes());
+        self.buf.extend_from_slice(&crc32(payload).to_le_bytes());
+        self.buf.extend_from_slice(payload);
         self.stats.appends += 1;
         if let Some(tel) = &self.tel {
             tel.set_gauge("wal.buffered_bytes", self.buf.len() as i64);
@@ -235,9 +239,13 @@ impl Wal {
         let end = self.buf_start + self.buf.len() as u64;
         let end_block = end.div_ceil(BLOCK as u64);
         // Materialise the block run: durable prefix of the first block, the
-        // buffered bytes, zero padding to the block boundary.
+        // buffered bytes, zero padding to the block boundary. The scratch is
+        // reused flush to flush (taken out of `self` so the file-write calls
+        // below can borrow `self.files` mutably).
         let nblocks = (end_block - start_block) as usize;
-        let mut run = vec![0u8; nblocks * BLOCK];
+        let mut run = std::mem::take(&mut self.run_scratch);
+        run.clear();
+        run.resize(nblocks * BLOCK, 0);
         run[..start_off].copy_from_slice(&self.tail_image[..start_off]);
         run[start_off..start_off + self.buf.len()].copy_from_slice(&self.buf);
         // Issue per-block-run writes, splitting at file boundaries and wrap.
@@ -273,6 +281,7 @@ impl Wal {
         }
         self.buf_start = end;
         self.buf.clear();
+        self.run_scratch = run;
         self.stats.flushes += 1;
         if let Some(tel) = &self.tel {
             tel.pop_context();
@@ -439,7 +448,7 @@ impl Wal {
     }
 
     fn write_header<D: BlockDevice>(&mut self, vol: &mut Volume<D>, now: Nanos) -> Nanos {
-        let mut hdr = vec![0u8; BLOCK];
+        let mut hdr = [0u8; BLOCK];
         hdr[..8].copy_from_slice(&HDR_MAGIC.to_le_bytes());
         hdr[8..16].copy_from_slice(&self.checkpoint_lsn.to_le_bytes());
         let crc = crc32(&hdr[..16]);
@@ -478,6 +487,7 @@ impl Wal {
             last_flush_dur: 1_000_000,
             checkpoint_lsn: 0,
             tail_image: vec![0u8; BLOCK],
+            run_scratch: Vec::new(),
             stats: WalStats::default(),
             tel: None,
             ledger: None,
