@@ -40,6 +40,9 @@ test -s "$TRACE_TMP/crash.trace.json"
 grep -q '"schema":"durassd.forensics.v1"' "$TRACE_TMP/crash.json"
 grep -q '"name":"power_cut"' "$TRACE_TMP/crash.trace.json"
 
+echo "== simtest campaign (fixed seeds, every target, shrunk repro on fail) =="
+cargo run -p simtest --release -q -- --seeds 50 --ops 2000 --check --quiet
+
 echo "== perf smoke (tiny ops, schema-validated BENCH_perf.json) =="
 # No absolute-speed gate: CI machines are noisy. --check fails on schema
 # drift, NaN or zero throughput; that is the invariant worth pinning.

@@ -206,36 +206,45 @@ impl WriteCache {
 
     /// Undo an in-flight host write at power-cut time: restore the
     /// pre-image (or remove the entry if the page was not cached before).
+    ///
+    /// Runs in two stages so every combination of (current state,
+    /// pre-image state) keeps the dirty counter and the side structures
+    /// consistent — the original single-pass version over-counted `dirty`
+    /// when the aborted write had replaced a *draining* entry (the fresh
+    /// FIFO reference it minted was never retired) and under-counted it
+    /// when the entry had been removed between the write and the cut
+    /// (TRIM of an un-acked write). Found by the simtest fuzzer
+    /// (`--target dura --seed 0`, minimal trace `w:12:4 w:21:2 cw:11:2`;
+    /// the TRIM variant by seed 11, trace `w:14:4 tcw:17`).
     pub fn rollback(&mut self, lpn: u64, pre: Option<CacheEntry>) {
-        match pre {
-            Some(e) => {
-                let restored_drain = e.draining_until;
-                let restored_ack = (e.ackable_at, e.gen);
-                let cur = self.entries.insert(lpn, e);
-                if let Some(c) = &cur {
-                    if let Some(d) = c.draining_until {
-                        self.remove_drain_ref(d, lpn);
-                    }
+        // 1. Retire whatever currently occupies the slot (the state the
+        //    rolled-back write left behind, if anything).
+        if let Some(cur) = self.entries.remove(&lpn) {
+            match cur.draining_until {
+                None => self.dirty -= 1, // its FIFO ref goes stale
+                Some(d) => self.remove_drain_ref(d, lpn),
+            }
+        }
+        // 2. Restore the pre-image from scratch.
+        let Some(mut e) = pre else { return };
+        match e.draining_until {
+            Some(d) => {
+                if d != DRAIN_PENDING {
+                    self.insert_drain_ref(d, lpn);
                 }
-                match restored_drain {
-                    Some(d) if d != DRAIN_PENDING => self.insert_drain_ref(d, lpn),
-                    Some(_) => {}
-                    // A restored dirty entry must have its ack tuple live.
-                    None => self.ack_heap.push(Reverse((restored_ack.0, lpn, restored_ack.1))),
-                }
-                let was_dirty = cur.is_none_or(|c| c.draining_until.is_none());
-                // The rolled-back entry occupied a dirty FIFO slot that the
-                // restored pre-image now owns; nothing to adjust unless the
-                // new write had created the dirty ref itself.
-                let _ = was_dirty;
+                self.entries.insert(lpn, e);
             }
             None => {
-                if let Some(e) = self.entries.remove(&lpn) {
-                    match e.draining_until {
-                        None => self.dirty = self.dirty.saturating_sub(1),
-                        Some(d) => self.remove_drain_ref(d, lpn),
-                    }
-                }
+                // A restored dirty entry needs a guaranteed-live FIFO slot
+                // and ack tuple. Mint a fresh generation: any references the
+                // aborted write (or the pre-image's former life) left in the
+                // FIFO or the ack heap turn stale and are skipped lazily.
+                self.next_gen += 1;
+                e.gen = self.next_gen;
+                self.fifo.push_back((lpn, e.gen));
+                self.dirty += 1;
+                self.ack_heap.push(Reverse((e.ackable_at, lpn, e.gen)));
+                self.entries.insert(lpn, e);
             }
         }
     }
@@ -367,6 +376,77 @@ impl WriteCache {
         self.draining_by_done.clear();
         self.dirty += n;
         n
+    }
+
+    /// Structural audit of the cache bookkeeping, for the simulation-test
+    /// harness. Checked invariants:
+    ///
+    /// 1. **dirty count**: `dirty` equals both the number of entries with no
+    ///    drain scheduled and the number of *live* FIFO references (entry
+    ///    present, generation matches, not draining);
+    /// 2. **FIFO coverage**: every dirty entry is reachable through exactly
+    ///    one live FIFO reference (an unreferenced dirty entry would never
+    ///    be flushed — a permanent slot leak);
+    /// 3. **drain index**: `draining_by_done` is sorted ascending and is
+    ///    exactly the multiset of `(done, lpn)` for entries draining at a
+    ///    known completion time (sentinel-marked entries are not indexed).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        // 1 + 2. Dirty entries vs live FIFO references.
+        let mut live_refs: HashMap<u64, usize> = HashMap::new();
+        for &(lpn, gen) in &self.fifo {
+            if let Some(e) = self.entries.get(&lpn) {
+                if e.gen == gen && e.draining_until.is_none() {
+                    *live_refs.entry(lpn).or_insert(0) += 1;
+                }
+            }
+        }
+        let dirty_entries = self.entries.values().filter(|e| e.draining_until.is_none()).count();
+        if dirty_entries != self.dirty {
+            return Err(format!(
+                "dirty count drift: counter = {}, entries say {dirty_entries}",
+                self.dirty
+            ));
+        }
+        let total_refs: usize = live_refs.values().sum();
+        if total_refs != self.dirty {
+            return Err(format!("dirty count {} != live fifo refs {total_refs}", self.dirty));
+        }
+        for (lpn, e) in &self.entries {
+            if e.draining_until.is_none() {
+                match live_refs.get(lpn) {
+                    Some(1) => {}
+                    Some(n) => return Err(format!("dirty lpn {lpn} has {n} live fifo refs")),
+                    None => {
+                        return Err(format!(
+                            "dirty lpn {lpn} unreachable from the fifo (leaked slot)"
+                        ))
+                    }
+                }
+            }
+        }
+        // 3. Drain index mirrors the draining entries exactly.
+        let mut want: Vec<(Nanos, u64)> = self
+            .entries
+            .iter()
+            .filter_map(|(&lpn, e)| match e.draining_until {
+                Some(d) if d != DRAIN_PENDING => Some((d, lpn)),
+                _ => None,
+            })
+            .collect();
+        want.sort_unstable();
+        let mut have: Vec<(Nanos, u64)> = self.draining_by_done.iter().copied().collect();
+        if have.windows(2).any(|w| w[0].0 > w[1].0) {
+            return Err("draining_by_done not sorted by completion time".into());
+        }
+        have.sort_unstable();
+        if have != want {
+            return Err(format!(
+                "drain index mismatch: index has {} refs, entries say {}",
+                have.len(),
+                want.len()
+            ));
+        }
+        Ok(())
     }
 
     /// Discard everything (volatile cache on power cut). Returns how many
@@ -645,5 +725,70 @@ mod tests {
         }
         assert!(c.ack_heap.len() <= 2 * c.entries.len() + 1024);
         assert_eq!(c.next_ackable(), Some(99_999));
+    }
+
+    /// Regression, found by the simtest fuzzer (`--target dura --seed 0`,
+    /// minimal trace `w:12:4 w:21:2 cw:11:2`): a write replaces a
+    /// *draining* entry (fresh generation, `dirty += 1`), then a power cut
+    /// rolls the write back. The old single-pass rollback restored the
+    /// draining pre-image without retiring the aborted write's dirty
+    /// reference, leaving the dirty counter permanently one too high.
+    #[test]
+    fn rollback_over_draining_preimage_keeps_dirty_count() {
+        let p = pool();
+        let mut c = WriteCache::new();
+        c.insert(5, data(&p, 1), 0);
+        assert_eq!(c.pop_dirty(u64::MAX).unwrap(), 5);
+        c.set_draining(5, 1_000);
+        // New write coalesces onto the draining slot: pre-image is the
+        // draining entry, the new copy is dirty.
+        let pre = c.insert(5, data(&p, 2), 10);
+        assert!(pre.as_ref().unwrap().draining_until.is_some());
+        assert_eq!(c.dirty(), 1);
+        // Power cut before the ack: roll the write back.
+        c.rollback(5, pre);
+        c.check_invariants().unwrap();
+        assert_eq!(c.dirty(), 0, "restored pre-image is draining, not dirty");
+        assert_eq!(c.occupied(), 1);
+        assert_eq!(c.get(5).unwrap()[0], 1, "pre-image content restored");
+        assert!(c.pop_dirty(u64::MAX).is_none(), "no live dirty refs remain");
+    }
+
+    /// Regression, found by the simtest fuzzer (`--target dura --seed 11`,
+    /// minimal trace `w:14:4 tcw:17`): TRIM removes an un-acked write's
+    /// entry, then the cut rolls the write back and must re-account the
+    /// restored *dirty* pre-image — the old code under-counted `dirty`.
+    #[test]
+    fn rollback_after_trim_restores_dirty_accounting() {
+        let p = pool();
+        let mut c = WriteCache::new();
+        c.insert(7, data(&p, 1), 0);
+        // Overwrite while still dirty: coalesces, pre-image is dirty.
+        let pre = c.insert(7, data(&p, 2), 10);
+        assert!(pre.as_ref().unwrap().draining_until.is_none());
+        // TRIM lands between the write and its ack.
+        c.remove(7);
+        assert_eq!(c.dirty(), 0);
+        // Cut before the ack: restore the dirty pre-image.
+        c.rollback(7, pre);
+        c.check_invariants().unwrap();
+        assert_eq!(c.dirty(), 1, "restored pre-image is dirty again");
+        assert_eq!(c.get(7).unwrap()[0], 1);
+        assert_eq!(c.pop_dirty(u64::MAX).unwrap(), 7, "flusher can still drain it");
+    }
+
+    /// Rollback with no pre-image (page was not cached before the write)
+    /// retires the aborted entry whether it is dirty or draining.
+    #[test]
+    fn rollback_without_preimage_clears_the_slot() {
+        let p = pool();
+        let mut c = WriteCache::new();
+        let pre = c.insert(9, data(&p, 3), 5);
+        assert!(pre.is_none());
+        c.rollback(9, pre);
+        c.check_invariants().unwrap();
+        assert_eq!(c.occupied(), 0);
+        assert_eq!(c.dirty(), 0);
+        assert!(c.get(9).is_none());
     }
 }

@@ -210,32 +210,72 @@ impl SsdConfig {
         self.geometry.page_size / 4096
     }
 
-    /// Sanity-check internal consistency; called by `Ssd::new`.
-    pub fn validate(&self) {
-        assert!(
-            self.geometry.page_size.is_multiple_of(4096),
-            "NAND page must hold whole 4KB slots"
-        );
-        let physical_slots = self.geometry.total_pages() * self.slots_per_page() as u64;
-        assert!(
-            self.logical_capacity_pages < physical_slots,
-            "no over-provisioning: logical {} >= physical {}",
-            self.logical_capacity_pages,
-            physical_slots
-        );
-        assert!(
-            self.dump_reserve_blocks + self.gc_free_threshold < self.geometry.blocks_per_plane,
-            "reserves exceed plane size"
-        );
-        if self.protection == CacheProtection::CapacitorBacked {
-            assert!(self.capacitor_energy_bytes > 0, "capacitor-backed cache needs energy");
+    /// Check internal consistency, reporting the first violated constraint
+    /// as an error. Includes the per-plane geometry headroom the FTL needs
+    /// at construction — dump reserve, one meta block and one frontier per
+    /// plane — so degenerate geometries fail here with a description
+    /// instead of deep inside `Ftl::new`.
+    pub fn try_validate(&self) -> Result<(), String> {
+        if !self.geometry.page_size.is_multiple_of(4096) {
+            return Err("NAND page must hold whole 4KB slots".into());
         }
-        assert!(
-            (self.cache_slots as u64) < self.logical_capacity_pages,
-            "write cache ({} slots) must be smaller than the exported capacity ({} pages)",
-            self.cache_slots,
-            self.logical_capacity_pages
-        );
+        let physical_slots = self.geometry.total_pages() * self.slots_per_page() as u64;
+        if self.logical_capacity_pages >= physical_slots {
+            return Err(format!(
+                "no over-provisioning: logical {} >= physical {}",
+                self.logical_capacity_pages, physical_slots
+            ));
+        }
+        // The FTL pops, per plane: `dump_reserve_blocks` dump blocks, one
+        // meta block, one frontier block — in that order.
+        let bpp = self.geometry.blocks_per_plane;
+        if bpp < self.dump_reserve_blocks {
+            return Err(format!(
+                "plane too small for dump reserve: {bpp} blocks/plane < {} reserved",
+                self.dump_reserve_blocks
+            ));
+        }
+        if bpp < self.dump_reserve_blocks + 1 {
+            return Err(format!(
+                "plane too small for meta block: {bpp} blocks/plane leaves no room after {} \
+                 dump blocks",
+                self.dump_reserve_blocks
+            ));
+        }
+        if bpp < self.dump_reserve_blocks + 2 {
+            return Err(format!(
+                "plane too small for frontier: {bpp} blocks/plane leaves no room after {} \
+                 dump blocks and the meta block",
+                self.dump_reserve_blocks
+            ));
+        }
+        if self.dump_reserve_blocks + self.gc_free_threshold >= bpp {
+            return Err(format!(
+                "reserves exceed plane size: {} dump + {} GC headroom >= {bpp} blocks/plane",
+                self.dump_reserve_blocks, self.gc_free_threshold
+            ));
+        }
+        if self.protection == CacheProtection::CapacitorBacked && self.capacitor_energy_bytes == 0 {
+            return Err("capacitor-backed cache needs energy".into());
+        }
+        if self.cache_slots as u64 >= self.logical_capacity_pages {
+            return Err(format!(
+                "write cache ({} slots) must be smaller than the exported capacity ({} pages)",
+                self.cache_slots, self.logical_capacity_pages
+            ));
+        }
+        Ok(())
+    }
+
+    /// Sanity-check internal consistency; called by `Ssd::new`.
+    ///
+    /// # Panics
+    /// On the first violated constraint — see [`SsdConfig::try_validate`]
+    /// for the non-panicking form.
+    pub fn validate(&self) {
+        if let Err(e) = self.try_validate() {
+            panic!("invalid SsdConfig: {e}");
+        }
     }
 }
 
@@ -342,16 +382,32 @@ impl SsdConfigBuilder {
         self
     }
 
+    /// Blocks per plane in the NAND geometry (the degenerate-geometry
+    /// validation cases need to shrink this below the FTL's reserves).
+    pub fn blocks_per_plane(mut self, blocks: usize) -> Self {
+        self.cfg.geometry.blocks_per_plane = blocks;
+        self
+    }
+
     /// Validate and produce the final [`SsdConfig`].
     ///
     /// # Panics
     /// If the configuration is inconsistent (page size not a 4KB multiple,
-    /// no over-provisioning headroom, cache at least as large as the
-    /// exported capacity, capacitor-backed cache without energy) — see
-    /// [`SsdConfig::validate`].
+    /// no over-provisioning headroom, a plane too small for the FTL's dump/
+    /// meta/frontier reserves, cache at least as large as the exported
+    /// capacity, capacitor-backed cache without energy) — see
+    /// [`SsdConfig::validate`]. Use [`try_build`](Self::try_build) for the
+    /// non-panicking form.
     pub fn build(self) -> SsdConfig {
         self.cfg.validate();
         self.cfg
+    }
+
+    /// Validate and produce the final [`SsdConfig`], reporting the first
+    /// violated constraint instead of panicking.
+    pub fn try_build(self) -> Result<SsdConfig, String> {
+        self.cfg.try_validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -416,5 +472,51 @@ mod tests {
     #[should_panic(expected = "smaller than the exported capacity")]
     fn builder_rejects_cache_larger_than_device() {
         let _ = SsdConfig::tiny_test().to_builder().cache_slots(1 << 20).build();
+    }
+
+    /// A tiny-geometry builder whose capacity/cache knobs are scaled down so
+    /// the per-plane geometry checks are the first thing that can fail.
+    fn small_plane_builder(bpp: usize) -> SsdConfigBuilder {
+        SsdConfig::tiny_test()
+            .to_builder()
+            .blocks_per_plane(bpp)
+            .logical_capacity_pages(8)
+            .cache_slots(4)
+            .gc_free_threshold(0)
+    }
+
+    #[test]
+    fn geometry_without_room_for_dump_reserve_is_an_error() {
+        let err = small_plane_builder(2).dump_reserve_blocks(3).try_build().unwrap_err();
+        assert!(err.contains("plane too small for dump reserve"), "{err}");
+    }
+
+    #[test]
+    fn geometry_without_room_for_meta_block_is_an_error() {
+        let err = small_plane_builder(2).dump_reserve_blocks(2).try_build().unwrap_err();
+        assert!(err.contains("plane too small for meta block"), "{err}");
+    }
+
+    #[test]
+    fn geometry_without_room_for_frontier_is_an_error() {
+        let err = small_plane_builder(3).dump_reserve_blocks(2).try_build().unwrap_err();
+        assert!(err.contains("plane too small for frontier"), "{err}");
+    }
+
+    #[test]
+    fn geometry_without_gc_headroom_is_an_error() {
+        let err = small_plane_builder(4)
+            .dump_reserve_blocks(2)
+            .gc_free_threshold(2)
+            .try_build()
+            .unwrap_err();
+        assert!(err.contains("reserves exceed plane size"), "{err}");
+    }
+
+    #[test]
+    fn try_build_accepts_valid_configs() {
+        let cfg = SsdConfig::tiny_test().to_builder().try_build().unwrap();
+        assert_eq!(cfg.cache_slots, SsdConfig::tiny_test().cache_slots);
+        assert!(SsdConfig::durassd(16).try_validate().is_ok());
     }
 }

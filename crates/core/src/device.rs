@@ -3,6 +3,7 @@
 
 use crate::cache::{CacheEntry, WriteCache};
 use crate::config::{CacheProtection, SsdConfig};
+use crate::error::Error;
 use crate::ftl::{Ftl, SlotRead};
 use forensics::{
     CacheSlotSnap, DeviceHealth, DevicePostmortem, DumpOutcome, EvidenceKind, Forensic, Ledger,
@@ -37,6 +38,9 @@ pub struct SsdStats {
     /// abandoned (the device degraded to volatile behaviour for that cut).
     /// A mis-tuned budget is a reportable forensic finding, not an abort.
     pub dump_over_budget: u64,
+    /// Blocks re-erased at reboot because a power cut tore their erase
+    /// mid-flight (the block refuses programs until erased again).
+    pub torn_erase_repairs: u64,
 }
 
 /// A record of a host write whose acknowledgement lies in the future; if
@@ -237,7 +241,7 @@ impl Ssd {
     /// Zero-copy: the popped entries' page data is borrowed from the cache
     /// slots in place and handed to the FTL as slices — no buffer leaves
     /// the cache until reclaim returns it to the pool.
-    fn drain_pair(&mut self, t: Nanos) -> Option<Nanos> {
+    fn drain_pair(&mut self, t: Nanos) -> DevResult<Option<Nanos>> {
         const MAX_SPP: usize = 8;
         let spp = self.cfg.slots_per_page();
         debug_assert!(spp <= MAX_SPP, "slots_per_page exceeds drain batch capacity");
@@ -253,7 +257,7 @@ impl Ssd {
             }
         }
         if n == 0 {
-            return None;
+            return Ok(None);
         }
         let bytes = n as u64 * LOGICAL_PAGE as u64;
         let grant = self.pipe.acquire(t, bytes * 1_000 / self.cfg.backend_bytes_per_us);
@@ -265,42 +269,44 @@ impl Ssd {
         if let Some(tel) = &self.tel {
             tel.trace_begin("ssd", "ssd.cache_drain", t);
         }
-        let done = self.ftl.program_slots(&mut self.nand, &items[..n], grant);
+        let done =
+            self.ftl.program_slots(&mut self.nand, &items[..n], grant).map_err(Error::into_dev)?;
         if let Some(tel) = &self.tel {
             tel.trace_end("ssd", "ssd.cache_drain", done);
         }
         for &lpn in &lpns[..n] {
             self.cache.set_draining(lpn, done);
         }
-        Some(done)
+        Ok(Some(done))
     }
 
     /// Background flusher: push dirty pairs to planes that are already idle
     /// (models the continuous FIFO flusher of §3.1.1 without an event loop).
     /// Also journals the mapping once enough entries piled up — every FTL
     /// does this periodically, bounding how much a power cut can take.
-    fn opportunistic_drain(&mut self, now: Nanos) {
+    fn opportunistic_drain(&mut self, now: Nanos) -> DevResult<()> {
         while self.cache.dirty() > 0
             && self.pipe.busy_until() <= now
             && self.ftl.next_plane_idle(&self.nand, now)
         {
-            if self.drain_pair(now).is_none() {
+            if self.drain_pair(now)?.is_none() {
                 break;
             }
         }
         if self.ftl.unpersisted_entries() > self.cfg.mapping_journal_threshold {
             self.ftl.persist_mapping(&mut self.nand, now);
         }
+        Ok(())
     }
 
     /// Synchronous full drain (FLUSH CACHE path): returns when every cached
     /// slot is on flash. Entries whose commands acknowledge slightly later
     /// (overlapping NCQ traffic) are waited for, conservatively.
-    fn drain_all(&mut self, now: Nanos) -> Nanos {
+    fn drain_all(&mut self, now: Nanos) -> DevResult<Nanos> {
         let mut t = now;
         let mut last = now;
         loop {
-            if let Some(done) = self.drain_pair(t) {
+            if let Some(done) = self.drain_pair(t)? {
                 last = last.max(done);
                 continue;
             }
@@ -320,22 +326,22 @@ impl Ssd {
         }
         let last = last.max(t);
         self.cache.reclaim(last);
-        last
+        Ok(last)
     }
 
     /// Write path with the cache enabled. Commands larger than half the
     /// cache stream through it in chunks, like any real write-back cache.
-    fn write_cached(&mut self, lpn: u64, data: &[u8], now: Nanos) -> Nanos {
+    fn write_cached(&mut self, lpn: u64, data: &[u8], now: Nanos) -> DevResult<Nanos> {
         let n = data.len() / LOGICAL_PAGE;
         let chunk_slots = (self.cfg.cache_slots / 2).max(1);
         if n > chunk_slots {
             let mut t = now;
             let mut done = now;
             for (i, chunk) in data.chunks(chunk_slots * LOGICAL_PAGE).enumerate() {
-                done = self.write_cached(lpn + (i * chunk_slots) as u64, chunk, t);
+                done = self.write_cached(lpn + (i * chunk_slots) as u64, chunk, t)?;
                 t = done;
             }
-            return done;
+            return Ok(done);
         }
         let xfer_done = self.sata_transfer(now, data.len());
         // Flow control: when the cache is full, admission proceeds at the
@@ -358,7 +364,7 @@ impl Ssd {
             assert!(guard < 10_000_000, "flow control cannot make progress");
             // Push drains without waiting: completions arrive pipelined.
             while self.cache.dirty() > 0 && self.cache.occupied_at(t) + n > self.cfg.cache_slots {
-                if self.drain_pair(t).is_none() {
+                if self.drain_pair(t)?.is_none() {
                     break;
                 }
             }
@@ -393,13 +399,13 @@ impl Ssd {
         if let Some(tel) = &self.tel {
             tel.trace_instant("ssd", "ssd.cache_admit", done);
         }
-        self.opportunistic_drain(now);
-        done
+        self.opportunistic_drain(now)?;
+        Ok(done)
     }
 
     /// Write path with the cache disabled: program through to flash and
     /// journal the mapping before acknowledging.
-    fn write_direct(&mut self, lpn: u64, data: &[u8], now: Nanos) -> Nanos {
+    fn write_direct(&mut self, lpn: u64, data: &[u8], now: Nanos) -> DevResult<Nanos> {
         let n = data.len() / LOGICAL_PAGE;
         let xfer_done = self.sata_transfer(now, data.len());
         let spp = self.cfg.slots_per_page();
@@ -415,7 +421,8 @@ impl Ssd {
                 .collect();
             let bytes = items.len() as u64 * LOGICAL_PAGE as u64;
             let grant = self.pipe.acquire(xfer_done, bytes * 1_000 / self.cfg.backend_bytes_per_us);
-            let done = self.ftl.program_slots(&mut self.nand, &items, grant);
+            let done =
+                self.ftl.program_slots(&mut self.nand, &items, grant).map_err(Error::into_dev)?;
             media_done = media_done.max(done);
             idx += take;
         }
@@ -427,7 +434,7 @@ impl Ssd {
         } else {
             media_done
         };
-        meta_done + self.cfg.host_write_overhead
+        Ok(meta_done + self.cfg.host_write_overhead)
     }
 
     /// Capacitor dump at power-cut time (§3.4.1). The dump itself runs on
@@ -452,6 +459,31 @@ impl Ssd {
             self.xstats.dump_over_budget += 1;
         }
         DumpOutcome { bytes, budget_bytes: self.cfg.capacitor_energy_bytes, within_budget }
+    }
+
+    /// Structural audit across the whole device, for the simulation-test
+    /// harness: delegates to [`Ftl::check_invariants`] and
+    /// [`WriteCache::check_invariants`], then reconciles the page-pool
+    /// lease accounting — every outstanding [`simkit::PageBuf`] must be
+    /// held by exactly one cache slot or one in-flight pre-image.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.ftl.check_invariants(&self.nand).map_err(|e| format!("ftl: {e}"))?;
+        self.cache.check_invariants().map_err(|e| format!("cache: {e}"))?;
+        let preimage_bufs: usize = self
+            .inflight
+            .iter()
+            .map(|w| w.preimages.iter().filter(|(_, p)| p.is_some()).count())
+            .sum();
+        let expected = self.cache.occupied() + preimage_bufs;
+        let outstanding = self.page_pool.outstanding();
+        if outstanding != expected {
+            return Err(format!(
+                "page-pool accounting: {outstanding} leases outstanding, but cache holds {} \
+                 slots and the atomic writer {preimage_bufs} pre-images",
+                self.cache.occupied()
+            ));
+        }
+        Ok(())
     }
 
     /// Refresh the device-state gauges the time-series sampler reads:
@@ -498,7 +530,11 @@ impl BlockDevice for Ssd {
                 continue;
             }
             all_cached = false;
-            match self.ftl.read_slot(&mut self.nand, lpn + i, out, start) {
+            match self
+                .ftl
+                .read_slot(&mut self.nand, lpn + i, out, start)
+                .map_err(Error::into_dev)?
+            {
                 SlotRead::Ok(done) => media_done = media_done.max(done),
                 SlotRead::Unmapped => {}
                 SlotRead::Shorn => {
@@ -512,7 +548,7 @@ impl BlockDevice for Ssd {
         }
         let xfer_done = self.sata_transfer(media_done, buf.len());
         let done = xfer_done + self.cfg.host_read_overhead;
-        self.opportunistic_drain(now);
+        self.opportunistic_drain(now)?;
         Ok(done)
     }
 
@@ -527,9 +563,9 @@ impl BlockDevice for Ssd {
         self.stats.pages_written += pages as u64;
         let start = now.max(self.barrier_until);
         let done = if self.cfg.cache_enabled {
-            self.write_cached(lpn, data, start)
+            self.write_cached(lpn, data, start)?
         } else {
-            self.write_direct(lpn, data, start)
+            self.write_direct(lpn, data, start)?
         };
         if let Some(ledger) = &self.ledger {
             // A plain write ack carries the device cache's own contract.
@@ -552,7 +588,7 @@ impl BlockDevice for Ssd {
             // never emits: the trace-level twin of the flush_cache stall.
             tel.trace_begin("ssd", "flush_cache", start);
         }
-        let drained = self.drain_all(start);
+        let drained = self.drain_all(start)?;
         if let Some(tel) = &self.tel {
             // The cache-flush-queue drain time: how long FLUSH CACHE spends
             // pushing dirty slots to flash (§3.3 — DuraSSD avoids this wait
@@ -594,6 +630,15 @@ impl BlockDevice for Ssd {
             let l = lpn + i;
             self.cache.remove(l);
             self.ftl.trim(l);
+        }
+        // The TRIM also supersedes any pre-images the atomic writer holds
+        // for these lpns: if power is cut before an in-flight write's ack,
+        // its rollback must not resurrect data the host just discarded.
+        // (Found by the simtest fuzzer, `--target dura --seed 3`, minimal
+        // trace `w:8:4 tcw:11 r:11:3`.)
+        let end = lpn + pages as u64;
+        for w in &mut self.inflight {
+            w.preimages.retain(|&(l, _)| l < lpn || l >= end);
         }
         Ok(now + self.cfg.host_write_overhead / 4)
     }
@@ -668,7 +713,7 @@ impl BlockDevice for Ssd {
                 let lost = self.cache.discard_all();
                 self.xstats.lost_acked_slots += lost as u64;
                 pm.discarded_dirty_slots = lost as u64;
-                self.ftl.rollback_unpersisted();
+                self.ftl.rollback_unpersisted(&self.nand);
             }
             CacheProtection::CapacitorBacked => {
                 // 3b. The power-off detector fires the dump (§3.4.1). An
@@ -680,7 +725,7 @@ impl BlockDevice for Ssd {
                     let lost = self.cache.discard_all();
                     self.xstats.lost_acked_slots += lost as u64;
                     pm.discarded_dirty_slots = lost as u64;
-                    self.ftl.rollback_unpersisted();
+                    self.ftl.rollback_unpersisted(&self.nand);
                 }
                 pm.dump = Some(outcome);
             }
@@ -698,6 +743,13 @@ impl BlockDevice for Ssd {
         if let Some(tel) = &self.tel {
             tel.trace_begin("ssd", "postmortem_recovery", now);
         }
+        // Torn-erase sweep: a cut during an in-flight erase leaves the
+        // block refusing programs until it is erased again — but the FTL
+        // already recycled it. Repair before serving I/O; skipping this
+        // made the next frontier program on the block fail with
+        // `OutOfOrderProgram` (simtest fuzzer, `--target dura --seed 0`).
+        let (repair_done, repaired) = self.ftl.repair_media_after_cut(&mut self.nand, now);
+        self.xstats.torn_erase_repairs += repaired;
         let mut snap = RecoverySnap { device: "ssd".into(), ..Default::default() };
         let ready = match self.cfg.protection {
             CacheProtection::CapacitorBacked => {
@@ -731,6 +783,10 @@ impl BlockDevice for Ssd {
                 t
             }
         };
+        // The torn-block repair erases overlap the recharge/scan window but
+        // may outlast it; the device is not ready until both finish.
+        let ready = ready.max(repair_done);
+        self.last_arrival = self.last_arrival.max(ready);
         snap.ready_at = ready;
         self.recovery = Some(snap);
         if let Some(tel) = &self.tel {
@@ -1060,6 +1116,123 @@ mod tests {
         let mut buf = page(9);
         d.read(5, 1, &mut buf, t2).unwrap();
         assert_eq!(buf, page(0));
+    }
+
+    /// Regression, found by the simtest fuzzer (`--target dura --seed 3`,
+    /// minimal trace `w:8:4 tcw:11 r:11:3`): TRIM of a page whose latest
+    /// write is still un-acked, followed by a power cut before the ack.
+    /// The atomic writer's rollback restored the *pre-write* cache entry
+    /// from the in-flight record's pre-image, resurrecting data the TRIM
+    /// had already discarded — the read returned the old version instead
+    /// of zeros. `discard` must purge pre-images of trimmed lpns from the
+    /// in-flight records.
+    #[test]
+    fn trim_of_unacked_write_is_not_resurrected_by_cut_rollback() {
+        let mut d = dura();
+        // Acked baseline version on lpn 11.
+        let t = d.write(11, &page(1), 0).unwrap();
+        // New write (un-acked), TRIM while in flight, cut before the ack.
+        let t2 = d.write(11, &page(2), t).unwrap();
+        d.discard(11, 1, t).unwrap();
+        d.power_cut(t2 - 1);
+        let t3 = d.reboot(t2 + 1_000_000);
+        d.check_invariants().unwrap();
+        let mut buf = page(9);
+        d.read(11, 1, &mut buf, t3).unwrap();
+        assert_eq!(buf, page(0), "TRIM is the last surviving word on lpn 11");
+    }
+
+    /// Trim audit (durable path): a TRIM whose map change is still in the
+    /// unpersisted delta must survive a power cut. The capacitor dump
+    /// carries the delta across the cut, so the trimmed page stays zero
+    /// after recovery — it must NOT be resurrected from the journalled
+    /// (pre-trim) mapping.
+    #[test]
+    fn dura_unpersisted_trim_survives_power_cut() {
+        let mut d = dura();
+        let t = d.write(4, &page(3), 0).unwrap();
+        let t = d.flush(t).unwrap(); // journals the mapping: lpn 4 -> media
+        let t2 = d.discard(4, 1, t).unwrap(); // map change NOT yet journalled
+        d.power_cut(t2 + 1);
+        let t3 = d.reboot(t2 + 1_000_000);
+        d.check_invariants().unwrap();
+        let mut buf = page(9);
+        d.read(4, 1, &mut buf, t3).unwrap();
+        assert_eq!(buf, page(0), "capacitor dump must preserve the trim");
+    }
+
+    /// Trim audit (volatile path): an *unjournalled* TRIM is legitimately
+    /// lost on power cut. Volatile recovery replays the journal plus an
+    /// out-of-band scan, and the pre-trim copy is still physically intact
+    /// on flash with a journalled mapping — so the old data resurrects.
+    /// This mirrors real TRIM semantics: a discard is only durable once the
+    /// mapping change reaches the journal (i.e. after a flush).
+    #[test]
+    fn volatile_unflushed_trim_resurrects_old_data_after_cut() {
+        let mut d = volatile();
+        let t = d.write(4, &page(3), 0).unwrap();
+        let t = d.flush(t).unwrap(); // journals lpn 4 -> media copy
+        let t2 = d.discard(4, 1, t).unwrap(); // trim never journalled
+        d.power_cut(t2 + 1);
+        let t3 = d.reboot(t2 + 1_000_000);
+        d.check_invariants().unwrap();
+        let mut buf = page(9);
+        d.read(4, 1, &mut buf, t3).unwrap();
+        assert_eq!(buf, page(3), "unjournalled trim rolls back to the journalled mapping");
+    }
+
+    /// Trim audit (volatile path): once the TRIM's map change has been
+    /// journalled by a flush, it is strictly durable — the page stays zero
+    /// across a power cut and the old copy must not resurrect.
+    #[test]
+    fn volatile_flushed_trim_stays_durable_across_cut() {
+        let mut d = volatile();
+        let t = d.write(4, &page(3), 0).unwrap();
+        let t = d.flush(t).unwrap();
+        let t = d.discard(4, 1, t).unwrap();
+        let t2 = d.flush(t).unwrap(); // journals the trim
+        d.power_cut(t2 + 1);
+        let t3 = d.reboot(t2 + 1_000_000);
+        d.check_invariants().unwrap();
+        let mut buf = page(9);
+        d.read(4, 1, &mut buf, t3).unwrap();
+        assert_eq!(buf, page(0), "journalled trim is strictly durable");
+    }
+
+    /// Regression, found by the simtest fuzzer (`--target dura --seed 0`,
+    /// minimal trace `g:42:45 g:162:57 cut cw:6:1 tcw:9 g:90:46 cw:11:4
+    /// w:101:4`): a power cut landing while a GC erase is still in flight
+    /// leaves the victim block *torn* (NAND refuses to program it until
+    /// re-erased), but the FTL had already returned it to the free pool.
+    /// The next time the block was handed out as a write frontier every
+    /// program failed with `OutOfOrderProgram { expected: u32::MAX }`.
+    /// Reboot must sweep for torn erases and re-erase before serving I/O.
+    #[test]
+    fn torn_gc_erase_is_repaired_on_reboot() {
+        let mut d = dura();
+        let cap = d.capacity_pages();
+        let mut t = 0;
+        let mut i = 0u64;
+        // Cycle: churn until a fresh GC erase fires, then cut immediately —
+        // the write ack precedes the erase completion by design, so the cut
+        // lands inside the erase window and tears it. Repeat a few times to
+        // hit several victims.
+        for _ in 0..4 {
+            let before = d.ftl_stats().gc_erases;
+            while d.ftl_stats().gc_erases == before {
+                t = d.write(i % cap, &page((i % 200) as u8), t).unwrap();
+                i += 1;
+            }
+            d.power_cut(t);
+            t = d.reboot(t + 1_000_000);
+            d.check_invariants().unwrap();
+        }
+        // The torn victims re-enter service as frontiers under more churn:
+        // with the bug this panicked inside the FTL's frontier program.
+        for j in 0..cap * 3 {
+            t = d.write(j % cap, &page((j % 199) as u8), t).unwrap();
+        }
+        d.check_invariants().unwrap();
     }
 
     #[test]

@@ -47,6 +47,21 @@ impl From<DevError> for Error {
     }
 }
 
+impl Error {
+    /// Collapse back into a device-level error at the [`BlockDevice`]
+    /// boundary (`storage::device::BlockDevice` methods return
+    /// `DevResult`): device variants pass through, anything else is
+    /// reported as a media failure with its message preserved.
+    ///
+    /// [`BlockDevice`]: storage::device::BlockDevice
+    pub fn into_dev(self) -> DevError {
+        match self {
+            Error::Dev(d) => d,
+            other => DevError::Media { what: other.to_string() },
+        }
+    }
+}
+
 /// Result alias over the unified [`Error`].
 pub type Result<T> = std::result::Result<T, Error>;
 

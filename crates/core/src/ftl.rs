@@ -16,8 +16,10 @@
 //!   power-failure dump never waits for an erase.
 
 use crate::config::SsdConfig;
+use crate::error::{Error, Result};
 use nand::{NandArray, NandError};
 use simkit::Nanos;
+use storage::device::DevError;
 use telemetry::Telemetry;
 
 /// Sentinel: logical page not mapped / slot not in use.
@@ -254,6 +256,20 @@ impl Ftl {
         let old = self.map[lpn as usize];
         self.note_map_change(lpn, old);
         self.invalidate(old);
+        // Evict a phantom owner. The slot being programmed sits on a freshly
+        // erased frontier page, so any surviving reverse-map entry is stale —
+        // it can only come from a mapping rollback that restored a pre-cut
+        // owner whose block was recycled after the persist point. Leaving the
+        // phantom's forward pointer in place breaks the map/rmap bijection on
+        // the next audit (simtest fuzzer, `--target volatile --seed 12`).
+        let phantom = self.rmap[slot as usize];
+        if phantom != NONE {
+            if self.map[phantom as usize] == slot {
+                self.note_map_change(phantom, slot);
+                self.map[phantom as usize] = NONE;
+            }
+            self.invalidate(slot);
+        }
         self.map[lpn as usize] = slot;
         self.rmap[slot as usize] = lpn;
         self.valid[(slot / self.slots_per_block as u64) as usize] += 1;
@@ -275,16 +291,18 @@ impl Ftl {
     /// Program up to `spp` slots as one physical page on the next
     /// round-robin plane. Returns the NAND completion time.
     ///
-    /// Triggers GC first if the target plane is short on free blocks.
+    /// Triggers GC first if the target plane is short on free blocks; a
+    /// media failure inside GC propagates as [`Error`] instead of aborting
+    /// the process.
     pub fn program_slots(
         &mut self,
         nand: &mut NandArray,
         items: &[(u64, &[u8])],
         now: Nanos,
-    ) -> Nanos {
+    ) -> Result<Nanos> {
         assert!(!items.is_empty() && items.len() <= self.spp, "bad pair size");
         let plane = self.next_plane();
-        let gc_end = self.maybe_gc(nand, plane, now);
+        let gc_end = self.maybe_gc(nand, plane, now)?;
         if gc_end > now {
             // The foreground program queues behind the GC work on this
             // plane: the whole episode is a host-visible GC pause, recorded
@@ -303,7 +321,7 @@ impl Ftl {
         }
         self.stats.data_programs += 1;
         self.stats.slots_programmed += items.len() as u64;
-        done
+        Ok(done)
     }
 
     /// Program `items` on a specific plane's frontier (shared by the host
@@ -353,7 +371,7 @@ impl Ftl {
     /// Run GC on `plane` until its free pool is back above the threshold.
     /// Returns the virtual time at which the GC work completes (`now` when
     /// no GC ran).
-    fn maybe_gc(&mut self, nand: &mut NandArray, plane: usize, now: Nanos) -> Nanos {
+    fn maybe_gc(&mut self, nand: &mut NandArray, plane: usize, now: Nanos) -> Result<Nanos> {
         let mut guard = 0;
         let mut t = now;
         while self.plane_free[plane].len() < self.gc_threshold {
@@ -361,11 +379,11 @@ impl Ftl {
             assert!(guard < 1024, "GC cannot make progress (device over-filled?)");
             let Some(victim) = self.pick_victim(nand, plane) else {
                 // Nothing sealed to collect yet; rely on remaining frontier.
-                return t;
+                return Ok(t);
             };
-            t = self.collect(nand, plane, victim, t);
+            t = self.collect(nand, plane, victim, t)?;
         }
-        t
+        Ok(t)
     }
 
     /// Victim selection: greedy by valid count, wear-aware tie-breaking.
@@ -402,8 +420,15 @@ impl Ftl {
     }
 
     /// Relocate a victim block's valid slots and erase it. Returns the
-    /// completion time of the final erase.
-    fn collect(&mut self, nand: &mut NandArray, plane: usize, victim: u32, now: Nanos) -> Nanos {
+    /// completion time of the final erase, or an [`Error`] if a victim page
+    /// read fails for a reason other than shorn/unwritten media.
+    fn collect(
+        &mut self,
+        nand: &mut NandArray,
+        plane: usize,
+        victim: u32,
+        now: Nanos,
+    ) -> Result<Nanos> {
         let geo = *nand.geometry();
         let pages_per_block = geo.pages_per_block as u32;
         // Stage survivors flat in the reusable GC scratch (parallel arrays:
@@ -440,14 +465,27 @@ impl Ftl {
                         let lpn = self.rmap[s as usize];
                         if lpn != NONE {
                             // Defensive: drop the mapping rather than
-                            // propagate garbage.
+                            // propagate garbage. The drop must enter the
+                            // unpersisted delta like any other map change,
+                            // or a later rollback resurrects the lpn into
+                            // the erased victim block.
+                            self.note_map_change(lpn, s);
                             self.map[lpn as usize] = NONE;
                             self.invalidate(s);
                         }
                     }
                     continue;
                 }
-                Err(e) => panic!("GC read failed: {e}"),
+                Err(e) => {
+                    // Restore the scratch buffers before bailing so a failed
+                    // collection does not leak the staging capacity.
+                    self.read_scratch = read_buf;
+                    self.gc_lpns = gc_lpns;
+                    self.gc_data = gc_data;
+                    return Err(Error::Dev(DevError::Media {
+                        what: format!("GC read of block {victim} page {page} failed: {e}"),
+                    }));
+                }
             }
             for &i in &live[..n_live] {
                 let lpn = self.rmap[(base_slot + i as u64) as usize];
@@ -482,22 +520,24 @@ impl Ftl {
         // block resolves them to zero by definition.
         self.valid[victim as usize] = 0;
         self.plane_free[plane].push(victim);
-        end
+        Ok(end)
     }
 
-    /// Read the slot of `lpn` into `buf` (4KB).
+    /// Read the slot of `lpn` into `buf` (4KB). A media failure other than
+    /// shorn/unwritten flash propagates as [`Error`] instead of aborting
+    /// the process.
     pub fn read_slot(
         &mut self,
         nand: &mut NandArray,
         lpn: u64,
         buf: &mut [u8],
         now: Nanos,
-    ) -> SlotRead {
+    ) -> Result<SlotRead> {
         assert_eq!(buf.len(), 4096);
         let slot = self.map[lpn as usize];
         if slot == NONE {
             buf.fill(0);
-            return SlotRead::Unmapped;
+            return Ok(SlotRead::Unmapped);
         }
         let ppn = slot / self.spp as u64;
         let idx = (slot % self.spp as u64) as usize;
@@ -506,12 +546,14 @@ impl Ftl {
         let out = match res {
             Ok(done) => {
                 buf.copy_from_slice(&page[idx * 4096..(idx + 1) * 4096]);
-                SlotRead::Ok(done)
+                Ok(SlotRead::Ok(done))
             }
             // Shorn program, or mapping pointing at erased flash after a
             // rollback: both surface as unreadable data.
-            Err(NandError::Shorn { .. }) | Err(NandError::Unwritten { .. }) => SlotRead::Shorn,
-            Err(e) => panic!("read of mapped slot failed: {e}"),
+            Err(NandError::Shorn { .. }) | Err(NandError::Unwritten { .. }) => Ok(SlotRead::Shorn),
+            Err(e) => Err(Error::Dev(DevError::Media {
+                what: format!("read of mapped slot for lpn {lpn} failed: {e}"),
+            })),
         };
         self.read_scratch = page;
         out
@@ -574,32 +616,317 @@ impl Ftl {
         true
     }
 
-    /// Roll the mapping back to the last persisted state (volatile cache
-    /// power cut): every un-journalled update reverts.
-    pub fn rollback_unpersisted(&mut self) {
+    /// Reconstruct the mapping after a power cut on a volatile-cache
+    /// device, modelling the journal-plus-out-of-band boot scan of a
+    /// conventional SSD: the RAM mapping table is gone, the journal holds
+    /// the last persisted state, and the boot scan walks pages programmed
+    /// since then to find newer durable copies. For every lpn changed
+    /// since the last persist the surviving mapping is therefore
+    ///
+    /// 1. its **current** slot, when that program physically completed
+    ///    before the cut (the scan finds the newest intact copy);
+    /// 2. else its **journalled** pre-persist slot, when that page still
+    ///    exists (not sheared, its block not erased) and no newer copy
+    ///    claimed the slot;
+    /// 3. else unmapped.
+    ///
+    /// Call only after [`NandArray::power_cut`] has sheared in-flight
+    /// programs and resolved in-flight erases, so "intact" reflects the
+    /// post-cut media.
+    ///
+    /// Two-phase on purpose. A slot can appear as one lpn's *pre-persist*
+    /// home and another lpn's *current* home in the same delta (host write
+    /// moved A off slot S, GC later parked B on the recycled S). A single
+    /// interleaved pass is order-dependent: restoring A's `rmap[S] = A`
+    /// first and then detaching B (`invalidate(S)`) clobbers the restore
+    /// and leaves `map[A] = S` with `rmap[S] = NONE`. Detach everything,
+    /// then resolve — newest copies first, journal fallbacks second, so an
+    /// out-of-date journal entry never steals a slot whose data now
+    /// belongs to a newer lpn. (Both found by the simtest fuzzer:
+    /// `--target volatile --seed 15` for the clobber, `--seed 9` for the
+    /// journal pointing into a GC-erased block.)
+    pub fn rollback_unpersisted(&mut self, nand: &NandArray) {
         let list = std::mem::take(&mut self.up_list);
+        // Phase 1: detach every changed lpn's current mapping, remembering
+        // it as the newest-copy candidate.
+        let mut curs = std::mem::take(&mut self.gc_lpns); // reuse scratch
+        curs.clear();
         for &lpn in &list {
-            let old_slot = self.up_old[lpn as usize];
             let cur = self.map[lpn as usize];
+            curs.push(cur);
             if cur != NONE {
                 self.invalidate(cur);
+                self.map[lpn as usize] = NONE;
             }
-            self.map[lpn as usize] = old_slot;
-            if old_slot != NONE {
-                // The old slot's physical data still exists (it was never
-                // erased: GC erases only unmapped... see note below). Restore
-                // reverse mapping defensively.
+        }
+        // Phase 2a: newest durable copies win (the boot scan finds them).
+        for (i, &lpn) in list.iter().enumerate() {
+            let cur = curs[i];
+            if cur != NONE && self.slot_intact(nand, cur) && self.rmap[cur as usize] == NONE {
+                self.map[lpn as usize] = cur;
+                self.rmap[cur as usize] = lpn;
+                self.valid[(cur / self.slots_per_block as u64) as usize] += 1;
+            }
+        }
+        // Phase 2b: fall back to the journalled home when it is still
+        // physically readable and unclaimed.
+        for &lpn in &list {
+            if self.map[lpn as usize] != NONE {
+                continue;
+            }
+            let old_slot = self.up_old[lpn as usize];
+            if old_slot != NONE
+                && self.slot_intact(nand, old_slot)
+                && self.rmap[old_slot as usize] == NONE
+            {
+                self.map[lpn as usize] = old_slot;
                 self.rmap[old_slot as usize] = lpn;
                 self.valid[(old_slot / self.slots_per_block as u64) as usize] += 1;
             }
         }
+        self.gc_lpns = curs;
         self.up_list = list;
         self.clear_unpersisted();
+    }
+
+    /// Whether the physical page holding `slot` still carries fully
+    /// programmed data.
+    fn slot_intact(&self, nand: &NandArray, slot: u64) -> bool {
+        nand.page_intact(slot / self.spp as u64)
+    }
+
+    /// Reconcile the FTL's bookkeeping with the post-power-cut NAND state
+    /// at reboot. Two kinds of damage need repair (both found by the
+    /// simtest fuzzer, `--target dura --seed 0` and the torn-erase
+    /// regression in `device.rs`):
+    ///
+    /// * **Torn erases** — a cut mid-erase leaves the block refusing
+    ///   programs until erased again, but the FTL has already recycled it
+    ///   (a GC victim re-enters the free pool, may even have reopened as a
+    ///   write frontier with sheared programs on it). Every page resident
+    ///   on a torn block was programmed after the erase was issued, so it
+    ///   is shorn: drop its mappings (same policy as the shorn-read branch
+    ///   of GC relocation), re-erase, and reset any frontier/meta cursor.
+    ///
+    /// * **Restored erases** — a cut *before* the erase pulse started
+    ///   restores the block's old contents, so a block the FTL recycled as
+    ///   free/frontier/meta suddenly has data on it again. If recovery
+    ///   re-adopted mappings into it (journal fallback), seal it and let
+    ///   GC reclaim it later; if it only holds garbage, erase it. Open
+    ///   frontier/meta cursors resync to the NAND write position.
+    ///
+    /// Returns the completion time of the last repair erase and the number
+    /// of blocks repaired.
+    pub fn repair_media_after_cut(&mut self, nand: &mut NandArray, now: Nanos) -> (Nanos, u64) {
+        let mut done = now;
+        let mut repaired = 0u64;
+        for b in 0..self.role.len() as u32 {
+            let bi = b as usize;
+            if nand.has_torn_erase(b) {
+                // Drop every mapping into the block: its resident pages
+                // are all shorn (programmed after the torn erase was
+                // issued).
+                let base = b as u64 * self.slots_per_block as u64;
+                for s in base..base + self.slots_per_block as u64 {
+                    let lpn = self.rmap[s as usize];
+                    if lpn == NONE {
+                        continue;
+                    }
+                    if self.map[lpn as usize] == s {
+                        self.note_map_change(lpn, s);
+                        self.map[lpn as usize] = NONE;
+                    }
+                    self.rmap[s as usize] = NONE;
+                }
+                self.valid[bi] = 0;
+                let d = nand.erase(b, now).expect("re-erase of a torn block is always in range");
+                done = done.max(d);
+                repaired += 1;
+                for f in self.frontier.iter_mut() {
+                    if f.0 == b {
+                        f.1 = 0;
+                    }
+                }
+                for (plane, &m) in self.meta_block.iter().enumerate() {
+                    if m == b {
+                        self.meta_next[plane] = 0;
+                    }
+                }
+                continue;
+            }
+            let nand_next = nand.next_free_page(b);
+            match self.role[bi] {
+                Role::Free if nand_next != 0 => {
+                    // A restored erase re-filled a recycled block.
+                    if self.valid[bi] == 0 {
+                        // Garbage only: erase it back to a truly free state.
+                        let d = nand.erase(b, now).expect("free block in range");
+                        done = done.max(d);
+                    } else {
+                        // Recovery re-adopted data here: pull it out of the
+                        // free pool and let GC reclaim it normally.
+                        let plane = bi % self.planes;
+                        self.plane_free[plane].retain(|&x| x != b);
+                        self.role[bi] = Role::Sealed;
+                    }
+                    repaired += 1;
+                }
+                Role::Frontier => {
+                    for f in self.frontier.iter_mut() {
+                        if f.0 == b && f.1 != nand_next {
+                            // Resync the cursor; a full block seals itself
+                            // on the next program.
+                            f.1 = nand_next;
+                            repaired += 1;
+                        }
+                    }
+                }
+                Role::Meta => {
+                    for (plane, &m) in self.meta_block.iter().enumerate() {
+                        if m == b && self.meta_next[plane] != nand_next {
+                            self.meta_next[plane] = nand_next;
+                            repaired += 1;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        (done, repaired)
     }
 
     /// Total free blocks (all planes) — test instrumentation.
     pub fn free_blocks(&self) -> usize {
         self.plane_free.iter().map(Vec::len).sum()
+    }
+
+    /// Structural audit of the FTL's internal bookkeeping, for the
+    /// simulation-test harness (cheap enough to run after every step on
+    /// test geometries; debug builds of the device call it from
+    /// [`crate::Ssd::check_invariants`]).
+    ///
+    /// Checked invariants:
+    ///
+    /// 1. **map → rmap**: every mapped lpn's slot points back at it;
+    /// 2. **rmap → map**: every slot owner's forward mapping agrees;
+    /// 3. **valid counts**: `valid[b]` equals the number of rmap entries in
+    ///    block `b`, for every block;
+    /// 4. **role partition**: the free pools hold exactly the `Free` blocks
+    ///    of their plane (no duplicates), each plane's frontier/meta block
+    ///    has the matching role, dump blocks keep the `Dump` role;
+    /// 5. **meta/dump hygiene**: journal and dump blocks never hold data
+    ///    slots (`valid == 0`, no rmap entries);
+    /// 6. **frontier position**: the per-plane frontier cursor agrees with
+    ///    the NAND array's next programmable page of that block;
+    /// 7. **unpersisted overlay**: `up_list` has no duplicates, every listed
+    ///    lpn is marked with the current epoch and lies inside the map.
+    pub fn check_invariants(&self, nand: &NandArray) -> std::result::Result<(), String> {
+        // 1. map → rmap.
+        for (lpn, &slot) in self.map.iter().enumerate() {
+            if slot == NONE {
+                continue;
+            }
+            if slot as usize >= self.rmap.len() {
+                return Err(format!("map[{lpn}] = {slot} beyond physical slots"));
+            }
+            let owner = self.rmap[slot as usize];
+            if owner != lpn as u64 {
+                return Err(format!(
+                    "map/rmap bijection broken: map[{lpn}] = {slot} but rmap[{slot}] = {owner}"
+                ));
+            }
+        }
+        // 2. rmap → map, and 3. per-block valid counts.
+        let mut counted = vec![0u32; self.valid.len()];
+        for (slot, &lpn) in self.rmap.iter().enumerate() {
+            if lpn == NONE {
+                continue;
+            }
+            counted[slot / self.slots_per_block as usize] += 1;
+            let fwd = self.map.get(lpn as usize).copied().unwrap_or(NONE);
+            if fwd != slot as u64 {
+                return Err(format!(
+                    "rmap/map bijection broken: rmap[{slot}] = {lpn} but map[{lpn}] = {fwd}"
+                ));
+            }
+        }
+        for (b, (&have, &want)) in self.valid.iter().zip(counted.iter()).enumerate() {
+            if have != want {
+                return Err(format!(
+                    "valid count drift on block {b}: valid[] = {have}, rmap says {want}"
+                ));
+            }
+        }
+        // 4. Role partition vs the free pools / frontier / meta / dump sets.
+        let mut seen_free = vec![false; self.role.len()];
+        for (plane, free) in self.plane_free.iter().enumerate() {
+            for &b in free {
+                let bi = b as usize;
+                if bi % self.planes != plane {
+                    return Err(format!("block {b} in free pool of wrong plane {plane}"));
+                }
+                if seen_free[bi] {
+                    return Err(format!("block {b} appears twice in the free pools"));
+                }
+                seen_free[bi] = true;
+                if self.role[bi] != Role::Free {
+                    return Err(format!("free-pool block {b} has role {:?}", self.role[bi]));
+                }
+            }
+        }
+        for (bi, &role) in self.role.iter().enumerate() {
+            if role == Role::Free && !seen_free[bi] {
+                return Err(format!("block {bi} is Free but missing from its plane's pool"));
+            }
+        }
+        for (plane, &(b, next)) in self.frontier.iter().enumerate() {
+            if self.role[b as usize] != Role::Frontier {
+                return Err(format!(
+                    "frontier block {b} of plane {plane} has role {:?}",
+                    self.role[b as usize]
+                ));
+            }
+            // 6. The frontier cursor is in page units on the NAND side.
+            let nand_next = nand.next_free_page(b);
+            if nand_next != next {
+                return Err(format!(
+                    "frontier drift on plane {plane}: cursor at page {next}, NAND at {nand_next}"
+                ));
+            }
+        }
+        for (plane, &m) in self.meta_block.iter().enumerate() {
+            if self.role[m as usize] != Role::Meta {
+                return Err(format!(
+                    "meta block {m} of plane {plane} has role {:?}",
+                    self.role[m as usize]
+                ));
+            }
+        }
+        for &d in &self.dump_blocks {
+            if self.role[d as usize] != Role::Dump {
+                return Err(format!("dump block {d} has role {:?}", self.role[d as usize]));
+            }
+        }
+        // 5. Meta/dump blocks never hold data slots.
+        for (bi, &role) in self.role.iter().enumerate() {
+            if matches!(role, Role::Meta | Role::Dump) && self.valid[bi] != 0 {
+                return Err(format!("{role:?} block {bi} holds {} data slots", self.valid[bi]));
+            }
+        }
+        // 7. Unpersisted overlay consistency.
+        let mut listed = std::collections::HashSet::with_capacity(self.up_list.len());
+        for &lpn in &self.up_list {
+            if lpn as usize >= self.map.len() {
+                return Err(format!("unpersisted lpn {lpn} outside the logical space"));
+            }
+            if !listed.insert(lpn) {
+                return Err(format!("unpersisted lpn {lpn} listed twice"));
+            }
+            if self.up_mark[lpn as usize] != self.up_epoch {
+                return Err(format!("unpersisted lpn {lpn} carries a stale epoch mark"));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -621,9 +948,9 @@ mod tests {
     fn write_then_read_round_trips() {
         let (mut ftl, mut nand) = setup();
         let d = slot_data(7);
-        let done = ftl.program_slots(&mut nand, &[(3, &d)], 0);
+        let done = ftl.program_slots(&mut nand, &[(3, &d)], 0).unwrap();
         let mut buf = vec![0u8; 4096];
-        assert!(matches!(ftl.read_slot(&mut nand, 3, &mut buf, done), SlotRead::Ok(_)));
+        assert!(matches!(ftl.read_slot(&mut nand, 3, &mut buf, done).unwrap(), SlotRead::Ok(_)));
         assert_eq!(buf, d);
     }
 
@@ -631,7 +958,7 @@ mod tests {
     fn unmapped_reads_zero() {
         let (mut ftl, mut nand) = setup();
         let mut buf = vec![1u8; 4096];
-        assert_eq!(ftl.read_slot(&mut nand, 9, &mut buf, 0), SlotRead::Unmapped);
+        assert_eq!(ftl.read_slot(&mut nand, 9, &mut buf, 0).unwrap(), SlotRead::Unmapped);
         assert_eq!(buf, vec![0u8; 4096]);
     }
 
@@ -640,13 +967,13 @@ mod tests {
         let (mut ftl, mut nand) = setup();
         let a = slot_data(1);
         let b = slot_data(2);
-        ftl.program_slots(&mut nand, &[(10, &a), (11, &b)], 0);
+        ftl.program_slots(&mut nand, &[(10, &a), (11, &b)], 0).unwrap();
         assert_eq!(ftl.stats().data_programs, 1);
         assert_eq!(ftl.stats().slots_programmed, 2);
         let (sa, sb) = (ftl.slot_of(10).unwrap(), ftl.slot_of(11).unwrap());
         assert_eq!(sa / 2, sb / 2, "both slots on the same NAND page");
         let mut buf = vec![0u8; 4096];
-        ftl.read_slot(&mut nand, 11, &mut buf, 10_000_000);
+        ftl.read_slot(&mut nand, 11, &mut buf, 10_000_000).unwrap();
         assert_eq!(buf, b);
     }
 
@@ -655,13 +982,13 @@ mod tests {
         let (mut ftl, mut nand) = setup();
         let a = slot_data(1);
         let b = slot_data(2);
-        ftl.program_slots(&mut nand, &[(5, &a)], 0);
+        ftl.program_slots(&mut nand, &[(5, &a)], 0).unwrap();
         let s1 = ftl.slot_of(5).unwrap();
-        ftl.program_slots(&mut nand, &[(5, &b)], 1_000_000);
+        ftl.program_slots(&mut nand, &[(5, &b)], 1_000_000).unwrap();
         let s2 = ftl.slot_of(5).unwrap();
         assert_ne!(s1, s2, "flash never overwrites in place");
         let mut buf = vec![0u8; 4096];
-        ftl.read_slot(&mut nand, 5, &mut buf, 10_000_000);
+        ftl.read_slot(&mut nand, 5, &mut buf, 10_000_000).unwrap();
         assert_eq!(buf, b);
     }
 
@@ -673,7 +1000,7 @@ mod tests {
         // all four complete in roughly one program time.
         let mut last = 0;
         for i in 0..4 {
-            last = ftl.program_slots(&mut nand, &[(i, &d)], 0);
+            last = ftl.program_slots(&mut nand, &[(i, &d)], 0).unwrap();
         }
         let geo = *nand.geometry();
         assert!(last < 2 * geo.t_program, "four programs should overlap: {last}");
@@ -687,14 +1014,14 @@ mod tests {
         for round in 0..40u64 {
             for lpn in 0..32u64 {
                 let d = slot_data((round % 251) as u8);
-                t = ftl.program_slots(&mut nand, &[(lpn, &d), (lpn + 32, &d)], t);
+                t = ftl.program_slots(&mut nand, &[(lpn, &d), (lpn + 32, &d)], t).unwrap();
             }
         }
         assert!(ftl.stats().gc_erases > 0, "churn must trigger GC");
         // All data still readable with the latest value.
         let mut buf = vec![0u8; 4096];
         for lpn in 0..32u64 {
-            assert!(matches!(ftl.read_slot(&mut nand, lpn, &mut buf, t), SlotRead::Ok(_)));
+            assert!(matches!(ftl.read_slot(&mut nand, lpn, &mut buf, t).unwrap(), SlotRead::Ok(_)));
             assert_eq!(buf[0], 39);
         }
         assert!(ftl.free_blocks() > 0);
@@ -704,8 +1031,8 @@ mod tests {
     fn mapping_persist_clears_delta_and_writes_meta() {
         let (mut ftl, mut nand) = setup();
         let d = slot_data(1);
-        ftl.program_slots(&mut nand, &[(1, &d)], 0);
-        ftl.program_slots(&mut nand, &[(2, &d)], 0);
+        ftl.program_slots(&mut nand, &[(1, &d)], 0).unwrap();
+        ftl.program_slots(&mut nand, &[(2, &d)], 0).unwrap();
         assert_eq!(ftl.unpersisted_entries(), 2);
         ftl.persist_mapping(&mut nand, 10_000_000);
         assert_eq!(ftl.unpersisted_entries(), 0);
@@ -713,33 +1040,55 @@ mod tests {
     }
 
     #[test]
-    fn rollback_restores_pre_persist_mapping() {
+    fn rollback_restores_pre_persist_mapping_when_new_copy_sheared() {
         let (mut ftl, mut nand) = setup();
         let a = slot_data(1);
         let b = slot_data(2);
-        ftl.program_slots(&mut nand, &[(5, &a)], 0);
+        ftl.program_slots(&mut nand, &[(5, &a)], 0).unwrap();
         let t = ftl.persist_mapping(&mut nand, 5_000_000);
         let s_old = ftl.slot_of(5).unwrap();
-        // Unpersisted overwrite...
-        ftl.program_slots(&mut nand, &[(5, &b)], t);
+        // Unpersisted overwrite whose program shears at the cut...
+        let done = ftl.program_slots(&mut nand, &[(5, &b)], t).unwrap();
         assert_ne!(ftl.slot_of(5).unwrap(), s_old);
-        // ...vanishes at rollback: reads see the old value again.
-        ftl.rollback_unpersisted();
+        nand.power_cut(done - 1);
+        // ...so recovery falls back to the journalled home: reads see the
+        // old value again.
+        ftl.rollback_unpersisted(&nand);
         assert_eq!(ftl.slot_of(5).unwrap(), s_old);
         let mut buf = vec![0u8; 4096];
-        ftl.read_slot(&mut nand, 5, &mut buf, 20_000_000);
+        ftl.read_slot(&mut nand, 5, &mut buf, 20_000_000).unwrap();
         assert_eq!(buf, a);
     }
 
     #[test]
-    fn rollback_of_fresh_write_unmaps() {
+    fn rollback_keeps_durable_unjournalled_copies() {
+        // The boot scan finds copies that completed before the cut even if
+        // the journal never recorded them: an acked-but-unjournalled write
+        // survives (it may legitimately survive on real hardware too — the
+        // oracle treats such lpns as fuzzy after a cut).
+        let (mut ftl, mut nand) = setup();
+        let b = slot_data(2);
+        let done = ftl.program_slots(&mut nand, &[(5, &b)], 0).unwrap();
+        let s_new = ftl.slot_of(5).unwrap();
+        nand.power_cut(done); // exactly at completion: the program is stable
+        ftl.rollback_unpersisted(&nand);
+        assert_eq!(ftl.slot_of(5), Some(s_new));
+        let mut buf = vec![0u8; 4096];
+        ftl.read_slot(&mut nand, 5, &mut buf, 20_000_000).unwrap();
+        assert_eq!(buf, b);
+        ftl.check_invariants(&nand).unwrap();
+    }
+
+    #[test]
+    fn rollback_of_sheared_fresh_write_unmaps() {
         let (mut ftl, mut nand) = setup();
         let d = slot_data(3);
-        ftl.program_slots(&mut nand, &[(7, &d)], 0);
-        ftl.rollback_unpersisted();
+        let done = ftl.program_slots(&mut nand, &[(7, &d)], 0).unwrap();
+        nand.power_cut(done - 1);
+        ftl.rollback_unpersisted(&nand);
         assert_eq!(ftl.slot_of(7), None);
         let mut buf = vec![1u8; 4096];
-        assert_eq!(ftl.read_slot(&mut nand, 7, &mut buf, 10_000_000), SlotRead::Unmapped);
+        assert_eq!(ftl.read_slot(&mut nand, 7, &mut buf, 10_000_000).unwrap(), SlotRead::Unmapped);
     }
 
     #[test]
@@ -747,5 +1096,118 @@ mod tests {
         let cfg = SsdConfig::tiny_test();
         let ftl = Ftl::new(&cfg);
         assert_eq!(ftl.dump_blocks().len(), cfg.geometry.planes() * cfg.dump_reserve_blocks);
+    }
+
+    /// Build the state both rollback regressions need: persist a mapping
+    /// for lpns 0..64, trim them all (un-journalled — their home blocks go
+    /// `valid == 0` and are prime GC victims), then churn a disjoint lpn
+    /// range until GC has erased and recycled those blocks so fresh writes
+    /// land on the trimmed lpns' pre-persist slots. First-touch order in
+    /// the unpersisted delta now puts each trimmed lpn *before* the new
+    /// occupant of its old slot — exactly the order the single-pass
+    /// rollback clobbered. Returns the virtual time reached.
+    fn churn_past_gc_then(f: impl FnOnce(&mut Ftl, &mut NandArray, Nanos)) {
+        let (mut ftl, mut nand) = setup();
+        let d = slot_data(7);
+        let mut t = 0;
+        for lpn in 0..64u64 {
+            t = ftl.program_slots(&mut nand, &[(lpn, &d)], t).unwrap();
+        }
+        t = ftl.persist_mapping(&mut nand, t);
+        for lpn in 0..64u64 {
+            assert!(ftl.trim(lpn));
+        }
+        let before = ftl.stats().gc_erases;
+        let mut guard = 0;
+        while ftl.stats().gc_erases < before + 8 {
+            for lpn in 200..264u64 {
+                t = ftl.program_slots(&mut nand, &[(lpn, &d)], t).unwrap();
+            }
+            guard += 1;
+            assert!(guard < 1024, "GC never triggered");
+        }
+        f(&mut ftl, &mut nand, t);
+    }
+
+    /// Regression (simtest fuzzer, `--target volatile --seed 15`): a slot
+    /// can be one lpn's pre-persist home and another lpn's current home in
+    /// the same unpersisted delta. The old single-pass rollback was
+    /// order-dependent and left `map[a] = s` with `rmap[s] = NONE`; the
+    /// trimmed lpns' journalled homes are also physically gone (their
+    /// blocks were GC-erased), so resurrection must not happen either.
+    #[test]
+    fn rollback_after_gc_recycling_keeps_bijection() {
+        churn_past_gc_then(|ftl, nand, _t| {
+            ftl.rollback_unpersisted(nand);
+            ftl.check_invariants(nand).expect("map/rmap bijection after rollback");
+            // The churned lpns' newest copies are durable (no cut): kept.
+            for lpn in 200..264u64 {
+                assert!(ftl.slot_of(lpn).is_some(), "durable copy of lpn {lpn} kept");
+            }
+        });
+    }
+
+    /// Regression (simtest fuzzer, `--target volatile --seed 12`): a
+    /// mapping rollback can restore an owner into a block that GC recycled
+    /// after the persist point — including the currently *open* write
+    /// frontier. The next program on such a slot must evict the phantom
+    /// owner; leaving its forward pointer in place broke the map/rmap
+    /// bijection. The test plants exactly the reverse-map state rollback
+    /// phase 2 produces, on the slot the next plane-0 program will take.
+    #[test]
+    fn program_over_rolled_back_phantom_owner_evicts_it() {
+        let (mut ftl, mut nand) = setup();
+        let d = slot_data(9);
+        let mut t = ftl.program_slots(&mut nand, &[(5, &d)], 0).unwrap();
+        // The slot the next plane-0 frontier program will occupy.
+        let (b, n) = ftl.frontier[0];
+        let planted = nand.geometry().make_ppn(b, n) * ftl.spp as u64;
+        // What rollback does when lpn 6's pre-persist home is that slot:
+        ftl.map[6] = planted;
+        ftl.rmap[planted as usize] = 6;
+        ftl.valid[b as usize] += 1;
+        // Round-robin the other planes, then land on the planted slot.
+        for lpn in [7u64, 8, 9, 10] {
+            t = ftl.program_slots(&mut nand, &[(lpn, &d)], t).unwrap();
+        }
+        assert_eq!(ftl.slot_of(10), Some(planted), "test drives the planted slot");
+        assert_eq!(ftl.slot_of(6), None, "phantom owner must be evicted");
+        ftl.check_invariants(&nand).expect("bijection after programming over a phantom");
+    }
+
+    /// Regression for the GC shorn-read branch: dropping a mapping during
+    /// relocation must enter the unpersisted delta, or a later rollback
+    /// resurrects the lpn into the erased victim block and breaks the
+    /// bijection audit.
+    #[test]
+    fn gc_shorn_drop_is_recorded_in_unpersisted_delta() {
+        let (mut ftl, mut nand) = setup();
+        let d = slot_data(5);
+        // Shear lpn 500's program mid-flight: its slot stays mapped but the
+        // page refuses reads (this models a capacitor-backed device whose
+        // pre-cut drain program tore).
+        let done = ftl.program_slots(&mut nand, &[(500, &d)], 0).unwrap();
+        nand.power_cut(done - 1);
+        // The mapping to the shorn page is part of the journalled state.
+        let mut t = ftl.persist_mapping(&mut nand, done);
+        let shorn_slot = ftl.slot_of(500).unwrap();
+        // Churn other lpns until GC collects the shorn page's block.
+        let mut guard = 0;
+        while ftl.slot_of(500) == Some(shorn_slot) {
+            for lpn in 0..64u64 {
+                t = ftl.program_slots(&mut nand, &[(lpn, &d)], t).unwrap();
+            }
+            guard += 1;
+            assert!(guard < 256, "GC never collected the shorn block");
+        }
+        // The defensive drop must be in the delta like any map change...
+        assert_eq!(ftl.slot_of(500), None, "shorn slot is dropped, not relocated");
+        assert!(
+            ftl.unpersisted_delta().iter().any(|&(lpn, old)| lpn == 500 && old == Some(shorn_slot)),
+            "GC's defensive drop of lpn 500 must enter the unpersisted delta"
+        );
+        // ...so the post-rollback state passes the structural audit.
+        ftl.rollback_unpersisted(&nand);
+        ftl.check_invariants(&nand).expect("bijection after rollback over a GC shorn-drop");
     }
 }

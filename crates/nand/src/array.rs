@@ -75,6 +75,22 @@ struct PageState {
     shorn: bool,
 }
 
+/// An erase whose completion lies in the future. The block's old contents
+/// stay parked here until the erase completes (they drop back to the buffer
+/// pool lazily) so that a power cut arriving *before the erase physically
+/// starts* can restore the block unchanged — the cells were never touched.
+/// A cut mid-erase drops the contents and marks the block torn.
+struct EraseInFlight {
+    block: u32,
+    /// When the plane actually starts the erase pulse (`done - t_erase`);
+    /// the issue time can be earlier if the command queued behind other
+    /// plane work.
+    start: Nanos,
+    done: Nanos,
+    saved_next: u32,
+    saved_pages: Vec<(Ppn, PageState)>,
+}
+
 /// The flash array.
 ///
 /// All operations take "now" and return the virtual completion time.
@@ -90,7 +106,11 @@ pub struct NandArray {
     /// Programs/erases whose completion may still be in the future; purged
     /// lazily. Used to shear pages on power cuts.
     inflight_programs: Vec<(Ppn, Nanos)>,
-    inflight_erases: Vec<(u32, Nanos)>,
+    inflight_erases: Vec<EraseInFlight>,
+    /// Recycled `saved_pages` vectors from retired [`EraseInFlight`]
+    /// records, so steady-state erases park their contents without touching
+    /// the allocator (high-water-mark discipline, like every other pool).
+    erase_scratch: Vec<Vec<(Ppn, PageState)>>,
     /// Slab of physical-page buffers backing [`PageState::data`].
     page_pool: BufPool,
     /// Optional telemetry sink: media-level trace events are emitted here,
@@ -111,6 +131,7 @@ impl NandArray {
             stats: NandStats::default(),
             inflight_programs: Vec::new(),
             inflight_erases: Vec::new(),
+            erase_scratch: Vec::new(),
             page_pool: BufPool::new(geo.page_size),
             tel: None,
         }
@@ -144,6 +165,16 @@ impl NandArray {
         let programs = self.geo.pages_per_block * self.geo.planes();
         self.inflight_erases.reserve(blocks.saturating_sub(self.inflight_erases.len()));
         self.inflight_programs.reserve(programs.saturating_sub(self.inflight_programs.len()));
+        // One parked-contents vector per possible concurrent erase, each at
+        // its full per-block capacity, so parking old contents never grows.
+        let ppb = self.geo.pages_per_block;
+        self.erase_scratch.reserve(blocks.saturating_sub(self.erase_scratch.len()));
+        while self.erase_scratch.len() + self.inflight_erases.len() < blocks {
+            self.erase_scratch.push(Vec::with_capacity(ppb));
+        }
+        for v in &mut self.erase_scratch {
+            v.reserve(ppb); // scratch vecs are empty: ensures capacity >= ppb
+        }
     }
 
     /// Emit a completed media-operation span (`B` at issue, `E` at the
@@ -180,9 +211,28 @@ impl NandArray {
         self.blocks[block as usize].torn_erase
     }
 
+    /// Whether `ppn` currently holds fully programmed, readable data (no
+    /// shear, not erased). Recovery code uses this to decide which mapping
+    /// candidates an out-of-band scan could actually reconstruct.
+    pub fn page_intact(&self, ppn: Ppn) -> bool {
+        self.pages.get(&ppn).is_some_and(|p| !p.shorn)
+    }
+
     fn purge_inflight(&mut self, now: Nanos) {
         self.inflight_programs.retain(|&(_, done)| done > now);
-        self.inflight_erases.retain(|&(_, done)| done > now);
+        // Manual sweep instead of `retain`: retired records hand their
+        // (emptied) `saved_pages` allocation back to the scratch pool, and
+        // the parked `PageState`s drop their buffers back to the page pool.
+        let mut i = 0;
+        while i < self.inflight_erases.len() {
+            if self.inflight_erases[i].done > now {
+                i += 1;
+            } else {
+                let mut e = self.inflight_erases.swap_remove(i);
+                e.saved_pages.clear();
+                self.erase_scratch.push(e.saved_pages);
+            }
+        }
     }
 
     /// Read one physical page. Completion = plane cell-read, then bus
@@ -270,14 +320,28 @@ impl NandArray {
         let plane = self.geo.plane_of_block(block);
         let done = self.planes[plane].acquire(now, self.geo.t_erase);
         let st = &mut self.blocks[block as usize];
+        let saved_next = st.next_page;
         st.next_page = 0;
         st.erase_count += 1;
         st.torn_erase = false;
         let first = self.geo.make_ppn(block, 0);
+        // Park the old contents with the in-flight record instead of
+        // dropping them: a power cut before the erase pulse starts restores
+        // the block; otherwise they return to the pool when the record is
+        // purged.
+        let mut saved_pages = self.erase_scratch.pop().unwrap_or_default();
         for p in 0..self.geo.pages_per_block as u64 {
-            self.pages.remove(&(first + p));
+            if let Some(ps) = self.pages.remove(&(first + p)) {
+                saved_pages.push((first + p, ps));
+            }
         }
-        self.inflight_erases.push((block, done));
+        self.inflight_erases.push(EraseInFlight {
+            block,
+            start: done - self.geo.t_erase,
+            done,
+            saved_next,
+            saved_pages,
+        });
         self.stats.erases += 1;
         self.trace_span("nand.erase", now, done);
         Ok(done)
@@ -299,13 +363,30 @@ impl NandArray {
                 self.stats.shorn_pages += 1;
             }
         }
-        let torn: Vec<u32> =
-            self.inflight_erases.iter().filter(|&&(_, done)| done > now).map(|&(b, _)| b).collect();
-        for b in torn {
-            self.blocks[b as usize].torn_erase = true;
+        for e in self.inflight_erases.drain(..) {
+            if e.done <= now {
+                continue; // completed: cells are stably erased
+            }
+            if now <= e.start {
+                // The erase pulse never began (the command was queued or in
+                // transfer): the cells are untouched — restore the block
+                // exactly as it was, including its parked contents. Any
+                // programs issued causally after this erase were sheared
+                // above; the pre-erase data overwrites their page entries.
+                let st = &mut self.blocks[e.block as usize];
+                st.next_page = e.saved_next;
+                st.erase_count = st.erase_count.saturating_sub(1);
+                st.torn_erase = false;
+                for (ppn, ps) in e.saved_pages {
+                    self.pages.insert(ppn, ps);
+                }
+            } else {
+                // Mid-pulse: the block is partially erased and must be
+                // erased again before use; its old contents are gone.
+                self.blocks[e.block as usize].torn_erase = true;
+            }
         }
         self.inflight_programs.clear();
-        self.inflight_erases.clear();
         // Whatever the controller had queued on buses/planes is abandoned.
         for t in &mut self.channel_bus {
             t.reset();
@@ -449,6 +530,21 @@ mod tests {
         let mut buf = page(0);
         a.read(0, &mut buf, done).unwrap();
         assert_eq!(buf, page(1));
+    }
+
+    #[test]
+    fn power_cut_before_erase_pulse_restores_the_block() {
+        let mut a = array();
+        let pdone = a.program(0, &page(7), 0).unwrap();
+        let edone = a.erase(0, pdone).unwrap();
+        // The erase pulse starts at `edone - t_erase`; cutting at or before
+        // that instant means the cells were never touched.
+        a.power_cut(edone - a.geometry().t_erase);
+        assert!(!a.has_torn_erase(0), "un-started erase must not tear the block");
+        assert_eq!(a.next_free_page(0), 1, "write cursor restored");
+        let mut buf = page(0);
+        a.read(0, &mut buf, edone).unwrap();
+        assert_eq!(buf, page(7), "pre-erase contents restored");
     }
 
     #[test]

@@ -575,8 +575,23 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
         Timed::new(id, t)
     }
 
+    /// Number of trees in the live catalog. After a crash on an unsafe
+    /// configuration, recovery can surface an *older* catalog (the volatile
+    /// device legitimately rolls unflushed pages back), so pre-crash
+    /// [`TreeId`]s at or beyond this count no longer exist: reads against
+    /// them answer "absent" and writes panic with a named message.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+
     /// Insert or overwrite a key.
     pub fn put(&mut self, tree: TreeId, key: &[u8], value: &[u8], now: Nanos) -> Nanos {
+        assert!(
+            (tree as usize) < self.trees.len(),
+            "put into unknown tree {tree}: catalog has {} tree(s) — \
+             a crash may have rolled the catalog back; re-create the tree first",
+            self.trees.len()
+        );
         self.stats.puts += 1;
         self.begin_op("engine.put", now);
         let root_before = self.trees[tree as usize].root();
@@ -603,6 +618,11 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
 
     /// Point lookup.
     pub fn get(&mut self, tree: TreeId, key: &[u8], now: Nanos) -> Timed<Option<Vec<u8>>> {
+        if tree as usize >= self.trees.len() {
+            // The tree's catalog entry did not survive recovery (possible
+            // only on unsafe configurations): every key reads as absent.
+            return Timed::new(None, now);
+        }
         self.stats.gets += 1;
         self.begin_op("engine.get", now);
         let (r, summary, t) = self.op(now, |trees, view, t| trees[tree as usize].get(view, key, t));
@@ -615,6 +635,9 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
 
     /// Delete a key; returns whether it existed.
     pub fn delete(&mut self, tree: TreeId, key: &[u8], now: Nanos) -> Timed<bool> {
+        if tree as usize >= self.trees.len() {
+            return Timed::new(false, now); // tree lost with the catalog: nothing to delete
+        }
         self.stats.deletes += 1;
         self.begin_op("engine.delete", now);
         let (existed, summary, t) =
@@ -638,6 +661,9 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
         limit: usize,
         now: Nanos,
     ) -> Timed<Vec<(Vec<u8>, Vec<u8>)>> {
+        if tree as usize >= self.trees.len() {
+            return Timed::new(Vec::new(), now); // tree lost with the catalog: empty scan
+        }
         self.stats.gets += 1;
         self.begin_op("engine.scan", now);
         let mut out = Vec::with_capacity(limit);

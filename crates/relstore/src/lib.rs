@@ -276,6 +276,32 @@ mod tests {
         }
     }
 
+    /// Regression, surfaced by `tests/crash_recovery.rs::
+    /// volatile_ssd_lean_config_loses_data` once volatile recovery could
+    /// return an *older* catalog instead of failing outright: a pre-crash
+    /// `TreeId` indexed straight into the (now shorter) tree vec and
+    /// panicked with a raw out-of-bounds. Reads against a lost tree must
+    /// answer "absent"; only writes assert, with a named message.
+    #[test]
+    fn stale_tree_id_reads_as_absent() {
+        let mut e = mem_engine(4096);
+        assert_eq!(e.tree_count(), 0);
+        // No tree was ever created (the post-rollback catalog state).
+        let (v, t) = e.get(0, b"k", 0).into_parts();
+        assert!(v.is_none());
+        let (existed, t) = e.delete(0, b"k", t).into_parts();
+        assert!(!existed);
+        let (rows, _) = e.scan(0, b"", 10, t).into_parts();
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown tree")]
+    fn put_into_stale_tree_id_panics_with_named_message() {
+        let mut e = mem_engine(4096);
+        e.put(0, b"k", b"v", 0);
+    }
+
     #[test]
     fn wal_rule_flushes_log_before_dirty_eviction() {
         // A dirty page created by an *uncommitted* operation must force its

@@ -1,0 +1,100 @@
+//! Deterministic delta-debugging shrinker.
+//!
+//! Given a failing op sequence and a predicate "does this subsequence
+//! still fail?", [`shrink`] removes chunks of geometrically decreasing
+//! size until no single op can be removed without losing the failure.
+//! The scan order is fixed (front to back, chunk sizes halving), so the
+//! same input always shrinks to the same minimal trace — a property the
+//! test suite pins down, because a shrinker that wobbles between runs
+//! makes `--seed` repro lines useless.
+
+/// Minimise `ops` under `fails`. `fails(&minimal)` is guaranteed true on
+/// return (assuming `fails(ops)` was true and the predicate is
+/// deterministic). The empty sequence is never proposed.
+pub fn shrink<T: Clone>(ops: &[T], fails: impl Fn(&[T]) -> bool) -> Vec<T> {
+    let mut cur: Vec<T> = ops.to_vec();
+    if cur.is_empty() {
+        return cur;
+    }
+    let mut chunk = cur.len().div_ceil(2);
+    loop {
+        let mut removed_any = false;
+        let mut i = 0;
+        while i < cur.len() {
+            let end = (i + chunk).min(cur.len());
+            if end - i == cur.len() {
+                // Never propose the empty sequence.
+                i += chunk;
+                continue;
+            }
+            let mut cand: Vec<T> = Vec::with_capacity(cur.len() - (end - i));
+            cand.extend_from_slice(&cur[..i]);
+            cand.extend_from_slice(&cur[end..]);
+            if fails(&cand) {
+                cur = cand;
+                removed_any = true;
+                // Do not advance: the next chunk shifted into position i.
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            if !removed_any {
+                break; // fixpoint: 1-minimal
+            }
+        } else {
+            chunk = chunk.div_ceil(2).max(1);
+        }
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        let ops: Vec<u32> = (0..100).collect();
+        let min = shrink(&ops, |s| s.contains(&37));
+        assert_eq!(min, vec![37]);
+    }
+
+    #[test]
+    fn shrinks_to_an_interacting_pair() {
+        let ops: Vec<u32> = (0..64).collect();
+        let min = shrink(&ops, |s| s.contains(&5) && s.contains(&60));
+        assert_eq!(min, vec![5, 60]);
+    }
+
+    #[test]
+    fn preserves_order() {
+        let ops = vec![9, 3, 7, 1, 8];
+        let min = shrink(&ops, |s| {
+            // Fails iff 3 appears before 8.
+            let p3 = s.iter().position(|&x| x == 3);
+            let p8 = s.iter().position(|&x| x == 8);
+            matches!((p3, p8), (Some(a), Some(b)) if a < b)
+        });
+        assert_eq!(min, vec![3, 8]);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let ops: Vec<u32> = (0..200).rev().collect();
+        let pred = |s: &[u32]| s.iter().filter(|&&x| x % 7 == 0).count() >= 3;
+        let a = shrink(&ops, pred);
+        let b = shrink(&ops, pred);
+        assert_eq!(a, b);
+        assert!(pred(&a));
+        assert_eq!(a.len(), 3, "exactly three multiples of 7 should remain");
+    }
+
+    #[test]
+    fn never_returns_empty_when_input_nonempty() {
+        // Pathological predicate that also "fails" on everything.
+        let ops = vec![1, 2, 3];
+        let min = shrink(&ops, |_| true);
+        assert_eq!(min.len(), 1);
+    }
+}

@@ -21,6 +21,11 @@ pub enum DevError {
     /// (a *shorn write*, §2.1 / §5.2): the caller sees a mix of old and new
     /// sectors and must treat the page as corrupt.
     ShornPage { lpn: u64 },
+    /// An unexpected media-level failure surfaced by the device's internal
+    /// machinery (FTL garbage collection, mapped-slot reads). The string
+    /// carries the underlying cause; callers treat it as an I/O error
+    /// rather than a process abort.
+    Media { what: String },
 }
 
 impl std::fmt::Display for DevError {
@@ -36,6 +41,7 @@ impl std::fmt::Display for DevError {
             DevError::ShornPage { lpn } => {
                 write!(f, "shorn (partially programmed) page at lpn {lpn}")
             }
+            DevError::Media { what } => write!(f, "media failure: {what}"),
         }
     }
 }
