@@ -43,6 +43,15 @@ grep -q '"name":"power_cut"' "$TRACE_TMP/crash.trace.json"
 echo "== simtest campaign (fixed seeds, every target, shrunk repro on fail) =="
 cargo run -p simtest --release -q -- --seeds 50 --ops 2000 --check --quiet
 
+echo "== recovery smoke (crash + checkpoint-bounded replay, schema-validated) =="
+# --check asserts the schema, ≥3 devices × ≥2 checkpoint intervals, and
+# that the DuraSSD relational rows replayed ≥1 and skipped ≥1 records.
+cargo run -p bench --release -q --bin recovery -- \
+    --commits 600 --doc-ops 600 --out "$TRACE_TMP/recovery.json" --check \
+    >"$TRACE_TMP/recovery.out"
+test -s "$TRACE_TMP/recovery.json"
+grep -q '"schema":"durassd.recovery.v1"' "$TRACE_TMP/recovery.json"
+
 echo "== perf smoke (tiny ops, schema-validated BENCH_perf.json) =="
 # No absolute-speed gate: CI machines are noisy. --check fails on schema
 # drift, NaN or zero throughput; that is the invariant worth pinning.

@@ -36,7 +36,7 @@ use forensics::{
 };
 use relstore::{Engine, EngineConfig};
 use simkit::dist::{rng, Rng};
-use simkit::Timed;
+use simkit::Recovered;
 use storage::device::BlockDevice;
 use telemetry::Telemetry;
 
@@ -121,7 +121,7 @@ where
     let mut pms = Vec::new();
     pms.extend(d.take_postmortem());
     pms.extend(l.take_postmortem());
-    match Engine::recover(d, l, cfg, cut_at_ns + 1).map(Timed::into_parts) {
+    match Engine::recover(d, l, cfg, cut_at_ns + 1).map(Recovered::into_parts) {
         Err(err) => {
             // The stack could not even restart: every attempted unit is
             // gone, so every acknowledged one is acked-lost and attribution
@@ -176,7 +176,13 @@ fn doc_trial<D: BlockDevice + Forensic>(
 ) -> TrialOut {
     let ledger = Ledger::new(contract);
     dev.attach_ledger(ledger.clone());
-    let cfg = DocStoreConfig { batch_size: 1, barriers, file_blocks: 65_536, auto_compact_pct: 0 };
+    let cfg = DocStoreConfig {
+        batch_size: 1,
+        barriers,
+        file_blocks: 65_536,
+        auto_compact_pct: 0,
+        checkpoint_every_n_commits: 8,
+    };
     let mut s = DocStore::create(dev, cfg);
     s.attach_telemetry(tel.clone());
     s.attach_ledger(ledger.clone());

@@ -92,6 +92,7 @@ fn ycsb_scenario(records: u64, ops: u64) -> Scenario {
         barriers: true,
         file_blocks: 200_000,
         auto_compact_pct: 0,
+        checkpoint_every_n_commits: 8,
     };
     let mut store = DocStore::create(dev, cfg);
     let spec = ycsb::YcsbSpec::workload_a(records, ops);

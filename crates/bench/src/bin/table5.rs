@@ -28,8 +28,13 @@ fn run_cell(
     ops: u64,
     tel: &Telemetry,
 ) -> f64 {
-    let cfg =
-        DocStoreConfig { batch_size: batch, barriers, file_blocks: 400_000, auto_compact_pct: 0 };
+    let cfg = DocStoreConfig {
+        batch_size: batch,
+        barriers,
+        file_blocks: 400_000,
+        auto_compact_pct: 0,
+        checkpoint_every_n_commits: 8,
+    };
     let mut store = DocStore::create(durassd_bench(true), cfg);
     let mut spec = YcsbSpec::workload_a(records, ops);
     spec.update_fraction = update;

@@ -61,6 +61,7 @@ fn main() {
         barriers: true,
         file_blocks: 200_000,
         auto_compact_pct: 0,
+        checkpoint_every_n_commits: 8,
     };
     let mut store = DocStore::create(doc_dev, cfg);
     store.attach_telemetry(tel.clone());

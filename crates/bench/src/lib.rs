@@ -145,6 +145,98 @@ impl TelemetrySink {
     }
 }
 
+/// Schema tag the `recovery` bin writes and [`validate_recovery_report`]
+/// gates on. Bump on layout changes.
+pub const RECOVERY_SCHEMA: &str = "durassd.recovery.v1";
+
+/// Validate a serialized `BENCH_recovery.json` document. Returns the list
+/// of violations (empty = valid):
+///
+/// - parses as JSON, carries the [`RECOVERY_SCHEMA`] tag;
+/// - a non-empty `rows` array covering ≥ 3 distinct devices and ≥ 2
+///   distinct checkpoint intervals;
+/// - every row has non-negative counters, a positive simulated recovery
+///   time, and a time-to-first-read no smaller than the recovery time;
+/// - the DuraSSD relational rows actually exercise checkpoint-bounded
+///   replay: at least one record replayed *and* at least one skipped.
+pub fn validate_recovery_report(doc: &str) -> Vec<String> {
+    let mut failures = Vec::new();
+    let v = match telemetry::parse_json(doc) {
+        Ok(v) => v,
+        Err(e) => return vec![format!("recovery report does not parse: {e}")],
+    };
+    let Some(obj) = v.as_object() else {
+        return vec!["top level is not an object".into()];
+    };
+    match obj.get("schema").and_then(|s| s.as_str()) {
+        Some(s) if s == RECOVERY_SCHEMA => {}
+        other => failures.push(format!("schema tag {other:?}, want {RECOVERY_SCHEMA:?}")),
+    }
+    let Some(rows) = obj.get("rows").and_then(|r| r.as_array()) else {
+        failures.push("rows array missing".into());
+        return failures;
+    };
+    if rows.is_empty() {
+        failures.push("rows array empty".into());
+        return failures;
+    }
+    let mut devices = std::collections::BTreeSet::new();
+    let mut intervals = std::collections::BTreeSet::new();
+    for (i, row) in rows.iter().enumerate() {
+        let Some(row) = row.as_object() else {
+            failures.push(format!("rows[{i}] is not an object"));
+            continue;
+        };
+        let engine = row.get("engine").and_then(|v| v.as_str()).unwrap_or("?");
+        let device = row.get("device").and_then(|v| v.as_str()).unwrap_or("?");
+        devices.insert(device.to_string());
+        let field = |key: &str| row.get(key).and_then(|v| v.as_f64());
+        if let Some(iv) = field("ckpt_interval") {
+            intervals.insert(iv as u64);
+        } else {
+            failures.push(format!("{engine}/{device}: ckpt_interval missing"));
+        }
+        for key in ["replayed", "skipped", "torn", "outstanding_bytes", "recovery_wall_ns"] {
+            match field(key) {
+                Some(x) if x >= 0.0 && x.is_finite() => {}
+                other => failures
+                    .push(format!("{engine}/{device}.{key} = {other:?}: want finite non-negative")),
+            }
+        }
+        let rec_sim = field("recovery_sim_ns");
+        match rec_sim {
+            Some(x) if x > 0.0 => {}
+            other => {
+                failures.push(format!("{engine}/{device}.recovery_sim_ns = {other:?}: want > 0"))
+            }
+        }
+        match (field("ttfr_sim_ns"), rec_sim) {
+            (Some(ttfr), Some(rec)) if ttfr >= rec => {}
+            (ttfr, rec) => failures.push(format!(
+                "{engine}/{device}: ttfr_sim_ns {ttfr:?} must be ≥ recovery_sim_ns {rec:?}"
+            )),
+        }
+        if engine == "relstore" && device == "durassd" {
+            // The headline claim: recovery on DuraSSD is checkpoint-bounded
+            // logical replay — some records replayed, the pre-checkpoint
+            // prefix skipped.
+            if field("replayed").unwrap_or(0.0) < 1.0 {
+                failures.push(format!("{engine}/{device}: expected ≥ 1 replayed record"));
+            }
+            if field("skipped").unwrap_or(0.0) < 1.0 {
+                failures.push(format!("{engine}/{device}: expected ≥ 1 skipped record"));
+            }
+        }
+    }
+    if devices.len() < 3 {
+        failures.push(format!("want ≥ 3 distinct devices, got {devices:?}"));
+    }
+    if intervals.len() < 2 {
+        failures.push(format!("want ≥ 2 distinct checkpoint intervals, got {intervals:?}"));
+    }
+    failures
+}
+
 /// Print a rule line for report tables.
 pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
@@ -294,6 +386,61 @@ mod tests {
         let mut off = TelemetrySink::default();
         off.add("x", &t);
         assert!(!off.enabled() && off.finish().is_none());
+    }
+
+    fn recovery_row(
+        engine: &str,
+        device: &str,
+        interval: u64,
+        replayed: u64,
+        skipped: u64,
+    ) -> String {
+        format!(
+            "{{\"engine\":\"{engine}\",\"device\":\"{device}\",\"ckpt_interval\":{interval},\
+             \"replayed\":{replayed},\"skipped\":{skipped},\"torn\":0,\
+             \"outstanding_bytes\":4096,\"recovery_wall_ns\":100,\
+             \"recovery_sim_ns\":5000,\"ttfr_sim_ns\":6000}}"
+        )
+    }
+
+    #[test]
+    fn recovery_report_validation() {
+        let good = format!(
+            "{{\"schema\":\"{RECOVERY_SCHEMA}\",\"rows\":[{},{},{},{}]}}",
+            recovery_row("relstore", "durassd", 256, 3, 9),
+            recovery_row("relstore", "ssd_volatile", 2048, 3, 9),
+            recovery_row("relstore", "hdd", 256, 3, 9),
+            recovery_row("docstore", "durassd", 256, 0, 4),
+        );
+        assert!(
+            validate_recovery_report(&good).is_empty(),
+            "{:?}",
+            validate_recovery_report(&good)
+        );
+
+        // DuraSSD relstore row with nothing replayed: flagged.
+        let bad = format!(
+            "{{\"schema\":\"{RECOVERY_SCHEMA}\",\"rows\":[{},{},{}]}}",
+            recovery_row("relstore", "durassd", 256, 0, 0),
+            recovery_row("relstore", "ssd_volatile", 2048, 3, 9),
+            recovery_row("relstore", "hdd", 256, 3, 9),
+        );
+        let fails = validate_recovery_report(&bad);
+        assert!(fails.iter().any(|f| f.contains("replayed")), "{fails:?}");
+        assert!(fails.iter().any(|f| f.contains("skipped")), "{fails:?}");
+
+        // Too few devices / intervals.
+        let narrow = format!(
+            "{{\"schema\":\"{RECOVERY_SCHEMA}\",\"rows\":[{}]}}",
+            recovery_row("relstore", "durassd", 256, 3, 9),
+        );
+        let fails = validate_recovery_report(&narrow);
+        assert!(fails.iter().any(|f| f.contains("distinct devices")), "{fails:?}");
+        assert!(fails.iter().any(|f| f.contains("distinct checkpoint intervals")), "{fails:?}");
+
+        // Wrong schema tag and garbage both flagged.
+        assert!(!validate_recovery_report("{\"schema\":\"nope\",\"rows\":[]}").is_empty());
+        assert!(!validate_recovery_report("not json").is_empty());
     }
 
     #[test]

@@ -20,6 +20,14 @@ pub enum Error {
     NoCatalog,
     /// Recovery failed for another reason; the string carries context.
     Recovery(String),
+    /// The recovery scan hit a torn or garbage log record mid-log. The
+    /// scan truncated at the tear (the valid prefix was replayed); this
+    /// variant lets callers who demand a clean log distinguish "the tail
+    /// was simply unwritten" from "a committed record was damaged".
+    TornLog {
+        /// LSN of the first unusable record.
+        lsn: u64,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -28,6 +36,7 @@ impl std::fmt::Display for Error {
             Error::Dev(e) => write!(f, "device error: {e}"),
             Error::NoCatalog => write!(f, "no valid catalog page found"),
             Error::Recovery(why) => write!(f, "recovery failed: {why}"),
+            Error::TornLog { lsn } => write!(f, "torn log record at lsn {lsn}"),
         }
     }
 }
@@ -80,6 +89,13 @@ mod tests {
     fn display_covers_variants() {
         assert!(Error::NoCatalog.to_string().contains("catalog"));
         assert!(Error::Recovery("torn log".into()).to_string().contains("torn log"));
+    }
+
+    #[test]
+    fn torn_log_reports_lsn() {
+        let e = Error::TornLog { lsn: 4096 };
+        assert!(e.to_string().contains("torn log record at lsn 4096"));
+        assert_ne!(e, Error::TornLog { lsn: 4097 });
     }
 
     #[test]

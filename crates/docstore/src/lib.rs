@@ -24,14 +24,17 @@ use cowtree::{
     NODE_CAP,
 };
 use forensics::{Ledger, UnitKind};
-use simkit::{crc32, Nanos, Timed};
+use simkit::{crc32, Nanos, Recovered, ReplayStats, Timed};
 use std::collections::HashMap;
 use storage::device::BlockDevice;
 use storage::file::PageFile;
 use storage::volume::{Volume, VolumeManager};
 use telemetry::Telemetry;
+use wal::LogRecord;
 
 const HEADER_MAGIC: u64 = 0x434f_5543_4848_4452;
+/// Offset sentinel: "no such header".
+const NO_OFF: u64 = u64::MAX;
 
 /// Store configuration.
 #[derive(Debug, Clone, Copy)]
@@ -46,13 +49,35 @@ pub struct DocStoreConfig {
     /// its capacity — Couchbase's fragmentation-threshold auto-compaction.
     /// 0 disables.
     pub auto_compact_pct: u8,
+    /// Every `n`-th commit header is promoted to a checkpoint *anchor* —
+    /// the header-chain analogue of the relational engine's checkpoint.
+    /// Recovery counts the commit headers it finds between the newest
+    /// header and its anchor as `skipped` work a WAL engine would have had
+    /// to replay. Must be at least 1 (1 = every header is an anchor).
+    pub checkpoint_every_n_commits: u64,
 }
 
 impl DocStoreConfig {
     /// Defaults: fsync every update, barriers on, 64MB file, auto-compact
-    /// at 75% fill.
+    /// at 75% fill, a checkpoint anchor every 8 commit headers.
     pub fn new() -> Self {
-        Self { batch_size: 1, barriers: true, file_blocks: 16_384, auto_compact_pct: 75 }
+        Self {
+            batch_size: 1,
+            barriers: true,
+            file_blocks: 16_384,
+            auto_compact_pct: 75,
+            checkpoint_every_n_commits: 8,
+        }
+    }
+
+    /// Check internal consistency; called by `create` and `recover`.
+    pub fn validate(&self) {
+        assert!(self.batch_size >= 1, "batch size must be at least 1 update");
+        assert!(self.file_blocks >= 4, "append file too small");
+        assert!(
+            self.checkpoint_every_n_commits >= 1,
+            "checkpoint interval must be at least 1 commit"
+        );
     }
 }
 
@@ -90,6 +115,13 @@ pub struct DocStore<D: BlockDevice> {
     root: Option<(u64, u32)>,
     depth: u32,
     seq: u64,
+    /// Byte offset of the most recent commit header ([`NO_OFF`] if none) —
+    /// the head of the backward header chain.
+    prev_header_off: u64,
+    /// Byte offset of the most recent checkpoint anchor header.
+    ckpt_off: u64,
+    /// Commit headers written since the last anchor.
+    headers_since_ckpt: u64,
     cfg: DocStoreConfig,
     /// Memory-first object cache (Couchbase's managed-cache layer).
     doc_cache: HashMap<Vec<u8>, Option<Vec<u8>>>,
@@ -103,18 +135,25 @@ pub struct DocStore<D: BlockDevice> {
     ledger: Option<Ledger>,
 }
 
-/// Frame a document for the append space: `[len u32][crc u32][bytes]`.
-fn frame_doc(doc: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(8 + doc.len());
-    out.extend_from_slice(&(doc.len() as u32).to_le_bytes());
-    out.extend_from_slice(&crc32(doc).to_le_bytes());
-    out.extend_from_slice(doc);
-    out
+/// Frame a document for the append space as a self-describing
+/// [`LogRecord::DocSet`] — the same versioned, CRC-guarded framing the WAL
+/// uses, so the append file's record stream is decodable on its own.
+fn frame_doc(key: &[u8], doc: &[u8]) -> Vec<u8> {
+    LogRecord::DocSet { key: key.to_vec(), value: doc.to_vec() }.encode()
+}
+
+/// Unframe a [`frame_doc`]'d record; `None` on corruption.
+fn unframe_doc(framed: &[u8]) -> Option<Vec<u8>> {
+    match LogRecord::decode(framed) {
+        Some((LogRecord::DocSet { value, .. }, _)) => Some(value),
+        _ => None,
+    }
 }
 
 impl<D: BlockDevice> DocStore<D> {
     /// Create a fresh (empty) store on `dev`.
     pub fn create(dev: D, cfg: DocStoreConfig) -> Self {
+        cfg.validate();
         let vol = Volume::new(dev, cfg.barriers);
         let mut vm = VolumeManager::new(vol.capacity_pages());
         let file = PageFile::create(&mut vm, cfg.file_blocks.min(vol.capacity_pages()), BLOCK);
@@ -124,6 +163,9 @@ impl<D: BlockDevice> DocStore<D> {
             root: None,
             depth: 0,
             seq: 0,
+            prev_header_off: NO_OFF,
+            ckpt_off: NO_OFF,
+            headers_since_ckpt: 0,
             cfg,
             doc_cache: HashMap::new(),
             node_cache: HashMap::new(),
@@ -200,6 +242,17 @@ impl<D: BlockDevice> DocStore<D> {
     /// Bytes appended so far.
     pub fn file_len(&self) -> u64 {
         self.space.len()
+    }
+
+    /// Bytes appended since the last checkpoint anchor header (the whole
+    /// file if no anchor has been committed yet) — the docstore analogue of
+    /// outstanding WAL.
+    pub fn outstanding_bytes(&self) -> u64 {
+        if self.ckpt_off == NO_OFF {
+            self.space.len()
+        } else {
+            self.space.len().saturating_sub(self.ckpt_off)
+        }
     }
 
     /// Drop the in-memory object cache (test hook: forces tree walks).
@@ -345,17 +398,39 @@ impl<D: BlockDevice> DocStore<D> {
         t
     }
 
-    /// Append a header block and fsync (the commit point).
+    /// Append a header block and fsync (the commit point). Every
+    /// `checkpoint_every_n_commits`-th header is promoted to a checkpoint
+    /// anchor automatically.
     pub fn commit_header(&mut self, now: Nanos) -> Nanos {
         self.begin_op("doc.commit", now);
-        let done = self.commit_header_inner(now);
+        let due = self.headers_since_ckpt + 1 >= self.cfg.checkpoint_every_n_commits;
+        let done = self.commit_header_inner(due, now);
         self.note_op("doc.commit", now, done);
         done
     }
 
-    fn commit_header_inner(&mut self, now: Nanos) -> Nanos {
+    /// Commit with a forced checkpoint anchor: the header-chain analogue of
+    /// the relational engine's `checkpoint`. Recovery measures its header
+    /// walk (the `skipped` count) back to the newest anchor.
+    pub fn commit_checkpoint(&mut self, now: Nanos) -> Nanos {
+        self.begin_op("doc.checkpoint", now);
+        let done = self.commit_header_inner(true, now);
+        self.note_op("doc.checkpoint", now, done);
+        done
+    }
+
+    fn commit_header_inner(&mut self, anchor: bool, now: Nanos) -> Nanos {
         self.seq += 1;
         self.space.align_to_block();
+        let off = self.space.len();
+        if anchor {
+            self.ckpt_off = off;
+            self.headers_since_ckpt = 0;
+        } else {
+            self.headers_since_ckpt += 1;
+        }
+        // Header block: magic, seq, root, depth, then the backward chain —
+        // the previous header's offset and the newest anchor's offset.
         let mut hdr = vec![0u8; BLOCK];
         hdr[..8].copy_from_slice(&HEADER_MAGIC.to_le_bytes());
         hdr[8..16].copy_from_slice(&self.seq.to_le_bytes());
@@ -363,9 +438,12 @@ impl<D: BlockDevice> DocStore<D> {
         hdr[16..24].copy_from_slice(&rp.to_le_bytes());
         hdr[24..28].copy_from_slice(&rl.to_le_bytes());
         hdr[28..32].copy_from_slice(&self.depth.to_le_bytes());
-        let crc = crc32(&hdr[..32]);
-        hdr[32..36].copy_from_slice(&crc.to_le_bytes());
+        hdr[32..40].copy_from_slice(&self.prev_header_off.to_le_bytes());
+        hdr[40..48].copy_from_slice(&self.ckpt_off.to_le_bytes());
+        let crc = crc32(&hdr[..48]);
+        hdr[48..52].copy_from_slice(&crc.to_le_bytes());
         self.space.append(&hdr);
+        self.prev_header_off = off;
         self.stats.bytes_appended += hdr.len() as u64;
         self.stats.headers += 1;
         self.updates_since_sync = 0;
@@ -385,7 +463,7 @@ impl<D: BlockDevice> DocStore<D> {
         if let Some(ledger) = &self.ledger {
             ledger.pend(UnitKind::DocstoreUpdate, key, Ledger::digest(doc), now);
         }
-        let framed = frame_doc(doc);
+        let framed = frame_doc(key, doc);
         let ptr = self.space.append(&framed);
         self.stats.bytes_appended += framed.len() as u64;
         let entry = Entry { key: key.to_vec(), ptr, len: framed.len() as u32 };
@@ -404,6 +482,11 @@ impl<D: BlockDevice> DocStore<D> {
             // Tombstone digest: a surviving delete reads back as Missing.
             ledger.pend(UnitKind::DocstoreUpdate, key, Ledger::digest(&[]), now);
         }
+        // Breadcrumb record: the tombstone itself lives in the tree entry
+        // (ptr 0 / len 0), but the append stream stays self-describing.
+        let framed = LogRecord::DocDelete { key: key.to_vec() }.encode();
+        self.space.append(&framed);
+        self.stats.bytes_appended += framed.len() as u64;
         let entry = Entry { key: key.to_vec(), ptr: 0, len: 0 };
         let t = self.apply_tree_update(key, entry, now);
         self.doc_cache.insert(key.to_vec(), None);
@@ -448,17 +531,12 @@ impl<D: BlockDevice> DocStore<D> {
                             match self.space.read(&mut self.vol, e.ptr, e.len as usize, t) {
                                 Ok((framed, t2)) => {
                                     t = t2;
-                                    let dlen =
-                                        u32::from_le_bytes(framed[..4].try_into().expect("frame"))
-                                            as usize;
-                                    let crc =
-                                        u32::from_le_bytes(framed[4..8].try_into().expect("frame"));
-                                    let body = &framed[8..8 + dlen.min(framed.len() - 8)];
-                                    if crc == crc32(body) {
-                                        Some(body.to_vec())
-                                    } else {
-                                        self.stats.corrupt_reads += 1;
-                                        None
+                                    match unframe_doc(&framed) {
+                                        Some(body) => Some(body),
+                                        None => {
+                                            self.stats.corrupt_reads += 1;
+                                            None
+                                        }
                                     }
                                 }
                                 Err(_) => {
@@ -510,10 +588,8 @@ impl<D: BlockDevice> DocStore<D> {
                         self.space.read(&mut self.vol, e.ptr, e.len as usize, t)
                     {
                         t = t3;
-                        let dlen =
-                            u32::from_le_bytes(framed[..4].try_into().expect("frame")) as usize;
-                        if framed.len() >= 8 + dlen {
-                            out.push((e.key, framed[8..8 + dlen].to_vec()));
+                        if let Some(body) = unframe_doc(&framed) {
+                            out.push((e.key, body));
                         }
                     }
                 }
@@ -539,10 +615,14 @@ impl<D: BlockDevice> DocStore<D> {
         self.node_cache.clear();
         self.root = None;
         self.depth = 0;
+        // The old header chain died with the old file contents.
+        self.prev_header_off = NO_OFF;
+        self.ckpt_off = NO_OFF;
+        self.headers_since_ckpt = 0;
         // Bulk-load bottom-up: docs + leaves, then internal levels.
         let mut level_entries: Vec<Entry> = Vec::new();
         for (key, doc) in &live {
-            let framed = frame_doc(doc);
+            let framed = frame_doc(key, doc);
             let ptr = self.space.append(&framed);
             self.stats.bytes_appended += framed.len() as u64;
             level_entries.push(Entry { key: key.clone(), ptr, len: framed.len() as u32 });
@@ -566,7 +646,9 @@ impl<D: BlockDevice> DocStore<D> {
                 self.depth += 1;
             }
         }
-        let t = self.commit_header(t);
+        // A compaction is a checkpoint by construction: the fresh file is
+        // exactly the live state, so the first header is an anchor.
+        let t = self.commit_checkpoint(t);
         // TRIM everything between the new end of file and the old one.
         let new_blocks = self.space.len().div_ceil(BLOCK as u64);
         let old_blocks = old_len.div_ceil(BLOCK as u64);
@@ -593,7 +675,16 @@ impl<D: BlockDevice> DocStore<D> {
     /// Recover a store from a device: reboot, scan backwards for the newest
     /// valid header, resume after it. Updates past the last header are lost
     /// (that is couchstore's contract).
-    pub fn recover(dev: D, cfg: DocStoreConfig, now: Nanos) -> Timed<Self> {
+    ///
+    /// The returned [`Recovered`] mirrors the relational engine's report:
+    /// `skipped` counts the commit headers walked back from the newest
+    /// header to its checkpoint anchor (batches a WAL engine would have had
+    /// to replay), `checkpoint_lsn` is the anchor's byte offset, and
+    /// `replayed`/`torn` are always 0 — couchstore replays nothing (the
+    /// newest header *is* the recovered state) and an interrupted append
+    /// tail is indistinguishable from unwritten space.
+    pub fn recover(dev: D, cfg: DocStoreConfig, now: Nanos) -> Recovered<Self> {
+        cfg.validate();
         let mut vol = Volume::new(dev, cfg.barriers);
         let mut t = now;
         if !vol.device().is_powered() {
@@ -601,7 +692,8 @@ impl<D: BlockDevice> DocStore<D> {
         }
         let mut vm = VolumeManager::new(vol.capacity_pages());
         let file = PageFile::create(&mut vm, cfg.file_blocks.min(vol.capacity_pages()), BLOCK);
-        let mut found: Option<(u64, u64, u32, u32, u64)> = None; // block, root, len, depth, seq
+        // (block, root, len, depth, seq, prev_off, ckpt_off)
+        let mut found: Option<(u64, u64, u32, u32, u64, u64, u64)> = None;
         let mut buf = vec![0u8; BLOCK];
         for blk in (0..file.pages()).rev() {
             match file.read_page(&mut vol, blk, &mut buf, t) {
@@ -611,44 +703,77 @@ impl<D: BlockDevice> DocStore<D> {
             if u64::from_le_bytes(buf[..8].try_into().expect("hdr")) != HEADER_MAGIC {
                 continue;
             }
-            let crc = u32::from_le_bytes(buf[32..36].try_into().expect("hdr"));
-            if crc != crc32(&buf[..32]) {
+            let crc = u32::from_le_bytes(buf[48..52].try_into().expect("hdr"));
+            if crc != crc32(&buf[..48]) {
                 continue;
             }
             let seq = u64::from_le_bytes(buf[8..16].try_into().expect("hdr"));
             let root = u64::from_le_bytes(buf[16..24].try_into().expect("hdr"));
             let len = u32::from_le_bytes(buf[24..28].try_into().expect("hdr"));
             let depth = u32::from_le_bytes(buf[28..32].try_into().expect("hdr"));
-            found = Some((blk, root, len, depth, seq));
+            let prev_off = u64::from_le_bytes(buf[32..40].try_into().expect("hdr"));
+            let ckpt_off = u64::from_le_bytes(buf[40..48].try_into().expect("hdr"));
+            found = Some((blk, root, len, depth, seq, prev_off, ckpt_off));
             break;
         }
-        let (space, root, depth, seq) = match found {
-            Some((blk, root, len, depth, seq)) => {
+        let mut replay = ReplayStats::default();
+        let (space, root, depth, seq, prev_header_off, ckpt_off) = match found {
+            Some((blk, root, len, depth, seq, prev_off, ckpt_off)) => {
+                // Walk the header chain back to the checkpoint anchor: each
+                // header after the anchor is a commit batch the header-chain
+                // design spared us from replaying.
+                let newest_off = blk * BLOCK as u64;
+                replay.checkpoint_lsn = if ckpt_off == NO_OFF { 0 } else { ckpt_off };
+                let mut off = newest_off;
+                let mut prev = prev_off;
+                let mut guard = file.pages();
+                while ckpt_off != NO_OFF && off > ckpt_off && guard > 0 {
+                    replay.skipped += 1;
+                    guard -= 1;
+                    if prev == NO_OFF || prev >= off {
+                        break; // chain truncated or corrupt: stop counting
+                    }
+                    let pblk = prev / BLOCK as u64;
+                    match file.read_page(&mut vol, pblk, &mut buf, t) {
+                        Ok(t2) => t = t2,
+                        Err(_) => break,
+                    }
+                    let magic_ok =
+                        u64::from_le_bytes(buf[..8].try_into().expect("hdr")) == HEADER_MAGIC;
+                    let crc = u32::from_le_bytes(buf[48..52].try_into().expect("hdr"));
+                    if !magic_ok || crc != crc32(&buf[..48]) {
+                        break;
+                    }
+                    off = prev;
+                    prev = u64::from_le_bytes(buf[32..40].try_into().expect("hdr"));
+                }
                 let resume = (blk + 1) * BLOCK as u64;
                 let space = AppendSpace::reopen(file, resume, vec![0u8; BLOCK]);
                 let root = if root == u64::MAX { None } else { Some((root, len)) };
-                (space, root, depth, seq)
+                let ckpt = if ckpt_off == NO_OFF { NO_OFF } else { ckpt_off };
+                (space, root, depth, seq, newest_off, ckpt)
             }
-            None => (AppendSpace::new(file), None, 0, 0),
+            None => (AppendSpace::new(file), None, 0, 0, NO_OFF, NO_OFF),
         };
-        (
-            Self {
-                vol,
-                space,
-                root,
-                depth,
-                seq,
-                cfg,
-                doc_cache: HashMap::new(),
-                node_cache: HashMap::new(),
-                updates_since_sync: 0,
-                stats: DocStats::default(),
-                tel: None,
-                ledger: None,
-            },
-            t,
-        )
-            .into()
+        let store = Self {
+            vol,
+            space,
+            root,
+            depth,
+            seq,
+            prev_header_off,
+            ckpt_off,
+            headers_since_ckpt: 0,
+            cfg,
+            doc_cache: HashMap::new(),
+            node_cache: HashMap::new(),
+            updates_since_sync: 0,
+            stats: DocStats::default(),
+            tel: None,
+            ledger: None,
+        };
+        replay.replay_ns = t.saturating_sub(now);
+        Recovered::new(store, t, replay)
     }
 }
 
@@ -664,6 +789,7 @@ mod tests {
             barriers: true,
             file_blocks: 8192,
             auto_compact_pct: 0,
+            checkpoint_every_n_commits: 8,
         };
         DocStore::create(MemDevice::new(8192), cfg)
     }
@@ -741,6 +867,7 @@ mod tests {
             barriers: true,
             file_blocks: 8192,
             auto_compact_pct: 0,
+            checkpoint_every_n_commits: 8,
         };
         let mut s = DocStore::create(MemDevice::new(8192), cfg);
         let mut t = 0;
@@ -764,6 +891,7 @@ mod tests {
             barriers: true,
             file_blocks: 8192,
             auto_compact_pct: 0,
+            checkpoint_every_n_commits: 8,
         };
         let mut s = DocStore::create(MemDevice::new(8192), cfg);
         let mut t = 0;
@@ -809,6 +937,7 @@ mod tests {
             barriers: false,
             file_blocks: 1024,
             auto_compact_pct: 0,
+            checkpoint_every_n_commits: 8,
         };
         let mut s = DocStore::create(Ssd::new(SsdConfig::tiny_test()), cfg);
         let mut t = 0;
@@ -831,6 +960,7 @@ mod tests {
             barriers: false,
             file_blocks: 1024,
             auto_compact_pct: 0,
+            checkpoint_every_n_commits: 8,
         };
         let mut s = DocStore::create(Ssd::new(SsdConfig::tiny_volatile()), cfg);
         let mut t = 0;
@@ -859,6 +989,7 @@ mod tests {
             barriers: true,
             file_blocks: 512, // 2MB
             auto_compact_pct: 60,
+            checkpoint_every_n_commits: 8,
         };
         let mut s = DocStore::create(MemDevice::new(1024), cfg);
         let mut t = 0;

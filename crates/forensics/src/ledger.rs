@@ -90,6 +90,9 @@ pub enum EvidenceKind {
     /// cache's broken promise is made: the host is told "durable" while the
     /// device was never asked to flush.
     FsyncAck,
+    /// An engine checkpoint completed — data pages flushed, catalog written,
+    /// checkpoint markers logged (detail = the checkpoint's Begin LSN).
+    Checkpoint,
 }
 
 impl EvidenceKind {
@@ -100,6 +103,7 @@ impl EvidenceKind {
             EvidenceKind::DeviceFlush => "device-flush",
             EvidenceKind::AtomicWriteAck => "atomic-write-ack",
             EvidenceKind::FsyncAck => "fsync-ack",
+            EvidenceKind::Checkpoint => "checkpoint",
         }
     }
 }

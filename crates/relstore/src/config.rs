@@ -1,5 +1,7 @@
 //! Engine configuration: the knobs the paper's experiments turn.
 
+use wal::CheckpointPolicy;
+
 /// Relational storage-engine configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
@@ -28,6 +30,13 @@ pub struct EngineConfig {
     pub log_file_blocks: u64,
     /// Double-write buffer area size in pages (InnoDB: 2MB).
     pub dwb_pages: u64,
+    /// When [`Engine::needs_checkpoint`] should report true (and, for
+    /// [`CheckpointPolicy::EveryNCommits`], when `commit` takes a
+    /// checkpoint on its own). Defaults to the legacy 75%-of-log-capacity
+    /// threshold.
+    ///
+    /// [`Engine::needs_checkpoint`]: crate::Engine::needs_checkpoint
+    pub checkpoint_policy: CheckpointPolicy,
 }
 
 impl EngineConfig {
@@ -44,6 +53,7 @@ impl EngineConfig {
             log_files: 3,
             log_file_blocks: 4096, // 16MB per file
             dwb_pages: (2 * 1024 * 1024 / page_size) as u64,
+            checkpoint_policy: CheckpointPolicy::default(),
         }
     }
 
@@ -91,6 +101,7 @@ impl EngineConfig {
             self.buffer_pool_bytes >= 4 * self.page_size as u64,
             "buffer pool must hold at least 4 pages"
         );
+        self.checkpoint_policy.validate();
     }
 }
 
@@ -156,6 +167,28 @@ impl EngineConfigBuilder {
     /// Double-write buffer area size in pages.
     pub fn dwb_pages(mut self, pages: u64) -> Self {
         self.cfg.dwb_pages = pages;
+        self
+    }
+
+    /// Install a full [`CheckpointPolicy`].
+    pub fn checkpoint_policy(mut self, policy: CheckpointPolicy) -> Self {
+        self.cfg.checkpoint_policy = policy;
+        self
+    }
+
+    /// Checkpoint when the live log exceeds `pct` percent of its capacity
+    /// (shorthand for [`CheckpointPolicy::LiveBytesPct`]). `build` rejects
+    /// values outside `1..=99`.
+    pub fn checkpoint_threshold(mut self, pct: u8) -> Self {
+        self.cfg.checkpoint_policy = CheckpointPolicy::LiveBytesPct(pct);
+        self
+    }
+
+    /// Checkpoint every `n` commits (shorthand for
+    /// [`CheckpointPolicy::EveryNCommits`]; the engine takes the checkpoint
+    /// itself inside `commit`). `build` rejects `n == 0`.
+    pub fn checkpoint_every_n_commits(mut self, n: u64) -> Self {
+        self.cfg.checkpoint_policy = CheckpointPolicy::EveryNCommits(n);
         self
     }
 
@@ -228,5 +261,31 @@ mod tests {
     #[should_panic(expected = "tablespace")]
     fn builder_requires_tablespace_sizing() {
         let _ = EngineConfig::builder(4096).build(); // data_pages never set
+    }
+
+    #[test]
+    fn checkpoint_knobs_build_policies() {
+        let cfg = EngineConfig::builder(4096).data_pages(1024).checkpoint_threshold(50).build();
+        assert_eq!(cfg.checkpoint_policy, CheckpointPolicy::LiveBytesPct(50));
+        let cfg =
+            EngineConfig::builder(4096).data_pages(1024).checkpoint_every_n_commits(128).build();
+        assert_eq!(cfg.checkpoint_policy, CheckpointPolicy::EveryNCommits(128));
+        let cfg = EngineConfig::builder(4096)
+            .data_pages(1024)
+            .checkpoint_policy(CheckpointPolicy::Explicit)
+            .build();
+        assert_eq!(cfg.checkpoint_policy, CheckpointPolicy::Explicit);
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint threshold")]
+    fn builder_rejects_absurd_threshold() {
+        let _ = EngineConfig::builder(4096).data_pages(1024).checkpoint_threshold(0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint interval")]
+    fn builder_rejects_zero_commit_interval() {
+        let _ = EngineConfig::builder(4096).data_pages(1024).checkpoint_every_n_commits(0).build();
     }
 }

@@ -3,14 +3,27 @@
 //!
 //! ## Write-ahead discipline
 //!
-//! * Every operation appends exactly one [`RedoRecord`]. If the operation
-//!   restructured the tree (splits, root moves), the record carries full
-//!   images of every page it rewrote, so any CRC-valid log prefix describes
-//!   a structurally consistent tree.
+//! * Every operation appends a logical [`LogRecord`] (`Put`/`Delete`). If
+//!   the operation restructured the tree (splits, root moves) — or
+//!   full-page-writes mode demands images — a [`LogRecord::PageImages`]
+//!   sidecar is appended *before* the logical record carrying full images
+//!   of every page it rewrote, so any CRC-valid log prefix describes a
+//!   structurally consistent tree.
 //! * A dirty page may reach the data volume only after the records that
 //!   touched it are durable (checked at eviction against a per-page LSN).
 //! * `commit` group-flushes the log tail; whether that reaches flash is the
 //!   barrier policy's business (the paper's experiment knob).
+//!
+//! ## Checkpoints and bounded recovery
+//!
+//! A checkpoint brackets its page flush with `CheckpointBegin`/`End`
+//! markers in the log, then points the log header at the *previous*
+//! checkpoint's Begin (lag-one). Recovery therefore always scans across at
+//! least one complete Begin/End pair: records at or before the newest
+//! `CheckpointEnd` are provably reflected on the data volume and are
+//! *skipped*; everything after is replayed through the normal BTree write
+//! API with the WAL disabled (replay never grows the log, and replaying
+//! twice is idempotent: put = upsert, delete of a missing key = no-op).
 //!
 //! ## Torn-page protection
 //!
@@ -22,18 +35,17 @@
 //! writes — which is precisely DuraSSD's contribution.
 
 use crate::config::EngineConfig;
-use crate::records::{Op, RedoRecord};
 use btree::{node as bnode, BTree, PageStore};
 use bufferpool::{BufferPool, PageBackend, PoolStats};
 use durassd::Error;
-use forensics::{Ledger, UnitKind};
-use simkit::{crc32, Nanos, Timed};
+use forensics::{EvidenceKind, Ledger, UnitKind};
+use simkit::{crc32, Nanos, Recovered, ReplayStats, Timed};
 use std::collections::HashMap;
 use storage::device::{BlockDevice, DevError};
 use storage::file::PageFile;
 use storage::volume::{Volume, VolumeManager};
 use telemetry::Telemetry;
-use wal::{Lsn, Wal, WalStats};
+use wal::{CheckpointPolicy, LogRecord, Lsn, Wal, WalStats};
 
 /// Identifier of a tree (table/index) within the engine.
 pub type TreeId = u32;
@@ -309,6 +321,10 @@ pub struct Engine<D: BlockDevice, L: BlockDevice> {
     next_page: u64,
     dwb_cursor: u64,
     catalog_seq: u64,
+    /// Begin LSN of the most recent completed checkpoint. The log header
+    /// lags one checkpoint behind (it points at the *previous* Begin) so a
+    /// recovery scan always crosses a complete Begin/End pair.
+    last_ckpt_begin: Lsn,
     dirty_lsn: HashMap<u64, Lsn>,
     /// Pages whose full image has been logged since the last checkpoint
     /// (full-page-writes mode).
@@ -345,10 +361,11 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
         let mut logv = Volume::new(log_dev, cfg.barriers);
         let (catalog, dwb, ts, _log_layout) =
             layout(&cfg, data.capacity_pages(), logv.capacity_pages());
-        let (wal, t) = {
+        let (mut wal, t) = {
             let mut lvm = VolumeManager::new(logv.capacity_pages());
             Wal::create(&mut logv, &mut lvm, cfg.log_files, cfg.log_file_blocks, now)
         };
+        wal.set_checkpoint_policy(cfg.checkpoint_policy);
         let pool = BufferPool::new(cfg.pool_frames(), cfg.page_size);
         let mut eng = Self {
             data,
@@ -362,6 +379,7 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
             next_page: 0,
             dwb_cursor: 0,
             catalog_seq: 0,
+            last_ckpt_begin: 0,
             dirty_lsn: HashMap::new(),
             fpw_logged: std::collections::HashSet::new(),
             scratch: Vec::with_capacity(cfg.page_size),
@@ -453,6 +471,13 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
         self.wal.stats()
     }
 
+    /// Log bytes a crash right now would leave outstanding — everything
+    /// between the on-disk checkpoint header and the append head. This is
+    /// the quantity recovery time scales with.
+    pub fn wal_outstanding_bytes(&self) -> u64 {
+        self.wal.live_bytes()
+    }
+
     /// The data volume (device stats inspection).
     pub fn data_volume(&self) -> &Volume<D> {
         &self.data
@@ -522,8 +547,16 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
         (r, summary, t)
     }
 
-    /// Append the op's redo record, update per-page LSNs, release pins.
-    fn log_op(&mut self, op: Op, summary: OpSummary, root_change: Option<(u32, u64, u8)>) {
+    /// Append the op's log records (a [`LogRecord::PageImages`] sidecar
+    /// when the op restructured the tree or full-page-writes demands
+    /// images, then the logical record itself), update per-page LSNs,
+    /// release pins.
+    fn log_op(
+        &mut self,
+        op: Option<LogRecord>,
+        summary: OpSummary,
+        root_change: Option<(u32, u64, u8)>,
+    ) {
         let images = if summary.structural {
             if self.cfg.full_page_writes {
                 for (p, _) in &summary.images {
@@ -537,8 +570,12 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
         } else {
             Vec::new()
         };
-        let rec = RedoRecord { op, images, root_change };
-        self.wal.append(&rec.encode());
+        if !images.is_empty() || root_change.is_some() {
+            self.wal.append(&LogRecord::PageImages { images, root_change });
+        }
+        if let Some(op) = op {
+            self.wal.append(&op);
+        }
         let lsn_end = self.wal.next_lsn();
         for p in &summary.touched {
             self.dirty_lsn.insert(*p, lsn_end);
@@ -567,11 +604,9 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
             // defensive about future changes.
             debug_assert!(!summary.touched.is_empty());
         }
-        self.log_op(
-            Op::Put { tree: id, key: Vec::new(), value: Vec::new() },
-            summary,
-            Some((id, root, height)),
-        );
+        // A creation is pure structure: the PageImages sidecar (with the
+        // root change) is the whole story; there is no logical op to log.
+        self.log_op(None, summary, Some((id, root, height)));
         Timed::new(id, t)
     }
 
@@ -605,7 +640,7 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
             None
         };
         self.log_op(
-            Op::Put { tree, key: key.to_vec(), value: value.to_vec() },
+            Some(LogRecord::Put { tree, key: key.to_vec(), value: value.to_vec() }),
             summary,
             root_change,
         );
@@ -642,7 +677,7 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
         self.begin_op("engine.delete", now);
         let (existed, summary, t) =
             self.op(now, |trees, view, t| trees[tree as usize].delete(view, key, t));
-        self.log_op(Op::Delete { tree, key: key.to_vec() }, summary, None);
+        self.log_op(Some(LogRecord::Delete { tree, key: key.to_vec() }), summary, None);
         if let Some(ledger) = &self.ledger {
             // A delete's "value" is absence: record the tombstone digest so
             // the reconciler expects `Missing` for a surviving delete.
@@ -680,12 +715,15 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
         Timed::new(out, t)
     }
 
-    /// Commit: make everything logged so far durable (group commit).
+    /// Commit: make everything logged so far durable (group commit). Under
+    /// [`CheckpointPolicy::EveryNCommits`] the engine also takes the due
+    /// checkpoint here, so the interval knob works without the caller
+    /// polling [`Engine::needs_checkpoint`].
     pub fn commit(&mut self, now: Nanos) -> Nanos {
         self.stats.commits += 1;
         self.begin_op("engine.commit", now);
         let target = self.wal.next_lsn();
-        let t = self.wal.commit(&mut self.logv, target, now);
+        let mut t = self.wal.commit(&mut self.logv, target, now);
         if let Some(ledger) = &self.ledger {
             // Everything logged so far is acknowledged durable at `t`. The
             // contract is a barrier ack only when the log volume really
@@ -693,6 +731,11 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
             ledger.ack_all_pending(t, self.cfg.barriers);
         }
         self.note_op("engine.commit", now, t);
+        if matches!(self.cfg.checkpoint_policy, CheckpointPolicy::EveryNCommits(_))
+            && self.wal.needs_checkpoint()
+        {
+            t = self.checkpoint(t);
+        }
         t
     }
 
@@ -714,11 +757,18 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
 
     /// Checkpoint: flush the log, write back every dirty page, persist the
     /// catalog, and truncate the log.
+    ///
+    /// The checkpoint brackets the flush in the log itself: a
+    /// `CheckpointBegin` before the page writeback, a `CheckpointEnd` after
+    /// catalog persistence. The log *header* is then pointed at the
+    /// **previous** checkpoint's Begin (lag-one), so the next recovery scan
+    /// is guaranteed to cross this checkpoint's complete Begin/End pair —
+    /// that pair is what lets replay prove which records to skip.
     pub fn checkpoint(&mut self, now: Nanos) -> Nanos {
         self.stats.checkpoints += 1;
         self.begin_op("engine.checkpoint", now);
         let t = self.wal.quiesce(&mut self.logv, now);
-        let ckpt_lsn = self.wal.next_lsn();
+        let begin_lsn = self.wal.append(&LogRecord::CheckpointBegin { lsn: self.wal.next_lsn() });
         let t = {
             let Engine {
                 cfg,
@@ -751,7 +801,18 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
         let t = self.data.fsync(t).expect("data volume");
         let t = self.write_catalog(t);
         self.fpw_logged.clear();
-        let t = self.wal.checkpoint(&mut self.logv, ckpt_lsn, t);
+        // Everything logged before Begin is now on the data volume: seal
+        // the checkpoint in the log and make the markers durable.
+        self.wal.append(&LogRecord::CheckpointEnd { lsn: begin_lsn });
+        let t = self.wal.quiesce(&mut self.logv, t);
+        // Lag-one header update: scanning must still cross this
+        // checkpoint's Begin/End pair, so the header points at the
+        // *previous* checkpoint's Begin.
+        let t = self.wal.checkpoint(&mut self.logv, self.last_ckpt_begin, t);
+        self.last_ckpt_begin = begin_lsn;
+        if let Some(ledger) = &self.ledger {
+            ledger.evidence(EvidenceKind::Checkpoint, begin_lsn, t, self.cfg.barriers);
+        }
         self.note_op("engine.checkpoint", now, t);
         t
     }
@@ -791,13 +852,22 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
     }
 
     /// Recover a database from devices after a crash. Reboots the devices,
-    /// repairs torn pages via the double-write area, replays the redo log.
+    /// repairs torn pages via the double-write area, replays the redo log
+    /// from the checkpoint bound through the normal BTree write API.
+    ///
+    /// The returned [`Recovered`] carries replay statistics: how many
+    /// records were replayed, how many were skipped because a complete
+    /// checkpoint already covered them, and whether the scan truncated at a
+    /// torn record (recovery still succeeds — use [`crate::tear_error`] to
+    /// turn a tear into a hard [`Error::TornLog`] when the caller demands a
+    /// clean log). Replay never appends to the WAL and is idempotent:
+    /// recovering the same image twice yields byte-identical state.
     pub fn recover(
         data_dev: D,
         log_dev: L,
         cfg: EngineConfig,
         now: Nanos,
-    ) -> Result<Timed<Self>, Error> {
+    ) -> Result<Recovered<Self>, Error> {
         cfg.validate();
         let mut data = Volume::new(data_dev, cfg.barriers);
         let mut logv = Volume::new(log_dev, cfg.barriers);
@@ -881,8 +951,9 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
             }
         }
         // 3. Log recovery.
-        let (wal, records, t2) = Wal::recover(&mut logv, log_layout, t);
+        let (mut wal, scan, t2) = Wal::recover(&mut logv, log_layout, t);
         t = t2;
+        wal.set_checkpoint_policy(cfg.checkpoint_policy);
         let pool = BufferPool::new(cfg.pool_frames(), cfg.page_size);
         let mut eng = Self {
             data,
@@ -896,6 +967,7 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
             next_page,
             dwb_cursor: 0,
             catalog_seq,
+            last_ckpt_begin: 0,
             dirty_lsn: HashMap::new(),
             fpw_logged: std::collections::HashSet::new(),
             scratch: Vec::with_capacity(cfg.page_size),
@@ -904,44 +976,68 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
             ledger: None,
             cfg,
         };
-        // 4. Replay.
-        for rec in records {
-            let Some(r) = RedoRecord::decode(&rec.payload) else {
-                break; // corrupt tail beyond CRC (defensive)
-            };
+        // 4. Replay everything after the newest complete checkpoint; skip
+        // what that checkpoint already flushed. Replay runs through the
+        // normal write path with the WAL left alone — assert that.
+        let appends_before = eng.wal.stats().appends;
+        let bound = scan.replay_bound();
+        let (skip_upto, ckpt_begin) = match bound {
+            Some((idx, begin)) => (idx as i64, begin),
+            None => (-1, eng.wal.checkpoint_lsn()),
+        };
+        // The next checkpoint's lag-one header points at this one's Begin.
+        eng.last_ckpt_begin = ckpt_begin;
+        let mut replay = ReplayStats {
+            checkpoint_lsn: ckpt_begin,
+            torn: scan.tear.iter().count() as u64,
+            tear_lsn: scan.tear.map(|tear| tear.lsn),
+            ..ReplayStats::default()
+        };
+        for (i, sr) in scan.records.into_iter().enumerate() {
+            if (i as i64) <= skip_upto {
+                replay.skipped += 1;
+                continue;
+            }
+            replay.replayed += 1;
             eng.stats.replayed_records += 1;
-            t = eng.apply_record(r, t);
+            t = eng.apply_record(sr.record, t);
         }
-        Ok(Timed::new(eng, t))
+        debug_assert_eq!(eng.wal.stats().appends, appends_before, "replay must not grow the WAL");
+        replay.replay_ns = t.saturating_sub(now);
+        Ok(Recovered::new(eng, t, replay))
     }
 
-    /// Apply one redo record during recovery.
-    fn apply_record(&mut self, r: RedoRecord, now: Nanos) -> Nanos {
+    /// Apply one logical log record during recovery. Replay goes through
+    /// the normal BTree write API (no re-logging) and is idempotent: a put
+    /// is an upsert, a delete of a missing key is a no-op, a page image
+    /// overwrites whatever is there.
+    fn apply_record(&mut self, r: LogRecord, now: Nanos) -> Nanos {
         let logical_ps = self.logical_ps();
         let mut t = now;
-        // Page images restore restructured pages exactly.
-        for (page, bytes) in &r.images {
-            self.next_page = self.next_page.max(page + 1);
-            let (_, summary, t2) = self.op(t, |_trees, view, t| {
-                view.with_new_page(*page, t, |buf| {
-                    buf[..bytes.len()].copy_from_slice(bytes);
-                })
-            });
-            for idx in summary.retained {
-                self.pool.unpin(idx);
+        match r {
+            LogRecord::PageImages { images, root_change } => {
+                // Page images restore restructured pages exactly.
+                for (page, bytes) in &images {
+                    self.next_page = self.next_page.max(page + 1);
+                    let (_, summary, t2) = self.op(t, |_trees, view, t| {
+                        view.with_new_page(*page, t, |buf| {
+                            buf[..bytes.len()].copy_from_slice(bytes);
+                        })
+                    });
+                    for idx in summary.retained {
+                        self.pool.unpin(idx);
+                    }
+                    t = t2;
+                }
+                if let Some((tree, root, height)) = root_change {
+                    while self.trees.len() <= tree as usize {
+                        self.trees.push(BTree::open(root, height));
+                    }
+                    self.trees[tree as usize] = BTree::open(root, height);
+                }
             }
-            t = t2;
-        }
-        if let Some((tree, root, height)) = r.root_change {
-            while self.trees.len() <= tree as usize {
-                self.trees.push(BTree::open(root, height));
-            }
-            self.trees[tree as usize] = BTree::open(root, height);
-        }
-        // Logical redo (idempotent).
-        match r.op {
-            Op::Put { tree, key, value } => {
-                if (!key.is_empty() || !value.is_empty()) && (tree as usize) < self.trees.len() {
+            LogRecord::Put { tree, key, value } => {
+                if (tree as usize) < self.trees.len() {
                     assert!(key.len() + value.len() <= bnode::max_cell_payload(logical_ps));
                     let (_, summary, t2) = self
                         .op(t, |trees, view, t| trees[tree as usize].put(view, &key, &value, t));
@@ -952,7 +1048,7 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
                     t = t2;
                 }
             }
-            Op::Delete { tree, key } => {
+            LogRecord::Delete { tree, key } => {
                 if (tree as usize) < self.trees.len() {
                     let (_, summary, t2) =
                         self.op(t, |trees, view, t| trees[tree as usize].delete(view, &key, t));
@@ -962,6 +1058,13 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
                     t = t2;
                 }
             }
+            // Checkpoint markers past the replay bound (an interrupted
+            // checkpoint's orphan Begin) carry no redo work, and document
+            // records belong to the other engine's log.
+            LogRecord::CheckpointBegin { .. }
+            | LogRecord::CheckpointEnd { .. }
+            | LogRecord::DocSet { .. }
+            | LogRecord::DocDelete { .. } => {}
         }
         t
     }

@@ -18,12 +18,20 @@
 
 pub mod config;
 pub mod engine;
-pub mod records;
 
 pub use config::{EngineConfig, EngineConfigBuilder};
 pub use durassd::Error;
 pub use engine::{Engine, EngineStats, TreeId};
-pub use records::{Op, RedoRecord};
+pub use simkit::{Recovered, ReplayStats};
+pub use wal::{CheckpointPolicy, LogRecord};
+
+/// Turn a recovery tear into a hard error, for callers that demand a clean
+/// log. [`Engine::recover`] itself succeeds across a tear (truncate-at-tear
+/// semantics: the valid prefix is replayed, appends resume at the tear);
+/// this helper is the opt-in escalation.
+pub fn tear_error(stats: &ReplayStats) -> Option<Error> {
+    stats.tear_lsn.map(|lsn| Error::TornLog { lsn })
+}
 
 #[cfg(test)]
 mod tests {

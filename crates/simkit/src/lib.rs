@@ -17,6 +17,7 @@ pub mod crc;
 pub mod dist;
 pub mod driver;
 pub mod pool;
+pub mod recovered;
 pub mod resource;
 pub mod rng;
 pub mod stats;
@@ -26,6 +27,7 @@ pub use clock::{Nanos, MICROS, MILLIS, SECS};
 pub use crc::crc32;
 pub use driver::{ClosedLoop, DriverReport};
 pub use pool::{BufPool, PageBuf};
+pub use recovered::{Recovered, ReplayStats};
 pub use resource::{MultiServer, Timeline};
 pub use rng::{Rng, SimRng};
 pub use stats::{Counter, LatencyStats, Summary};

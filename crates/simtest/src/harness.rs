@@ -320,6 +320,9 @@ fn engine_cfg() -> EngineConfig {
         log_files: 2,
         log_file_blocks: 64,
         dwb_pages: 16,
+        // Commit-count policy with a short interval so the policy-driven
+        // `ckpt` op actually fires checkpoints mid-trace.
+        checkpoint_policy: relstore::CheckpointPolicy::EveryNCommits(6),
     }
 }
 
@@ -373,6 +376,13 @@ fn run_engine_case(ops: &[Op]) -> Result<(), Failure> {
             Op::Checkpoint => {
                 now = eng.checkpoint(now);
             }
+            Op::Ckpt => {
+                // Policy-driven: checkpoint only if the WAL's policy says
+                // one is due — exercises the lag-one header advance.
+                if eng.needs_checkpoint() {
+                    now = eng.checkpoint(now);
+                }
+            }
             Op::CrashRecover => {
                 let (d, l) = eng.crash(now + 1);
                 let recovered = Engine::recover(d, l, engine_cfg(), now + 2)
@@ -409,6 +419,7 @@ fn doc_cfg() -> DocStoreConfig {
         barriers: false, // DuraSSD underneath: the lean mount
         file_blocks: 512,
         auto_compact_pct: 60,
+        checkpoint_every_n_commits: 4,
     }
 }
 
@@ -449,6 +460,12 @@ fn run_doc_case(ops: &[Op]) -> Result<(), Failure> {
             }
             Op::Checkpoint => {
                 now = store.compact(now);
+            }
+            Op::Ckpt => {
+                // Force a checkpoint anchor header: the chain walk during
+                // the next recovery stops here.
+                now = store.commit_checkpoint(now);
+                oracle.commit();
             }
             Op::CrashRecover => {
                 let dev = store.crash(now + 1);

@@ -51,6 +51,10 @@ pub enum Op {
     Commit,
     /// Engine: `checkpoint`; DocStore: `compact`.
     Checkpoint,
+    /// Policy-driven checkpoint: engine checkpoints only if its
+    /// [`wal::CheckpointPolicy`] says one is due; DocStore forces a
+    /// checkpoint anchor header (`commit_checkpoint`).
+    Ckpt,
     /// Crash the store (power-cuts the device(s) underneath), recover,
     /// audit every key against the shadow model.
     CrashRecover,
@@ -73,6 +77,7 @@ impl std::fmt::Display for Op {
             Op::Del { key } => write!(f, "d:{key}"),
             Op::Commit => write!(f, "c"),
             Op::Checkpoint => write!(f, "ck"),
+            Op::Ckpt => write!(f, "ckpt"),
             Op::CrashRecover => write!(f, "cr"),
         }
     }
@@ -122,6 +127,7 @@ pub fn parse_trace(trace: &str) -> Result<Vec<Op>, String> {
             ("d", 2) => Op::Del { key: parse_u64(parts[1], tok)? },
             ("c", 1) => Op::Commit,
             ("ck", 1) => Op::Checkpoint,
+            ("ckpt", 1) => Op::Ckpt,
             ("cr", 1) => Op::CrashRecover,
             _ => return Err(format!("unknown trace token {tok:?}")),
         };
@@ -214,8 +220,9 @@ fn gen_store_op(rng: &mut SimRng) -> Op {
         0..=39 => Op::Put { key: rng.gen_range(0..KEY_SPACE) },
         40..=59 => Op::GetKey { key: rng.gen_range(0..KEY_SPACE) },
         60..=69 => Op::Del { key: rng.gen_range(0..KEY_SPACE) },
-        70..=84 => Op::Commit,
-        85..=91 => Op::Checkpoint,
+        70..=82 => Op::Commit,
+        83..=89 => Op::Checkpoint,
+        90..=93 => Op::Ckpt,
         _ => Op::CrashRecover,
     }
 }

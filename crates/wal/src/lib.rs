@@ -1,12 +1,14 @@
-//! Write-ahead redo log with group commit.
+//! Write-ahead redo log with group commit and typed logical records.
 //!
 //! The paper's database setups put the log on its own device, flush the log
 //! tail on every transaction commit, and use three log files "to minimize
 //! the interference from logging" (§4.2). This crate reproduces that:
 //!
-//! * Records are framed `[len][lsn][crc]payload` and appended to an
-//!   in-memory tail buffer; `commit(lsn)` makes everything up to `lsn`
-//!   durable by writing whole 4KB log blocks sequentially and calling
+//! * Appends take a typed [`LogRecord`] (logical `Put`/`Delete`/`DocSet`/
+//!   `DocDelete`, checkpoint `Begin`/`End` markers, physical `PageImages`
+//!   sidecars). Each record is framed `[len][lsn][crc]payload` and appended
+//!   to an in-memory tail buffer; `commit(lsn)` makes everything up to
+//!   `lsn` durable by writing whole 4KB log blocks sequentially and calling
 //!   `fsync` on the log volume (which turns into a device FLUSH only when
 //!   barriers are on — exactly the knob the paper evaluates).
 //! * **Group commit** falls out of the timing model: while one flush is in
@@ -14,7 +16,13 @@
 //!   their records at once.
 //! * The physical log is a circular space over the configured files; a
 //!   header block records the checkpoint LSN so recovery knows where to
-//!   start scanning. Torn tails are detected by CRC.
+//!   start scanning. A [`CheckpointPolicy`] decides when the engine should
+//!   take the next checkpoint.
+//! * Recovery classifies how the scan ended: a zeroed or stale header is
+//!   the *clean* end of the committed prefix, while a CRC-failing or
+//!   undecodable record is a **tear** — reported in [`LogScan::tear`] with
+//!   truncate-at-tear semantics (the valid prefix is kept, appends resume
+//!   at the tear point).
 //!
 //! Durability is *honest*: log blocks travel through the simulated device,
 //! so a power cut takes with it whatever the device's cache model loses —
@@ -35,12 +43,16 @@
 //! flush window, so durability-sensitive tests either keep the strict mode
 //! (default) or call [`Wal::quiesce`] before inspecting the device.
 
+pub mod record;
+
 use forensics::{EvidenceKind, Ledger};
 use simkit::{crc32, Nanos};
 use storage::device::{BlockDevice, LOGICAL_PAGE};
 use storage::file::PageFile;
 use storage::volume::{Volume, VolumeManager};
 use telemetry::{Stall, Telemetry};
+
+pub use record::{CheckpointPolicy, LogRecord, RECORD_VERSION};
 
 /// Log sequence number: byte offset in the infinite log stream.
 pub type Lsn = u64;
@@ -52,13 +64,61 @@ const BLOCK: usize = LOGICAL_PAGE;
 /// Magic for the log header block.
 const HDR_MAGIC: u64 = 0x57414c_4844523031;
 
-/// A recovered log record.
+/// A decoded record surfaced by [`Wal::recover`].
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Record {
-    /// The record's LSN (stream offset of its header).
+pub struct ScannedRecord {
+    /// The record's LSN (stream offset of its frame header).
     pub lsn: Lsn,
-    /// Record payload.
-    pub payload: Vec<u8>,
+    /// The decoded record.
+    pub record: LogRecord,
+}
+
+/// How a recovery scan stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TearKind {
+    /// The frame's payload CRC failed: a partially-persisted record.
+    TornFrame,
+    /// The CRC held but the payload is not a valid [`LogRecord`]: garbage
+    /// was appended or the log was corrupted in a CRC-colliding way.
+    BadRecord,
+}
+
+/// A torn/garbage record found mid-scan. Recovery truncates at the tear:
+/// everything before it is kept, the tear and everything after is dropped,
+/// and new appends resume at `lsn`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tear {
+    /// LSN of the first unusable record.
+    pub lsn: Lsn,
+    /// Why the record was unusable.
+    pub kind: TearKind,
+}
+
+/// The outcome of a recovery scan: the decoded valid prefix since the
+/// checkpoint header, plus how the scan ended.
+#[derive(Debug, Clone, Default)]
+pub struct LogScan {
+    /// Valid records in LSN order, starting at the checkpoint header.
+    pub records: Vec<ScannedRecord>,
+    /// `Some` when the scan stopped at a torn or garbage record rather
+    /// than the clean end of the log.
+    pub tear: Option<Tear>,
+}
+
+impl LogScan {
+    /// Index and Begin-LSN of the last *complete* checkpoint in the scan:
+    /// the newest [`LogRecord::CheckpointEnd`], whose `lsn` names the
+    /// matching Begin. Records at or before this index are already
+    /// reflected on the data volume and may be skipped by replay.
+    pub fn replay_bound(&self) -> Option<(usize, Lsn)> {
+        let mut bound = None;
+        for (i, sr) in self.records.iter().enumerate() {
+            if let LogRecord::CheckpointEnd { lsn } = sr.record {
+                bound = Some((i, lsn));
+            }
+        }
+        bound
+    }
 }
 
 /// Log statistics.
@@ -96,6 +156,10 @@ pub struct Wal {
     /// Duration of the most recent physical flush (group-ack estimator).
     last_flush_dur: Nanos,
     checkpoint_lsn: Lsn,
+    /// When `needs_checkpoint` should fire (see [`CheckpointPolicy`]).
+    policy: CheckpointPolicy,
+    /// Commits since the last checkpoint (drives `EveryNCommits`).
+    commits_since_ckpt: u64,
     /// Content of the current partial tail block, as durable on disk.
     tail_image: Vec<u8>,
     /// Grow-only scratch for materialising the block run of a flush; reused
@@ -137,6 +201,8 @@ impl Wal {
             group_end: None,
             last_flush_dur: 1_000_000,
             checkpoint_lsn: 0,
+            policy: CheckpointPolicy::default(),
+            commits_since_ckpt: 0,
             tail_image: vec![0u8; BLOCK],
             run_scratch: Vec::new(),
             stats: WalStats::default(),
@@ -180,6 +246,11 @@ impl Wal {
         self.durable_lsn
     }
 
+    /// The persisted checkpoint LSN (where the next recovery scan starts).
+    pub fn checkpoint_lsn(&self) -> Lsn {
+        self.checkpoint_lsn
+    }
+
     /// Capacity of the circular data area in bytes.
     pub fn capacity_bytes(&self) -> u64 {
         self.data_blocks * BLOCK as u64
@@ -190,13 +261,38 @@ impl Wal {
         self.next_lsn - self.checkpoint_lsn
     }
 
-    /// Whether the engine should checkpoint soon (live log > 3/4 capacity).
-    pub fn needs_checkpoint(&self) -> bool {
-        self.live_bytes() > self.capacity_bytes() * 3 / 4
+    /// Install the checkpoint-scheduling policy (engines pass their
+    /// config's policy down at create/recover time).
+    pub fn set_checkpoint_policy(&mut self, policy: CheckpointPolicy) {
+        policy.validate();
+        self.policy = policy;
     }
 
-    /// Append a record; returns its LSN. Not yet durable.
-    pub fn append(&mut self, payload: &[u8]) -> Lsn {
+    /// Whether the engine should checkpoint soon, per the installed
+    /// [`CheckpointPolicy`]. Every policy keeps a hard overflow guard:
+    /// whatever the schedule, a live log past 7/8 of the circular capacity
+    /// demands a checkpoint, because overflow is a panic.
+    pub fn needs_checkpoint(&self) -> bool {
+        let overflow_guard = self.live_bytes() * 8 > self.capacity_bytes() * 7;
+        match self.policy {
+            CheckpointPolicy::Explicit => overflow_guard,
+            CheckpointPolicy::LiveBytesPct(pct) => {
+                overflow_guard || self.live_bytes() * 100 > self.capacity_bytes() * pct as u64
+            }
+            CheckpointPolicy::EveryNCommits(n) => overflow_guard || self.commits_since_ckpt >= n,
+        }
+    }
+
+    /// Append a typed record; returns its LSN. Not yet durable.
+    pub fn append(&mut self, rec: &LogRecord) -> Lsn {
+        self.append_raw(&rec.encode())
+    }
+
+    /// Append a pre-encoded payload. Exposed for corruption-injection
+    /// tests; engines should go through [`Wal::append`] so recovery can
+    /// decode what it scans.
+    #[doc(hidden)]
+    pub fn append_raw(&mut self, payload: &[u8]) -> Lsn {
         let lsn = self.next_lsn;
         // Frame the record directly into the tail buffer (no staging vec).
         self.next_lsn += (REC_HDR + payload.len()) as u64;
@@ -343,6 +439,7 @@ impl Wal {
         if let Some(tel) = &self.tel {
             tel.trace_begin("wal", "wal.commit", now);
         }
+        self.commits_since_ckpt += 1;
         let done = self.commit_inner(vol, lsn, now);
         if let Some(tel) = &self.tel {
             tel.record("wal.commit", done.saturating_sub(now));
@@ -427,7 +524,8 @@ impl Wal {
     }
 
     /// Record a checkpoint at `lsn`: everything older may be overwritten.
-    /// Persists the header (write + fsync).
+    /// Persists the header (write + fsync) and resets the commit counter
+    /// that drives [`CheckpointPolicy::EveryNCommits`].
     pub fn checkpoint<D: BlockDevice>(
         &mut self,
         vol: &mut Volume<D>,
@@ -436,6 +534,7 @@ impl Wal {
     ) -> Nanos {
         assert!(lsn <= self.next_lsn);
         self.checkpoint_lsn = self.checkpoint_lsn.max(lsn);
+        self.commits_since_ckpt = 0;
         if let Some(tel) = &self.tel {
             tel.trace_begin("wal", "wal.checkpoint", now);
         }
@@ -465,14 +564,15 @@ impl Wal {
     }
 
     /// Recover the log from a volume after a crash: read the header, scan
-    /// records from the checkpoint LSN, stop at the first torn/invalid
-    /// record. Returns the recovered log (positioned at the end of the valid
-    /// suffix), the surviving records, and the completion time.
+    /// records from the checkpoint LSN, stop at the clean end of the log or
+    /// the first torn/garbage record (reported in [`LogScan::tear`]).
+    /// Returns the recovered log (positioned at the end of the valid
+    /// suffix), the scan, and the completion time.
     pub fn recover<D: BlockDevice>(
         vol: &mut Volume<D>,
         files: Vec<PageFile>,
         now: Nanos,
-    ) -> (Self, Vec<Record>, Nanos) {
+    ) -> (Self, LogScan, Nanos) {
         let data_blocks = files.len() as u64 * files[0].pages() - 1;
         let mut wal = Self {
             files,
@@ -486,12 +586,15 @@ impl Wal {
             group_end: None,
             last_flush_dur: 1_000_000,
             checkpoint_lsn: 0,
+            policy: CheckpointPolicy::default(),
+            commits_since_ckpt: 0,
             tail_image: vec![0u8; BLOCK],
             run_scratch: Vec::new(),
             stats: WalStats::default(),
             tel: None,
             ledger: None,
         };
+        let mut scan = LogScan::default();
         let mut hdr = vec![0u8; BLOCK];
         let mut t = wal.files[0].read_page(vol, 0, &mut hdr, now).expect("header block");
         let magic = u64::from_le_bytes(hdr[..8].try_into().unwrap());
@@ -499,11 +602,10 @@ impl Wal {
         let crc = u32::from_le_bytes(hdr[16..20].try_into().unwrap());
         if magic != HDR_MAGIC || crc != crc32(&hdr[..16]) {
             // Unformatted or corrupt header: empty log.
-            return (wal, Vec::new(), t);
+            return (wal, scan, t);
         }
         wal.checkpoint_lsn = ckpt;
         // Scan forward from the checkpoint.
-        let mut records = Vec::new();
         let mut lsn = ckpt;
         let mut block_cache: Option<(u64, Vec<u8>)> = None;
         let mut read_byte = |wal: &Wal, vol: &mut Volume<D>, off: u64, t: &mut Nanos| -> u8 {
@@ -530,6 +632,8 @@ impl Wal {
             let rec_lsn = u64::from_le_bytes(hdr_bytes[4..12].try_into().unwrap());
             let crc = u32::from_le_bytes(hdr_bytes[12..16].try_into().unwrap());
             if rec_lsn != lsn || len == 0 || len as u64 > wal.capacity_bytes() {
+                // Clean end: zeroed space, or stale residue from a previous
+                // lap of the circle (its embedded LSN cannot match).
                 break;
             }
             let mut payload = vec![0u8; len];
@@ -537,10 +641,23 @@ impl Wal {
                 *b = read_byte(&wal, vol, lsn + (REC_HDR + i) as u64, &mut t);
             }
             if crc32(&payload) != crc {
-                break; // torn tail
+                // A record frame that matches this position but fails its
+                // CRC is a partially-persisted write: a torn tail.
+                scan.tear = Some(Tear { lsn, kind: TearKind::TornFrame });
+                break;
             }
-            records.push(Record { lsn, payload });
-            lsn += (REC_HDR + len) as u64;
+            match LogRecord::decode(&payload) {
+                Some((record, used)) if used == payload.len() => {
+                    scan.records.push(ScannedRecord { lsn, record });
+                    lsn += (REC_HDR + len) as u64;
+                }
+                _ => {
+                    // CRC-valid bytes that are not a record: garbage was
+                    // logged, or corruption collided with the CRC.
+                    scan.tear = Some(Tear { lsn, kind: TearKind::BadRecord });
+                    break;
+                }
+            }
         }
         wal.next_lsn = lsn;
         wal.durable_lsn = lsn;
@@ -555,7 +672,7 @@ impl Wal {
             wal.tail_image[..tail_off].copy_from_slice(&buf[..tail_off]);
             wal.tail_image[tail_off..].fill(0);
         }
-        (wal, records, t)
+        (wal, scan, t)
     }
 }
 
@@ -571,20 +688,36 @@ mod tests {
         (vol, wal)
     }
 
+    /// A minimal typed record whose payload is `bytes` (tests only care
+    /// about sizes and byte survival, not the record's meaning).
+    fn rec(bytes: &[u8]) -> LogRecord {
+        LogRecord::DocSet { key: Vec::new(), value: bytes.to_vec() }
+    }
+
+    /// The payload carried by a recovered [`rec`] record.
+    fn value_of(sr: &ScannedRecord) -> &[u8] {
+        match &sr.record {
+            LogRecord::DocSet { value, .. } => value,
+            other => panic!("expected DocSet, got {other:?}"),
+        }
+    }
+
     #[test]
     fn append_assigns_monotonic_lsns() {
         let (_, mut wal) = setup(3, 16);
-        let a = wal.append(b"one");
-        let b = wal.append(b"two!");
+        let one = rec(b"one");
+        let two = rec(b"two!");
+        let a = wal.append(&one);
+        let b = wal.append(&two);
         assert_eq!(a, 0);
-        assert_eq!(b, (REC_HDR + 3) as u64);
-        assert_eq!(wal.next_lsn(), b + (REC_HDR + 4) as u64);
+        assert_eq!(b, (REC_HDR + one.encode().len()) as u64);
+        assert_eq!(wal.next_lsn(), b + (REC_HDR + two.encode().len()) as u64);
     }
 
     #[test]
     fn commit_makes_records_durable_and_counts_flush() {
         let (mut vol, mut wal) = setup(3, 16);
-        let lsn = wal.append(b"hello");
+        let lsn = wal.append(&rec(b"hello"));
         let t = wal.commit(&mut vol, lsn, 1000);
         assert!(t > 1000);
         assert!(wal.durable_lsn() > lsn);
@@ -597,42 +730,45 @@ mod tests {
         let (mut vol, mut wal) = setup(3, 16);
         let mut lsns = Vec::new();
         for i in 0..10u8 {
-            lsns.push(wal.append(&[i; 100]));
+            lsns.push(wal.append(&rec(&[i; 100])));
         }
         let t = wal.commit(&mut vol, *lsns.last().unwrap(), 0);
         let files = wal.files.clone();
+        let end = wal.next_lsn();
         drop(wal);
-        let (wal2, records, _) = Wal::recover(&mut vol, files, t);
-        assert_eq!(records.len(), 10);
-        for (i, r) in records.iter().enumerate() {
-            assert_eq!(r.payload, vec![i as u8; 100]);
+        let (wal2, scan, _) = Wal::recover(&mut vol, files, t);
+        assert_eq!(scan.records.len(), 10);
+        assert!(scan.tear.is_none());
+        for (i, r) in scan.records.iter().enumerate() {
+            assert_eq!(value_of(r), &[i as u8; 100]);
             assert_eq!(r.lsn, lsns[i]);
         }
-        assert_eq!(wal2.next_lsn(), records.last().unwrap().lsn + (REC_HDR + 100) as u64);
+        assert_eq!(wal2.next_lsn(), end);
     }
 
     #[test]
     fn uncommitted_tail_does_not_survive() {
         let (mut vol, mut wal) = setup(3, 16);
-        let a = wal.append(b"committed");
+        let a = wal.append(&rec(b"committed"));
         wal.commit(&mut vol, a, 0);
-        let _ = wal.append(b"lost");
+        let _ = wal.append(&rec(b"lost"));
         // No commit for the second record: crash now.
         let files = wal.files.clone();
-        let (_, records, _) = Wal::recover(&mut vol, files, 0);
-        assert_eq!(records.len(), 1);
-        assert_eq!(records[0].payload, b"committed");
+        let (_, scan, _) = Wal::recover(&mut vol, files, 0);
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(value_of(&scan.records[0]), b"committed");
+        assert!(scan.tear.is_none(), "unwritten space is a clean end, not a tear");
     }
 
     #[test]
     fn group_commit_piggybacks() {
         let (mut vol, mut wal) = setup(3, 64);
-        let a = wal.append(b"a");
+        let a = wal.append(&rec(b"a"));
         let t1 = wal.commit(&mut vol, a, 0);
         // Two more records appended "while the flush runs" (arrival before
         // t1): the second commit of the pair piggybacks on the first.
-        let b = wal.append(b"b");
-        let c = wal.append(b"c");
+        let b = wal.append(&rec(b"b"));
+        let c = wal.append(&rec(b"c"));
         let t2 = wal.commit(&mut vol, c, t1 / 2);
         let t3 = wal.commit(&mut vol, b, t1 / 2 + 1);
         assert!(t2 >= t1, "second flush after the first");
@@ -644,15 +780,15 @@ mod tests {
     #[test]
     fn appends_continue_after_recovery() {
         let (mut vol, mut wal) = setup(3, 16);
-        let a = wal.append(b"first");
+        let a = wal.append(&rec(b"first"));
         let t = wal.commit(&mut vol, a, 0);
         let files = wal.files.clone();
         let (mut wal2, _, t2) = Wal::recover(&mut vol, files.clone(), t);
-        let b = wal2.append(b"second");
+        let b = wal2.append(&rec(b"second"));
         let t3 = wal2.commit(&mut vol, b, t2);
-        let (_, records, _) = Wal::recover(&mut vol, files, t3);
-        assert_eq!(records.len(), 2);
-        assert_eq!(records[1].payload, b"second");
+        let (_, scan, _) = Wal::recover(&mut vol, files, t3);
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(value_of(&scan.records[1]), b"second");
     }
 
     #[test]
@@ -661,18 +797,18 @@ mod tests {
         let mut t = 0;
         // Write ~3 capacities' worth with checkpoints to allow reuse.
         for round in 0..12u64 {
-            let payload = vec![round as u8; 2000];
-            let lsn = wal.append(&payload);
+            let lsn = wal.append(&rec(&vec![round as u8; 2000]));
             t = wal.commit(&mut vol, lsn, t);
             // Checkpoint aggressively so the circle never overflows.
             t = wal.checkpoint(&mut vol, wal.next_lsn(), t);
         }
         let files = wal.files.clone();
         let ckpt = wal.checkpoint_lsn;
-        let (wal2, records, _) = Wal::recover(&mut vol, files, t);
+        let (wal2, scan, _) = Wal::recover(&mut vol, files, t);
         // Everything after the final checkpoint (nothing) scans cleanly.
         assert_eq!(wal2.checkpoint_lsn, ckpt);
-        assert!(records.is_empty());
+        assert!(scan.records.is_empty());
+        assert!(scan.tear.is_none(), "stale previous-lap bytes are a clean end");
     }
 
     #[test]
@@ -682,7 +818,7 @@ mod tests {
         let mut t = 0;
         let mut lsn = 0;
         for _ in 0..11 {
-            lsn = wal.append(&[9u8; 2000]);
+            lsn = wal.append(&rec(&[9u8; 2000]));
             t = wal.commit(&mut vol, lsn, t);
         }
         assert!(wal.needs_checkpoint());
@@ -691,11 +827,44 @@ mod tests {
     }
 
     #[test]
+    fn explicit_policy_reports_only_near_overflow() {
+        let (mut vol, mut wal) = setup(2, 4); // 28KB capacity
+        wal.set_checkpoint_policy(CheckpointPolicy::Explicit);
+        let mut t = 0;
+        for _ in 0..11 {
+            let lsn = wal.append(&rec(&[9u8; 2000]));
+            t = wal.commit(&mut vol, lsn, t);
+        }
+        // 11 records (~22KB) exceed 75% but not the 7/8 overflow guard.
+        assert!(!wal.needs_checkpoint(), "explicit policy stays quiet below the guard");
+        for _ in 0..2 {
+            let lsn = wal.append(&rec(&[9u8; 2000]));
+            t = wal.commit(&mut vol, lsn, t);
+        }
+        assert!(wal.needs_checkpoint(), "the overflow guard still fires");
+    }
+
+    #[test]
+    fn every_n_commits_policy_counts_commits() {
+        let (mut vol, mut wal) = setup(3, 16);
+        wal.set_checkpoint_policy(CheckpointPolicy::EveryNCommits(3));
+        let mut t = 0;
+        for i in 0..3u64 {
+            assert!(!wal.needs_checkpoint(), "commit {i}");
+            let lsn = wal.append(&rec(b"x"));
+            t = wal.commit(&mut vol, lsn, t);
+        }
+        assert!(wal.needs_checkpoint());
+        wal.checkpoint(&mut vol, wal.next_lsn(), t);
+        assert!(!wal.needs_checkpoint(), "checkpoint resets the commit counter");
+    }
+
+    #[test]
     #[should_panic(expected = "log overflow")]
     fn overflow_without_checkpoint_panics() {
         let (_, mut wal) = setup(2, 4);
         for _ in 0..40 {
-            wal.append(&[1u8; 2000]);
+            wal.append(&rec(&[1u8; 2000]));
         }
     }
 
@@ -704,9 +873,75 @@ mod tests {
         let mut vol = Volume::new(MemDevice::new(256), true);
         let mut vm = VolumeManager::new(256);
         let files = vec![PageFile::create(&mut vm, 8, BLOCK)];
-        let (wal, records, _) = Wal::recover(&mut vol, files, 0);
-        assert!(records.is_empty());
+        let (wal, scan, _) = Wal::recover(&mut vol, files, 0);
+        assert!(scan.records.is_empty());
+        assert!(scan.tear.is_none());
         assert_eq!(wal.next_lsn(), 0);
+    }
+
+    /// Regression: a bit flip inside a committed mid-log record must not
+    /// assert or mis-decode — recovery keeps the prefix before the flip and
+    /// reports a torn frame at the flipped record's LSN.
+    #[test]
+    fn bit_flipped_record_truncates_at_tear() {
+        let (mut vol, mut wal) = setup(3, 16);
+        let mut lsns = Vec::new();
+        for i in 0..5u8 {
+            lsns.push(wal.append(&rec(&[i; 200])));
+        }
+        let t = wal.commit(&mut vol, *lsns.last().unwrap(), 0);
+        // Flip one byte in record 2's payload, on the device.
+        let victim = lsns[2] + REC_HDR as u64 + 40;
+        let blk = victim / BLOCK as u64;
+        let (file, in_file) = wal.locate(blk);
+        let mut buf = vec![0u8; BLOCK];
+        let t = wal.files[file].read_page(&mut vol, in_file, &mut buf, t).unwrap();
+        buf[(victim % BLOCK as u64) as usize] ^= 0x10;
+        let t = wal.files[file].write_page(&mut vol, in_file, &buf, t).unwrap();
+        let files = wal.files.clone();
+        drop(wal);
+        let (wal2, scan, _) = Wal::recover(&mut vol, files, t);
+        assert_eq!(scan.records.len(), 2, "only the prefix before the flip survives");
+        for (i, r) in scan.records.iter().enumerate() {
+            assert_eq!(value_of(r), &[i as u8; 200]);
+        }
+        assert_eq!(scan.tear, Some(Tear { lsn: lsns[2], kind: TearKind::TornFrame }));
+        // Truncate-at-tear: the log resumes at the torn record's LSN.
+        assert_eq!(wal2.next_lsn(), lsns[2]);
+    }
+
+    /// CRC-valid bytes that are not a [`LogRecord`] are a distinct tear
+    /// kind: the frame survived but its content is garbage.
+    #[test]
+    fn undecodable_record_is_a_bad_record_tear() {
+        let (mut vol, mut wal) = setup(3, 16);
+        let a = wal.append(&rec(b"good"));
+        let garbage = wal.append_raw(b"this is not a log record");
+        wal.commit(&mut vol, garbage, 0);
+        let _ = a;
+        let files = wal.files.clone();
+        let (_, scan, _) = Wal::recover(&mut vol, files, 0);
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.tear, Some(Tear { lsn: garbage, kind: TearKind::BadRecord }));
+    }
+
+    #[test]
+    fn replay_bound_finds_last_complete_checkpoint() {
+        let mut scan = LogScan::default();
+        let push = |scan: &mut LogScan, lsn: Lsn, record: LogRecord| {
+            scan.records.push(ScannedRecord { lsn, record });
+        };
+        push(&mut scan, 0, rec(b"a"));
+        assert!(scan.replay_bound().is_none());
+        push(&mut scan, 10, LogRecord::CheckpointBegin { lsn: 10 });
+        push(&mut scan, 20, LogRecord::CheckpointEnd { lsn: 10 });
+        push(&mut scan, 30, rec(b"b"));
+        assert_eq!(scan.replay_bound(), Some((2, 10)));
+        // A later Begin with no End does not move the bound.
+        push(&mut scan, 40, LogRecord::CheckpointBegin { lsn: 40 });
+        assert_eq!(scan.replay_bound(), Some((2, 10)));
+        push(&mut scan, 50, LogRecord::CheckpointEnd { lsn: 40 });
+        assert_eq!(scan.replay_bound(), Some((5, 40)));
     }
 
     mod proptests {
@@ -732,7 +967,7 @@ mod tests {
                 let mut committed = Vec::new();
                 let mut pending = Vec::new();
                 for (payload, commit) in recs {
-                    let lsn = wal.append(&payload);
+                    let lsn = wal.append(&rec(&payload));
                     pending.push((lsn, payload));
                     if commit {
                         t = wal.commit(&mut vol, lsn, t);
@@ -741,11 +976,12 @@ mod tests {
                 }
                 let files = wal.files.clone();
                 drop(wal);
-                let (_, records, _) = Wal::recover(&mut vol, files, t);
-                assert_eq!(records.len(), committed.len());
-                for (r, (lsn, payload)) in records.iter().zip(committed.iter()) {
+                let (_, scan, _) = Wal::recover(&mut vol, files, t);
+                assert_eq!(scan.records.len(), committed.len());
+                assert!(scan.tear.is_none());
+                for (r, (lsn, payload)) in scan.records.iter().zip(committed.iter()) {
                     assert_eq!(r.lsn, *lsn);
-                    assert_eq!(&r.payload, payload);
+                    assert_eq!(value_of(r), payload);
                 }
             }
         }

@@ -35,9 +35,11 @@ fn trial<D: BlockDevice>(name: &str, data: D, log: D) {
     }
     println!("{name}: {KEYS} transactions committed; pulling the plug…");
     let (d, l) = e.crash(now + 1);
-    match Engine::recover(d, l, cfg(), now + 2).map(simkit::Timed::into_parts) {
+    match Engine::recover(d, l, cfg(), now + 2) {
         Err(err) => println!("{name}: database is UNRECOVERABLE ({err})\n"),
-        Ok((mut e2, mut t2)) => {
+        Ok(rec) => {
+            let replay = rec.stats;
+            let (mut e2, mut t2) = rec.into_parts();
             let mut lost = 0;
             for i in 0..KEYS {
                 let (v, t3) = e2.get(tree, format!("k{i:05}").as_bytes(), t2).into_parts();
@@ -47,8 +49,11 @@ fn trial<D: BlockDevice>(name: &str, data: D, log: D) {
                 }
             }
             println!(
-                "{name}: recovered; {lost}/{KEYS} committed transactions lost, \
+                "{name}: recovered ({} log records replayed, {} pre-checkpoint \
+                 skipped); {lost}/{KEYS} committed transactions lost, \
                  {} corrupt pages detected\n",
+                replay.replayed,
+                replay.skipped,
                 e2.stats().corrupt_reads
             );
         }

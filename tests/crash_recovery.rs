@@ -20,6 +20,7 @@ fn engine_cfg(safe: bool) -> EngineConfig {
         log_files: 2,
         log_file_blocks: 1024,
         dwb_pages: 64,
+        checkpoint_policy: relstore::CheckpointPolicy::default(),
     }
 }
 
@@ -131,6 +132,121 @@ fn repeated_crashes_converge() {
         }
     }
     assert_eq!(found, expected);
+}
+
+#[test]
+fn double_recovery_is_idempotent() {
+    // Recovering the same crash image twice must yield byte-identical state
+    // and identical replay accounting: replay goes through the normal write
+    // path with the WAL disabled, so a recovery pass never changes what the
+    // next recovery pass sees.
+    let cfg = engine_cfg(false);
+    let (mut e, t0) = Engine::create(durassd(), durassd(), cfg, 0).into_parts();
+    let (tree, t1) = e.create_tree(t0).into_parts();
+    let mut now = e.checkpoint(t1);
+    for i in 0..120u64 {
+        now = e.put(tree, format!("k{i:04}").as_bytes(), format!("v{i}").as_bytes(), now);
+        now = e.commit(now);
+        if i == 60 {
+            now = e.checkpoint(now);
+        }
+    }
+    let (d, l) = e.crash(now + 1);
+    let r1 = Engine::recover(d, l, cfg, now + 2).expect("first recovery");
+    let stats1 = r1.stats;
+    let (mut e1, mut ta) = r1.into_parts();
+    let mut state1 = Vec::new();
+    for i in 0..120u64 {
+        let (v, t) = e1.get(tree, format!("k{i:04}").as_bytes(), ta).into_parts();
+        ta = t;
+        state1.push(v);
+    }
+    // Crash the recovered engine without any new work and recover again.
+    let (d, l) = e1.crash(ta + 1);
+    let r2 = Engine::recover(d, l, cfg, ta + 2).expect("second recovery");
+    let stats2 = r2.stats;
+    let (mut e2, mut tb) = r2.into_parts();
+    for (i, want) in state1.iter().enumerate() {
+        let (v, t) = e2.get(tree, format!("k{i:04}").as_bytes(), tb).into_parts();
+        tb = t;
+        assert_eq!(&v, want, "key k{i:04} differs between recovery passes");
+    }
+    // Replay did not grow the WAL, so the second pass sees the same log.
+    assert_eq!(stats2.replayed, stats1.replayed, "replay accounting drifted");
+    assert_eq!(stats2.skipped, stats1.skipped);
+    assert_eq!(stats2.torn, 0);
+    assert_eq!(stats1.torn, 0);
+}
+
+#[test]
+fn checkpoint_bounded_replay_skips_pre_checkpoint_records() {
+    // Records logged before the last complete checkpoint must land in
+    // `skipped`, not be re-applied; records after it must be replayed.
+    let cfg = engine_cfg(false);
+    let (mut e, t0) = Engine::create(durassd(), durassd(), cfg, 0).into_parts();
+    let (tree, t1) = e.create_tree(t0).into_parts();
+    let mut now = e.checkpoint(t1);
+    for i in 0..40u64 {
+        now = e.put(tree, format!("a{i:03}").as_bytes(), b"pre", now);
+        now = e.commit(now);
+    }
+    now = e.checkpoint(now);
+    for i in 0..15u64 {
+        now = e.put(tree, format!("b{i:03}").as_bytes(), b"post", now);
+        now = e.commit(now);
+    }
+    let (d, l) = e.crash(now + 1);
+    let rec = Engine::recover(d, l, cfg, now + 2).expect("recover");
+    let stats = rec.stats;
+    assert!(stats.skipped >= 40, "pre-checkpoint records must be skipped: {stats:?}");
+    assert!(stats.replayed >= 15, "post-checkpoint records must replay: {stats:?}");
+    assert!(stats.checkpoint_lsn > 0, "replay must start at a checkpoint: {stats:?}");
+    // Skipping must not cost any data: every commit from both phases reads.
+    let (mut e2, mut t2) = rec.into_parts();
+    for i in 0..40u64 {
+        let (v, t3) = e2.get(tree, format!("a{i:03}").as_bytes(), t2).into_parts();
+        t2 = t3;
+        assert_eq!(v.as_deref(), Some(b"pre".as_slice()), "a{i:03}");
+    }
+    for i in 0..15u64 {
+        let (v, t3) = e2.get(tree, format!("b{i:03}").as_bytes(), t2).into_parts();
+        t2 = t3;
+        assert_eq!(v.as_deref(), Some(b"post".as_slice()), "b{i:03}");
+    }
+}
+
+#[test]
+fn bit_flip_in_log_surfaces_typed_tear() {
+    // A corrupted record mid-log must not panic recovery: the log is
+    // truncated at the tear and the damage is reported as replay stats that
+    // convert to a typed `durassd::Error` via `relstore::tear_error`.
+    use storage::testdev::MemDevice;
+    let cfg = engine_cfg(false);
+    let (mut e, t0) =
+        Engine::create(MemDevice::new(16 * 1024), MemDevice::new(4096), cfg, 0).into_parts();
+    let (tree, t1) = e.create_tree(t0).into_parts();
+    let mut now = t1;
+    for i in 0..20u64 {
+        now = e.put(tree, format!("k{i:03}").as_bytes(), b"v", now);
+        now = e.commit(now);
+    }
+    let (d, mut l) = e.crash(now + 1);
+    // Flip a payload byte of the very first log record (the create_tree
+    // page image, which spans all of stream block 0 = device lpn 1).
+    let mut blk = vec![0u8; 4096];
+    l.read(1, 1, &mut blk, 0).unwrap();
+    blk[200] ^= 0xFF;
+    l.write(1, &blk, 0).unwrap();
+    let rec = Engine::recover(d, l, cfg, now + 2).expect("truncate-at-tear, not a panic");
+    let stats = rec.stats;
+    assert_eq!(stats.torn, 1, "{stats:?}");
+    assert_eq!(stats.tear_lsn, Some(0), "{stats:?}");
+    assert_eq!(stats.replayed, 0, "everything after the tear is truncated: {stats:?}");
+    let err = relstore::tear_error(&stats).expect("a tear must convert to a typed error");
+    assert!(matches!(err, Error::TornLog { lsn: 0 }), "{err:?}");
+    assert!(err.to_string().contains("torn log record"), "{err}");
+    // A clean image converts to no error.
+    assert!(relstore::tear_error(&simkit::ReplayStats::default()).is_none());
 }
 
 #[test]

@@ -27,6 +27,7 @@ fn linkbench_on_durassd_end_to_end() {
         log_files: 2,
         log_file_blocks: 4096,
         dwb_pages: 256,
+        checkpoint_policy: relstore::CheckpointPolicy::default(),
     };
     let (mut e, t0) = Engine::create(dura(), dura(), cfg, 0).into_parts();
     let mut spec = linkbench::LinkBenchSpec::scaled(nodes, ops);
@@ -81,6 +82,7 @@ fn tpcc_money_conservation() {
         log_files: 2,
         log_file_blocks: 4096,
         dwb_pages: 64,
+        checkpoint_policy: relstore::CheckpointPolicy::default(),
     };
     let (mut e, t0) = Engine::create(dura(), dura(), cfg, 0).into_parts();
     let (mut db, t1) = tpcc::load(&mut e, &spec, t0);
@@ -100,8 +102,13 @@ fn tpcc_money_conservation() {
 
 #[test]
 fn ycsb_results_survive_crash_when_synced() {
-    let cfg =
-        DocStoreConfig { batch_size: 1, barriers: false, file_blocks: 50_000, auto_compact_pct: 0 };
+    let cfg = DocStoreConfig {
+        batch_size: 1,
+        barriers: false,
+        file_blocks: 50_000,
+        auto_compact_pct: 0,
+        checkpoint_every_n_commits: 8,
+    };
     let mut s = DocStore::create(dura(), cfg);
     let spec = ycsb::YcsbSpec::workload_a(500, 600);
     let t = ycsb::load(&mut s, &spec, 0);
@@ -132,6 +139,7 @@ fn engine_checkpoint_cycles_under_load() {
         log_files: 2,
         log_file_blocks: 96, // <1MB total: forces frequent checkpoints
         dwb_pages: 64,
+        checkpoint_policy: relstore::CheckpointPolicy::default(),
     };
     let (mut e, t0) = Engine::create(dura(), dura(), cfg, 0).into_parts();
     let (tree, t1) = e.create_tree(t0).into_parts();
@@ -171,6 +179,7 @@ fn ssd_gc_under_database_load_preserves_data() {
         log_files: 2,
         log_file_blocks: 100,
         dwb_pages: 16,
+        checkpoint_policy: relstore::CheckpointPolicy::default(),
     };
     let (mut e, t0) = Engine::create(data, log, cfg, 0).into_parts();
     let (tree, t1) = e.create_tree(t0).into_parts();

@@ -102,6 +102,7 @@ fn engine_survives_crashes_like_model() {
             log_files: 2,
             log_file_blocks: 128,
             dwb_pages: 8,
+            checkpoint_policy: relstore::CheckpointPolicy::default(),
         };
         let mk = || Ssd::new(SsdConfig::tiny_test());
         let (mut e, t0) = Engine::create(mk(), mk(), cfg, 0).into_parts();
@@ -144,6 +145,7 @@ fn docstore_crash_recovery_matches_model() {
             barriers: false,
             file_blocks: 1500,
             auto_compact_pct: 0,
+            checkpoint_every_n_commits: 8,
         };
         let mut s = DocStore::create(Ssd::new(SsdConfig::tiny_test()), cfg);
         let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
