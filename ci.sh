@@ -61,4 +61,14 @@ cargo run -p bench --release -q --bin perf -- \
 test -s "$TRACE_TMP/perf.json"
 grep -q '"schema": *"durassd.perf.v1"' "$TRACE_TMP/perf.json"
 
+echo "== waf smoke (write-provenance conservation, schema-validated BENCH_waf.json) =="
+# --check fails on schema drift, any row whose per-cause counts do not sum
+# to its totals (attribution leak), or durable < volatile absorption.
+cargo run -p bench --release -q --bin waf -- \
+    --fio-ops 4000 --fio-span 512 --ycsb-records 200 --ycsb-ops 800 \
+    --warehouses 1 --txns 40 --out "$TRACE_TMP/waf.json" --check \
+    >"$TRACE_TMP/waf.out"
+test -s "$TRACE_TMP/waf.json"
+grep -q '"schema":"durassd.waf.v1"' "$TRACE_TMP/waf.json"
+
 echo "tier-1 gate: OK"

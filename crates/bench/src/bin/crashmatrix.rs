@@ -25,14 +25,15 @@
 //! `power_cut` Instant). `--check` validates the report schema in-process
 //! and exits non-zero if any DuraSSD row lost an acknowledged unit.
 
+use bench::schema::check_forensics_report;
 use bench::{
     arg_flag, arg_str, arg_u64, durassd_bench, hdd_bench, rule, ssd_a_bench, ssd_b_bench,
     ssd_health_line, write_atomic, TelemetrySink,
 };
 use docstore::{DocStore, DocStoreConfig};
 use forensics::{
-    reconcile, validate_report, AckContract, CampaignReport, CutReport, DeviceHealth, Forensic,
-    Ledger, Probe, ProbeResult,
+    reconcile, AckContract, CampaignReport, CutReport, DeviceHealth, Forensic, Ledger, Probe,
+    ProbeResult,
 };
 use relstore::{Engine, EngineConfig};
 use simkit::dist::{rng, Rng};
@@ -347,8 +348,11 @@ fn main() {
         }
     }
     if check {
-        if let Err(e) = validate_report(&doc) {
-            eprintln!("forensics: report FAILED schema validation: {e}");
+        let failures = check_forensics_report(&doc);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("forensics: report FAILED schema validation: {f}");
+            }
             std::process::exit(1);
         }
         let durassd_lost = report.acked_lost_for("DuraSSD");

@@ -29,6 +29,7 @@
 //!
 //! Run: `cargo run -p bench --release --bin perf`
 
+use bench::schema::{check_perf_report, PERF_SCHEMA};
 use bench::{arg_flag, arg_str, arg_u64, durassd_bench, fmt_rate, rule, write_atomic};
 use docstore::{DocStore, DocStoreConfig};
 use relstore::{Engine, EngineConfig};
@@ -41,7 +42,7 @@ use workloads::{fio, tpcc, ycsb};
 static ALLOC: CountingAlloc = CountingAlloc::new();
 
 /// JSON schema tag; bump on layout changes so downstream tooling can gate.
-const SCHEMA: &str = "durassd.perf.v1";
+const SCHEMA: &str = PERF_SCHEMA;
 
 struct Scenario {
     name: &'static str,
@@ -163,52 +164,6 @@ fn render_json(scenarios: &[Scenario], rss: u64) -> String {
     out
 }
 
-/// Validate the serialized report: parses as JSON, schema tag present, every
-/// scenario has positive finite wall and sim throughput.
-fn check_report(doc: &str) -> Vec<String> {
-    let mut failures = Vec::new();
-    let v = match telemetry::parse_json(doc) {
-        Ok(v) => v,
-        Err(e) => return vec![format!("BENCH_perf.json does not parse: {e}")],
-    };
-    let Some(obj) = v.as_object() else {
-        return vec!["top level is not an object".into()];
-    };
-    match obj.get("schema").and_then(|s| s.as_str()) {
-        Some(s) if s == SCHEMA => {}
-        other => failures.push(format!("schema tag {other:?}, want {SCHEMA:?}")),
-    }
-    let scenarios = obj.get("scenarios").and_then(|s| s.as_array());
-    match scenarios {
-        None => failures.push("scenarios array missing".into()),
-        Some(list) if list.is_empty() => failures.push("scenarios array empty".into()),
-        Some(list) => {
-            for s in list {
-                let Some(s) = s.as_object() else {
-                    failures.push("scenario is not an object".into());
-                    continue;
-                };
-                let name = s.get("name").and_then(|v| v.as_str()).unwrap_or("?");
-                for key in ["wall_ops_per_sec", "sim_ops_per_sec"] {
-                    match s.get(key).and_then(|v| v.as_f64()) {
-                        Some(x) if x.is_finite() && x > 0.0 => {}
-                        other => {
-                            failures.push(format!("{name}.{key} = {other:?}: want finite positive"))
-                        }
-                    }
-                }
-                for key in ["ops", "wall_ns", "sim_ns"] {
-                    match s.get(key).and_then(|v| v.as_f64()) {
-                        Some(x) if x > 0.0 => {}
-                        other => failures.push(format!("{name}.{key} = {other:?}: want positive")),
-                    }
-                }
-            }
-        }
-    }
-    failures
-}
-
 fn main() {
     let fio_ops = arg_u64("--fio-ops", 60_000);
     let ycsb_records = arg_u64("--ycsb-records", 2_000);
@@ -255,7 +210,7 @@ fn main() {
     println!("wrote {out}");
 
     if check {
-        let failures = check_report(&doc);
+        let failures = check_perf_report(&doc);
         if failures.is_empty() {
             println!("check : OK (schema, finite positive throughputs)");
         } else {

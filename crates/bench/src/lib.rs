@@ -10,6 +10,8 @@ use forensics::DeviceHealth;
 use hdd::{Hdd, HddConfig};
 use telemetry::Telemetry;
 
+pub mod schema;
+
 /// Blocks per plane used by the benchmark SSDs: 16 ⇒ 4GB raw, ~3.4GB
 /// exported — big enough for realistic mapping-table behaviour, small enough
 /// to simulate quickly.
@@ -146,95 +148,15 @@ impl TelemetrySink {
 }
 
 /// Schema tag the `recovery` bin writes and [`validate_recovery_report`]
-/// gates on. Bump on layout changes.
-pub const RECOVERY_SCHEMA: &str = "durassd.recovery.v1";
+/// gates on. Re-exported from [`schema`], where all report validators live.
+pub const RECOVERY_SCHEMA: &str = schema::RECOVERY_SCHEMA;
 
 /// Validate a serialized `BENCH_recovery.json` document. Returns the list
-/// of violations (empty = valid):
-///
-/// - parses as JSON, carries the [`RECOVERY_SCHEMA`] tag;
-/// - a non-empty `rows` array covering ≥ 3 distinct devices and ≥ 2
-///   distinct checkpoint intervals;
-/// - every row has non-negative counters, a positive simulated recovery
-///   time, and a time-to-first-read no smaller than the recovery time;
-/// - the DuraSSD relational rows actually exercise checkpoint-bounded
-///   replay: at least one record replayed *and* at least one skipped.
+/// of violations (empty = valid). Thin alias for
+/// [`schema::check_recovery_report`], kept under the name the `recovery`
+/// bin grew up with.
 pub fn validate_recovery_report(doc: &str) -> Vec<String> {
-    let mut failures = Vec::new();
-    let v = match telemetry::parse_json(doc) {
-        Ok(v) => v,
-        Err(e) => return vec![format!("recovery report does not parse: {e}")],
-    };
-    let Some(obj) = v.as_object() else {
-        return vec!["top level is not an object".into()];
-    };
-    match obj.get("schema").and_then(|s| s.as_str()) {
-        Some(s) if s == RECOVERY_SCHEMA => {}
-        other => failures.push(format!("schema tag {other:?}, want {RECOVERY_SCHEMA:?}")),
-    }
-    let Some(rows) = obj.get("rows").and_then(|r| r.as_array()) else {
-        failures.push("rows array missing".into());
-        return failures;
-    };
-    if rows.is_empty() {
-        failures.push("rows array empty".into());
-        return failures;
-    }
-    let mut devices = std::collections::BTreeSet::new();
-    let mut intervals = std::collections::BTreeSet::new();
-    for (i, row) in rows.iter().enumerate() {
-        let Some(row) = row.as_object() else {
-            failures.push(format!("rows[{i}] is not an object"));
-            continue;
-        };
-        let engine = row.get("engine").and_then(|v| v.as_str()).unwrap_or("?");
-        let device = row.get("device").and_then(|v| v.as_str()).unwrap_or("?");
-        devices.insert(device.to_string());
-        let field = |key: &str| row.get(key).and_then(|v| v.as_f64());
-        if let Some(iv) = field("ckpt_interval") {
-            intervals.insert(iv as u64);
-        } else {
-            failures.push(format!("{engine}/{device}: ckpt_interval missing"));
-        }
-        for key in ["replayed", "skipped", "torn", "outstanding_bytes", "recovery_wall_ns"] {
-            match field(key) {
-                Some(x) if x >= 0.0 && x.is_finite() => {}
-                other => failures
-                    .push(format!("{engine}/{device}.{key} = {other:?}: want finite non-negative")),
-            }
-        }
-        let rec_sim = field("recovery_sim_ns");
-        match rec_sim {
-            Some(x) if x > 0.0 => {}
-            other => {
-                failures.push(format!("{engine}/{device}.recovery_sim_ns = {other:?}: want > 0"))
-            }
-        }
-        match (field("ttfr_sim_ns"), rec_sim) {
-            (Some(ttfr), Some(rec)) if ttfr >= rec => {}
-            (ttfr, rec) => failures.push(format!(
-                "{engine}/{device}: ttfr_sim_ns {ttfr:?} must be ≥ recovery_sim_ns {rec:?}"
-            )),
-        }
-        if engine == "relstore" && device == "durassd" {
-            // The headline claim: recovery on DuraSSD is checkpoint-bounded
-            // logical replay — some records replayed, the pre-checkpoint
-            // prefix skipped.
-            if field("replayed").unwrap_or(0.0) < 1.0 {
-                failures.push(format!("{engine}/{device}: expected ≥ 1 replayed record"));
-            }
-            if field("skipped").unwrap_or(0.0) < 1.0 {
-                failures.push(format!("{engine}/{device}: expected ≥ 1 skipped record"));
-            }
-        }
-    }
-    if devices.len() < 3 {
-        failures.push(format!("want ≥ 3 distinct devices, got {devices:?}"));
-    }
-    if intervals.len() < 2 {
-        failures.push(format!("want ≥ 2 distinct checkpoint intervals, got {intervals:?}"));
-    }
-    failures
+    schema::check_recovery_report(doc)
 }
 
 /// Print a rule line for report tables.
@@ -271,9 +193,28 @@ pub fn stall_breakdown(tel: &Telemetry) -> String {
 /// acked slots destroyed. Printed next to the stall breakdown so a run's
 /// performance story and its durability story sit on adjacent lines.
 pub fn ssd_health_line(h: &DeviceHealth) -> String {
+    // WAF is media pages per host page; absorption is the share of host
+    // pages the write cache coalesced away before they could reach flash.
+    let waf = if h.host_pages_written > 0 {
+        h.media_pages_written as f64 / h.host_pages_written as f64
+    } else {
+        0.0
+    };
+    let absorption = if h.host_pages_written > 0 {
+        100.0 * h.absorbed_overwrites as f64 / h.host_pages_written as f64
+    } else {
+        0.0
+    };
     format!(
-        "ssd health | shorn_reads {}  dumps {} (over-budget {})  max_dump {}B  recoveries {}  lost_acked {}",
-        h.shorn_reads, h.dumps, h.dump_over_budget, h.max_dump_bytes, h.recoveries, h.lost_acked_slots
+        "ssd health | shorn_reads {}  dumps {} (over-budget {})  max_dump {}B  recoveries {}  \
+         lost_acked {}  waf {waf:.2}  absorbed {absorption:.1}%  wear_spread {}",
+        h.shorn_reads,
+        h.dumps,
+        h.dump_over_budget,
+        h.max_dump_bytes,
+        h.recoveries,
+        h.lost_acked_slots,
+        h.wear_spread
     )
 }
 

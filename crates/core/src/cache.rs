@@ -36,6 +36,7 @@
 use simkit::{Nanos, PageBuf};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use storage::device::WriteCause;
 
 /// `draining_until` sentinel between `pop_dirty` and `set_draining`: the
 /// entry has been handed to the flusher but its program completion time is
@@ -56,6 +57,9 @@ pub struct CacheEntry {
     /// the entry up earlier: an unacknowledged command has to remain fully
     /// discardable for the atomic writer (§3.2).
     pub ackable_at: Nanos,
+    /// Why this page was written (provenance carried from admission to the
+    /// NAND program, since the drain happens long after the host command).
+    pub cause: WriteCause,
     /// Generation tag matching this entry to its FIFO reference; entries
     /// removed (TRIM) or replaced leave stale references behind, which the
     /// flusher recognises by generation mismatch.
@@ -80,6 +84,11 @@ pub struct WriteCache {
     /// hold stale tuples (dead generation, changed ack time, drained);
     /// `next_ackable` pops them on sight.
     ack_heap: BinaryHeap<Reverse<(Nanos, u64, u64)>>,
+    /// Overwrites coalesced onto a still-dirty slot: each one is a NAND
+    /// program the durable cache saved (the paper's endurance argument,
+    /// §3.1.1). Overwrites of *draining* slots don't count — their old copy
+    /// already reached (or is reaching) flash.
+    coalesced: u64,
 }
 
 impl WriteCache {
@@ -118,6 +127,18 @@ impl WriteCache {
     /// serve a read.
     pub fn get(&self, lpn: u64) -> Option<&[u8]> {
         self.entries.get(&lpn).map(|e| &*e.data)
+    }
+
+    /// Provenance of a cached slot ([`WriteCause::HostData`] if absent —
+    /// the flusher only asks for slots it just popped).
+    pub fn cause_of(&self, lpn: u64) -> WriteCause {
+        self.entries.get(&lpn).map(|e| e.cause).unwrap_or_default()
+    }
+
+    /// Overwrites coalesced onto still-dirty slots so far (NAND programs
+    /// the cache absorbed).
+    pub fn coalesced_overwrites(&self) -> u64 {
+        self.coalesced
     }
 
     /// Remove the `(done, lpn)` reference from the sorted drain index.
@@ -171,7 +192,13 @@ impl WriteCache {
     /// `ackable_at`. Returns the entry this write replaced, if any (the
     /// atomic writer keeps it as a pre-image while the command is in
     /// flight).
-    pub fn insert(&mut self, lpn: u64, data: PageBuf, ackable_at: Nanos) -> Option<CacheEntry> {
+    pub fn insert(
+        &mut self,
+        lpn: u64,
+        data: PageBuf,
+        ackable_at: Nanos,
+        cause: WriteCause,
+    ) -> Option<CacheEntry> {
         // Coalescing with a still-dirty copy keeps its FIFO position (same
         // generation); otherwise the entry gets a fresh reference.
         let keep_gen = self.entries.get(&lpn).and_then(|e| {
@@ -185,8 +212,12 @@ impl WriteCache {
             self.next_gen += 1;
             self.next_gen
         });
-        let prev =
-            self.entries.insert(lpn, CacheEntry { data, draining_until: None, ackable_at, gen });
+        if keep_gen.is_some() {
+            self.coalesced += 1;
+        }
+        let prev = self
+            .entries
+            .insert(lpn, CacheEntry { data, draining_until: None, ackable_at, cause, gen });
         if let Some(p) = &prev {
             if let Some(d) = p.draining_until {
                 // Replaced a draining entry: its completion no longer
@@ -368,6 +399,9 @@ impl WriteCache {
         for (_, lpn) in order {
             let e = self.entries.get_mut(&lpn).expect("collected above");
             e.draining_until = None;
+            // The re-program is recovery work, not host traffic: attribute
+            // it to the dump replay, whatever originally wrote the page.
+            e.cause = WriteCause::EmergencyDump;
             self.next_gen += 1;
             e.gen = self.next_gen;
             self.fifo.push_back((lpn, e.gen));
@@ -481,7 +515,7 @@ mod tests {
     fn insert_and_get() {
         let p = pool();
         let mut c = WriteCache::new();
-        assert!(c.insert(5, data(&p, 1), 0).is_none());
+        assert!(c.insert(5, data(&p, 1), 0, WriteCause::HostData).is_none());
         assert_eq!(c.get(5).unwrap()[0], 1);
         assert_eq!(c.occupied(), 1);
         assert_eq!(c.dirty(), 1);
@@ -491,8 +525,8 @@ mod tests {
     fn coalescing_keeps_one_copy() {
         let p = pool();
         let mut c = WriteCache::new();
-        c.insert(5, data(&p, 1), 0);
-        let prev = c.insert(5, data(&p, 2), 0).unwrap();
+        c.insert(5, data(&p, 1), 0, WriteCause::HostData);
+        let prev = c.insert(5, data(&p, 2), 0, WriteCause::HostData).unwrap();
         assert_eq!(prev.data[0], 1);
         assert_eq!(c.occupied(), 1);
         assert_eq!(c.dirty(), 1);
@@ -508,9 +542,9 @@ mod tests {
     fn fifo_order_preserved() {
         let p = pool();
         let mut c = WriteCache::new();
-        c.insert(1, data(&p, 1), 0);
-        c.insert(2, data(&p, 2), 0);
-        c.insert(3, data(&p, 3), 0);
+        c.insert(1, data(&p, 1), 0, WriteCause::HostData);
+        c.insert(2, data(&p, 2), 0, WriteCause::HostData);
+        c.insert(3, data(&p, 3), 0, WriteCause::HostData);
         assert_eq!(c.pop_dirty(u64::MAX).unwrap(), 1);
         assert_eq!(c.pop_dirty(u64::MAX).unwrap(), 2);
         assert_eq!(c.pop_dirty(u64::MAX).unwrap(), 3);
@@ -520,7 +554,7 @@ mod tests {
     fn pop_serves_data_in_place_without_copying() {
         let p = pool();
         let mut c = WriteCache::new();
-        c.insert(7, data(&p, 9), 0);
+        c.insert(7, data(&p, 9), 0, WriteCause::HostData);
         let before = p.checkouts();
         let lpn = c.pop_dirty(u64::MAX).unwrap();
         // The flusher reads the popped entry's bytes where they are: no
@@ -533,7 +567,7 @@ mod tests {
     fn draining_entries_still_serve_reads_then_reclaim() {
         let p = pool();
         let mut c = WriteCache::new();
-        c.insert(7, data(&p, 9), 0);
+        c.insert(7, data(&p, 9), 0, WriteCause::HostData);
         let lpn = c.pop_dirty(u64::MAX).unwrap();
         c.set_draining(lpn, 1000);
         assert_eq!(c.get(7).unwrap()[0], 9);
@@ -549,12 +583,12 @@ mod tests {
     fn rewrite_of_draining_entry_requeues() {
         let p = pool();
         let mut c = WriteCache::new();
-        c.insert(7, data(&p, 1), 0);
+        c.insert(7, data(&p, 1), 0, WriteCause::HostData);
         let lpn = c.pop_dirty(u64::MAX).unwrap();
         c.set_draining(lpn, 1000);
         assert_eq!(c.dirty(), 0);
         // Host rewrites the page while the old version is still draining.
-        c.insert(7, data(&p, 2), 0);
+        c.insert(7, data(&p, 2), 0, WriteCause::HostData);
         assert_eq!(c.dirty(), 1);
         let l = c.pop_dirty(u64::MAX).unwrap();
         assert_eq!(c.get(l).unwrap()[0], 2);
@@ -564,12 +598,12 @@ mod tests {
     fn rollback_restores_preimage() {
         let p = pool();
         let mut c = WriteCache::new();
-        c.insert(7, data(&p, 1), 0);
-        let pre = c.insert(7, data(&p, 2), 0);
+        c.insert(7, data(&p, 1), 0, WriteCause::HostData);
+        let pre = c.insert(7, data(&p, 2), 0, WriteCause::HostData);
         c.rollback(7, pre);
         assert_eq!(c.get(7).unwrap()[0], 1);
         // Rolling back a fresh insert removes it.
-        let pre2 = c.insert(9, data(&p, 3), 0);
+        let pre2 = c.insert(9, data(&p, 3), 0, WriteCause::HostData);
         c.rollback(9, pre2);
         assert!(c.get(9).is_none());
         assert_eq!(c.dirty(), 1); // only lpn 7 remains dirty
@@ -579,12 +613,12 @@ mod tests {
     fn rollback_of_draining_preimage_keeps_drain_index_consistent() {
         let p = pool();
         let mut c = WriteCache::new();
-        c.insert(7, data(&p, 1), 0);
+        c.insert(7, data(&p, 1), 0, WriteCause::HostData);
         let lpn = c.pop_dirty(u64::MAX).unwrap();
         c.set_draining(lpn, 1000);
         // Host overwrites the draining entry; the pre-image is the draining
         // copy.
-        let pre = c.insert(7, data(&p, 2), 0);
+        let pre = c.insert(7, data(&p, 2), 0, WriteCause::HostData);
         assert!(pre.as_ref().unwrap().draining_until.is_some());
         assert_eq!(c.earliest_drain_done(), None, "replaced drain no longer pending");
         c.rollback(7, pre);
@@ -597,8 +631,8 @@ mod tests {
     fn discard_all_clears_everything() {
         let p = pool();
         let mut c = WriteCache::new();
-        c.insert(1, data(&p, 1), 0);
-        c.insert(2, data(&p, 2), 0);
+        c.insert(1, data(&p, 1), 0, WriteCause::HostData);
+        c.insert(2, data(&p, 2), 0, WriteCause::HostData);
         assert_eq!(c.discard_all(), 2);
         assert_eq!(c.occupied(), 0);
         assert!(c.pop_dirty(u64::MAX).is_none());
@@ -609,8 +643,8 @@ mod tests {
     fn earliest_and_latest_drain_done() {
         let p = pool();
         let mut c = WriteCache::new();
-        c.insert(1, data(&p, 1), 0);
-        c.insert(2, data(&p, 2), 0);
+        c.insert(1, data(&p, 1), 0, WriteCause::HostData);
+        c.insert(2, data(&p, 2), 0, WriteCause::HostData);
         let a = c.pop_dirty(u64::MAX).unwrap();
         c.set_draining(a, 500);
         let b = c.pop_dirty(u64::MAX).unwrap();
@@ -624,7 +658,7 @@ mod tests {
         let p = pool();
         let mut c = WriteCache::new();
         for lpn in 0..4 {
-            c.insert(lpn, data(&p, lpn as u8), 0);
+            c.insert(lpn, data(&p, lpn as u8), 0, WriteCause::HostData);
         }
         for done in [100u64, 200, 300] {
             let l = c.pop_dirty(u64::MAX).unwrap();
@@ -641,7 +675,7 @@ mod tests {
     fn unacked_entries_are_not_drainable() {
         let p = pool();
         let mut c = WriteCache::new();
-        c.insert(1, data(&p, 1), 100); // acks at t=100
+        c.insert(1, data(&p, 1), 100, WriteCause::HostData); // acks at t=100
         assert!(c.pop_dirty(50).is_none(), "flusher must not see unacked data");
         assert_eq!(c.next_ackable(), Some(100));
         assert_eq!(c.pop_dirty(100).unwrap(), 1);
@@ -651,8 +685,8 @@ mod tests {
     fn ack_gate_blocks_younger_entries_behind_fifo_head() {
         let p = pool();
         let mut c = WriteCache::new();
-        c.insert(1, data(&p, 1), 100);
-        c.insert(2, data(&p, 2), 50);
+        c.insert(1, data(&p, 1), 100, WriteCause::HostData);
+        c.insert(2, data(&p, 2), 50, WriteCause::HostData);
         // FIFO head (lpn 1) not ackable at 60: drain stalls even though
         // lpn 2 acked earlier (ack order == FIFO order in the device).
         assert!(c.pop_dirty(60).is_none());
@@ -664,12 +698,12 @@ mod tests {
     fn next_ackable_tracks_coalesced_ack_times() {
         let p = pool();
         let mut c = WriteCache::new();
-        c.insert(1, data(&p, 1), 100);
+        c.insert(1, data(&p, 1), 100, WriteCause::HostData);
         // Coalescing moves the ack time later; the stale heap tuple must
         // not surface.
-        c.insert(1, data(&p, 2), 400);
+        c.insert(1, data(&p, 2), 400, WriteCause::HostData);
         assert_eq!(c.next_ackable(), Some(400));
-        c.insert(2, data(&p, 3), 250);
+        c.insert(2, data(&p, 3), 250, WriteCause::HostData);
         assert_eq!(c.next_ackable(), Some(250));
         // The FIFO head (lpn 1, acks at 400) gates the queue even though
         // lpn 2 acked earlier.
@@ -682,12 +716,12 @@ mod tests {
     fn remove_clears_any_state() {
         let p = pool();
         let mut c = WriteCache::new();
-        c.insert(1, data(&p, 1), 0);
+        c.insert(1, data(&p, 1), 0, WriteCause::HostData);
         c.remove(1);
         assert!(c.get(1).is_none());
         assert_eq!(c.dirty(), 0);
         // Removing a draining entry.
-        c.insert(2, data(&p, 2), 0);
+        c.insert(2, data(&p, 2), 0, WriteCause::HostData);
         let l = c.pop_dirty(10).unwrap();
         c.set_draining(l, 100);
         c.remove(2);
@@ -700,8 +734,8 @@ mod tests {
     fn requeue_draining_restores_dirty_and_clears_index() {
         let p = pool();
         let mut c = WriteCache::new();
-        c.insert(1, data(&p, 1), 0);
-        c.insert(2, data(&p, 2), 0);
+        c.insert(1, data(&p, 1), 0, WriteCause::HostData);
+        c.insert(2, data(&p, 2), 0, WriteCause::HostData);
         for _ in 0..2 {
             let l = c.pop_dirty(u64::MAX).unwrap();
             c.set_draining(l, 900);
@@ -721,7 +755,7 @@ mod tests {
         // tuple but the live set stays size 1. The lazy shrink keeps the
         // heap bounded.
         for i in 0..100_000u64 {
-            c.insert(1, data(&p, (i % 251) as u8), i);
+            c.insert(1, data(&p, (i % 251) as u8), i, WriteCause::HostData);
         }
         assert!(c.ack_heap.len() <= 2 * c.entries.len() + 1024);
         assert_eq!(c.next_ackable(), Some(99_999));
@@ -737,12 +771,12 @@ mod tests {
     fn rollback_over_draining_preimage_keeps_dirty_count() {
         let p = pool();
         let mut c = WriteCache::new();
-        c.insert(5, data(&p, 1), 0);
+        c.insert(5, data(&p, 1), 0, WriteCause::HostData);
         assert_eq!(c.pop_dirty(u64::MAX).unwrap(), 5);
         c.set_draining(5, 1_000);
         // New write coalesces onto the draining slot: pre-image is the
         // draining entry, the new copy is dirty.
-        let pre = c.insert(5, data(&p, 2), 10);
+        let pre = c.insert(5, data(&p, 2), 10, WriteCause::HostData);
         assert!(pre.as_ref().unwrap().draining_until.is_some());
         assert_eq!(c.dirty(), 1);
         // Power cut before the ack: roll the write back.
@@ -762,9 +796,9 @@ mod tests {
     fn rollback_after_trim_restores_dirty_accounting() {
         let p = pool();
         let mut c = WriteCache::new();
-        c.insert(7, data(&p, 1), 0);
+        c.insert(7, data(&p, 1), 0, WriteCause::HostData);
         // Overwrite while still dirty: coalesces, pre-image is dirty.
-        let pre = c.insert(7, data(&p, 2), 10);
+        let pre = c.insert(7, data(&p, 2), 10, WriteCause::HostData);
         assert!(pre.as_ref().unwrap().draining_until.is_none());
         // TRIM lands between the write and its ack.
         c.remove(7);
@@ -783,7 +817,7 @@ mod tests {
     fn rollback_without_preimage_clears_the_slot() {
         let p = pool();
         let mut c = WriteCache::new();
-        let pre = c.insert(9, data(&p, 3), 5);
+        let pre = c.insert(9, data(&p, 3), 5, WriteCause::HostData);
         assert!(pre.is_none());
         c.rollback(9, pre);
         c.check_invariants().unwrap();

@@ -19,7 +19,7 @@ use crate::config::SsdConfig;
 use crate::error::{Error, Result};
 use nand::{NandArray, NandError};
 use simkit::Nanos;
-use storage::device::DevError;
+use storage::device::{CauseCounts, DevError, WriteCause};
 use telemetry::Telemetry;
 
 /// Sentinel: logical page not mapped / slot not in use.
@@ -70,6 +70,11 @@ pub struct FtlStats {
     /// Cumulative host-visible GC pause time (ns): how long foreground
     /// programs were delayed behind GC relocations and erases.
     pub gc_ns: Nanos,
+    /// 4KB media slots programmed per [`WriteCause`]. Conservation: the
+    /// array sums to `slots_programmed + meta_programs * spp` (meta pages
+    /// carry no data slots but stress the media all the same, so they are
+    /// attributed to `MapPersist` at full page width).
+    pub slots_by_cause: CauseCounts,
 }
 
 /// The flash translation layer.
@@ -300,7 +305,22 @@ impl Ftl {
         items: &[(u64, &[u8])],
         now: Nanos,
     ) -> Result<Nanos> {
+        const HOST: [WriteCause; 16] = [WriteCause::HostData; 16];
+        self.program_slots_tagged(nand, items, &HOST[..items.len()], now)
+    }
+
+    /// [`Ftl::program_slots`] with a per-slot provenance tag: `causes[i]`
+    /// says why slot `items[i]` is being written (a drained pair can mix
+    /// causes, so the tag is slot-granular, not page-granular).
+    pub fn program_slots_tagged(
+        &mut self,
+        nand: &mut NandArray,
+        items: &[(u64, &[u8])],
+        causes: &[WriteCause],
+        now: Nanos,
+    ) -> Result<Nanos> {
         assert!(!items.is_empty() && items.len() <= self.spp, "bad pair size");
+        assert_eq!(items.len(), causes.len(), "one cause per slot");
         let plane = self.next_plane();
         let gc_end = self.maybe_gc(nand, plane, now)?;
         if gc_end > now {
@@ -321,6 +341,9 @@ impl Ftl {
         }
         self.stats.data_programs += 1;
         self.stats.slots_programmed += items.len() as u64;
+        for &c in causes {
+            self.stats.slots_by_cause[c.index()] += 1;
+        }
         Ok(done)
     }
 
@@ -504,6 +527,7 @@ impl Ftl {
             t = self.program_on_plane(nand, plane, &items[..chunk.len()], t);
             self.stats.gc_relocated_slots += chunk.len() as u64;
             self.stats.slots_programmed += chunk.len() as u64;
+            self.stats.slots_by_cause[WriteCause::GcRelocate.index()] += chunk.len() as u64;
             self.stats.data_programs += 1;
         }
         self.read_scratch = read_buf;
@@ -600,6 +624,9 @@ impl Ftl {
         let ppn = geo.make_ppn(block, page);
         self.page_scratch.fill(0);
         self.stats.meta_programs += 1;
+        // A meta page occupies the same media as spp data slots; attribute
+        // it at full width so per-cause slots sum to total media pages.
+        self.stats.slots_by_cause[WriteCause::MapPersist.index()] += self.spp as u64;
         nand.program(ppn, &self.page_scratch, now).expect("meta frontier in order")
     }
 
@@ -800,6 +827,22 @@ impl Ftl {
         self.plane_free.iter().map(Vec::len).sum()
     }
 
+    /// GC pressure: how many free blocks each plane is short of its GC
+    /// trigger threshold, summed across planes (0 = no pressure; every
+    /// positive unit means the next program on that plane stalls behind a
+    /// collection).
+    pub fn gc_debt(&self) -> usize {
+        self.plane_free.iter().map(|f| self.gc_threshold.saturating_sub(f.len())).sum()
+    }
+
+    /// `(live, total)` data-slot counts on media — the numerator and
+    /// denominator of the device's valid ratio (GC efficiency gauge).
+    /// O(blocks); callers refresh it on a stride, not per command.
+    pub fn live_slots(&self) -> (u64, u64) {
+        let live: u64 = self.valid.iter().map(|&v| v as u64).sum();
+        (live, self.rmap.len() as u64)
+    }
+
     /// Structural audit of the FTL's internal bookkeeping, for the
     /// simulation-test harness (cheap enough to run after every step on
     /// test geometries; debug builds of the device call it from
@@ -819,8 +862,49 @@ impl Ftl {
     /// 6. **frontier position**: the per-plane frontier cursor agrees with
     ///    the NAND array's next programmable page of that block;
     /// 7. **unpersisted overlay**: `up_list` has no duplicates, every listed
-    ///    lpn is marked with the current epoch and lies inside the map.
+    ///    lpn is marked with the current epoch and lies inside the map;
+    /// 8. **provenance conservation**: every NAND program is attributed to
+    ///    exactly one [`WriteCause`] — `nand.programs` equals
+    ///    `data_programs + meta_programs`, and the per-cause slot counters
+    ///    sum to `slots_programmed + meta_programs * spp` with the GC and
+    ///    mapping-journal causes matching their dedicated counters exactly.
+    ///    (Program counters are never rolled back by a power cut — shorn
+    ///    programs stressed the cells — so the identities hold across cuts.)
     pub fn check_invariants(&self, nand: &NandArray) -> std::result::Result<(), String> {
+        // 8. Provenance conservation.
+        let nand_programs = nand.stats().programs;
+        let s = &self.stats;
+        if nand_programs != s.data_programs + s.meta_programs {
+            return Err(format!(
+                "program attribution leak: NAND reports {nand_programs} programs, \
+                 FTL accounts {} data + {} meta",
+                s.data_programs, s.meta_programs
+            ));
+        }
+        let by_cause: u64 = s.slots_by_cause.iter().sum();
+        let expect = s.slots_programmed + s.meta_programs * self.spp as u64;
+        if by_cause != expect {
+            return Err(format!(
+                "per-cause slot conservation broken: causes sum to {by_cause}, \
+                 expected {expect} ({} data slots + {} meta pages x {} spp)",
+                s.slots_programmed, s.meta_programs, self.spp
+            ));
+        }
+        let gc = s.slots_by_cause[WriteCause::GcRelocate.index()];
+        if gc != s.gc_relocated_slots {
+            return Err(format!(
+                "GC attribution drift: {gc} slots tagged GcRelocate, {} relocated",
+                s.gc_relocated_slots
+            ));
+        }
+        let mp = s.slots_by_cause[WriteCause::MapPersist.index()];
+        if mp != s.meta_programs * self.spp as u64 {
+            return Err(format!(
+                "map-persist attribution drift: {mp} slots tagged MapPersist, \
+                 {} meta programs x {} spp",
+                s.meta_programs, self.spp
+            ));
+        }
         // 1. map → rmap.
         for (lpn, &slot) in self.map.iter().enumerate() {
             if slot == NONE {

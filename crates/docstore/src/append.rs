@@ -10,7 +10,7 @@
 //! metadata: recovery scans backwards from it for the newest valid header.
 
 use simkit::Nanos;
-use storage::device::{BlockDevice, DevError};
+use storage::device::{BlockDevice, DevError, WriteCause};
 use storage::file::PageFile;
 use storage::volume::Volume;
 
@@ -118,10 +118,15 @@ impl AppendSpace {
         let mut run = vec![0u8; nblocks * BLOCK];
         run[..start_off].copy_from_slice(&self.tail_image[..start_off]);
         run[start_off..start_off + self.pending.len()].copy_from_slice(&self.pending);
+        // Everything this space writes — docs, B-tree path nodes, commit
+        // headers — is copy-on-write rewrite traffic of the couchstore-style
+        // engine; tag it for the per-cause WAF breakdown.
+        vol.push_cause(WriteCause::DocRewrite);
         let t = self
             .file
             .write_pages(vol, start_block, &run, now)
             .expect("append space sized at creation");
+        vol.pop_cause();
         // Remember the new durable tail image.
         let tail_off = (end % BLOCK as u64) as usize;
         if tail_off == 0 {

@@ -18,8 +18,8 @@
 //! * [`reconcile`] — classifies every probed unit
 //!   (`survived | acked-lost | torn | stale | never-acked`), attributes each
 //!   loss to the layer that dropped it, and rolls trials up into a
-//!   [`CampaignReport`] with a per-configuration verdict
-//!   ([`validate_report`] is the CI gate over the emitted JSON).
+//!   [`CampaignReport`] with a per-configuration verdict (the CI gate over
+//!   the emitted JSON lives in `bench::schema::check_forensics_report`).
 
 mod ledger;
 mod reconcile;
@@ -30,7 +30,7 @@ pub use ledger::{AckContract, EvidenceKind, EvidenceRow, Ledger, LedgerEntry, Un
 pub use reconcile::{
     reconcile, Classification, CutReport, LossLayer, Probe, ProbeResult, Tally, UnitFinding,
 };
-pub use report::{validate_report, CampaignReport, SCHEMA};
+pub use report::{CampaignReport, SCHEMA};
 pub use snapshot::{
     CacheSlotSnap, DeviceHealth, DevicePostmortem, DumpOutcome, Forensic, RecoverySnap,
 };

@@ -101,6 +101,16 @@ pub struct DeviceHealth {
     pub recoveries: u64,
     /// Acked 4KB slots destroyed by power cuts (zero on DuraSSD).
     pub lost_acked_slots: u64,
+    /// Logical pages received from the host (WAF denominator).
+    pub host_pages_written: u64,
+    /// Logical-page-sized media writes (WAF numerator: NAND programs for
+    /// SSDs, platter writes for HDDs).
+    pub media_pages_written: u64,
+    /// Host page overwrites coalesced in the write cache — media programs
+    /// the cache absorbed.
+    pub absorbed_overwrites: u64,
+    /// Wear-leveling spread: `max - min` per-block erase count.
+    pub wear_spread: u32,
 }
 
 /// Devices that can testify about a power cut. Implemented by the SSD and

@@ -21,7 +21,9 @@ use forensics::{CacheSlotSnap, DevicePostmortem, Forensic, RecoverySnap};
 use simkit::{Nanos, Timeline};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
-use storage::device::{check_io, BlockDevice, DevError, DevResult, DeviceStats, LOGICAL_PAGE};
+use storage::device::{
+    check_io, BlockDevice, DevError, DevResult, DeviceStats, WriteCause, LOGICAL_PAGE,
+};
 use telemetry::Telemetry;
 
 /// Tunable disk parameters. Defaults approximate a 15krpm enterprise drive.
@@ -91,6 +93,9 @@ pub struct Hdd {
     inflight: Vec<Nanos>,
     /// FLUSH CACHE barrier: commands arriving mid-flush wait for it.
     barrier_until: Nanos,
+    /// Provenance of subsequent host writes (see
+    /// [`BlockDevice::set_write_cause`]).
+    cur_cause: WriteCause,
     /// Optional telemetry sink (destage-batch durations, dirty gauge).
     tel: Option<Telemetry>,
     /// Postmortem captured by the most recent `power_cut`.
@@ -114,6 +119,7 @@ impl Hdd {
             draining: BinaryHeap::new(),
             inflight: Vec::new(),
             barrier_until: 0,
+            cur_cause: WriteCause::default(),
             tel: None,
             postmortem: None,
             recovery: None,
@@ -223,6 +229,9 @@ impl Hdd {
                 self.draining.push(Reverse(done));
                 self.platter.insert(l, data);
                 self.stats.media_pages_written += 1;
+                // The elevator loses the original cause; platter writes out
+                // of the cache are the disk's own destage traffic.
+                self.stats.media_pages_by_cause[WriteCause::Destage.index()] += 1;
                 destaged += 1;
             }
         }
@@ -292,6 +301,7 @@ impl BlockDevice for Hdd {
         self.stats.writes += 1;
         let now = now.max(self.barrier_until);
         self.stats.pages_written += pages as u64;
+        self.stats.pages_by_cause[self.cur_cause.index()] += pages as u64;
         if self.cfg.cache_enabled {
             self.arm.purge_before(now.saturating_sub(1_000_000_000));
             // Make room: a cache slot frees only when its destage completes,
@@ -333,6 +343,7 @@ impl BlockDevice for Hdd {
                 self.platter.insert(lpn + i, data[off..off + LOGICAL_PAGE].into());
             }
             self.stats.media_pages_written += pages as u64;
+            self.stats.media_pages_by_cause[self.cur_cause.index()] += pages as u64;
             Ok(done)
         }
     }
@@ -407,6 +418,10 @@ impl BlockDevice for Hdd {
 
     fn is_powered(&self) -> bool {
         self.powered
+    }
+
+    fn set_write_cause(&mut self, cause: WriteCause) {
+        self.cur_cause = cause;
     }
 
     fn stats(&self) -> DeviceStats {

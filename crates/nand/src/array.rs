@@ -60,6 +60,9 @@ pub struct NandStats {
 struct BlockState {
     next_page: u32,
     erase_count: u32,
+    /// Cumulative page programs issued to this block (wear metric; shorn
+    /// programs still stressed the cells, so power cuts never roll it back).
+    program_count: u32,
     /// An erase was in flight when power was cut; the block must be erased
     /// again before use.
     torn_erase: bool,
@@ -201,6 +204,11 @@ impl NandArray {
         self.blocks[block as usize].erase_count
     }
 
+    /// How many page programs this block has absorbed over its lifetime.
+    pub fn program_count(&self, block: u32) -> u32 {
+        self.blocks[block as usize].program_count
+    }
+
     /// Next free page index in a block (`pages_per_block` when full).
     pub fn next_free_page(&self, block: u32) -> u32 {
         self.blocks[block as usize].next_page
@@ -284,6 +292,7 @@ impl NandArray {
             return Err(NandError::OutOfOrderProgram { block, expected: st.next_page, got: page });
         }
         st.next_page += 1;
+        st.program_count += 1;
         let plane = self.geo.plane_of_block(block);
         let channel = self.geo.channel_of_block(block);
         let xfer_done = self.channel_bus[channel].acquire(now, self.geo.bus_time(data.len()));

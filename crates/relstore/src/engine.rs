@@ -41,7 +41,7 @@ use durassd::Error;
 use forensics::{EvidenceKind, Ledger, UnitKind};
 use simkit::{crc32, Nanos, Recovered, ReplayStats, Timed};
 use std::collections::HashMap;
-use storage::device::{BlockDevice, DevError};
+use storage::device::{BlockDevice, DevError, WriteCause};
 use storage::file::PageFile;
 use storage::volume::{Volume, VolumeManager};
 use telemetry::Telemetry;
@@ -187,9 +187,14 @@ impl<D: BlockDevice, L: BlockDevice> PageBackend for Backend<'_, D, L> {
                 stamp_trailer(dst, *page_no);
             }
             *self.dwb_cursor += pages.len() as u64;
+            // DWB copies are redundant page images by definition — tag them
+            // so the device's WAF report can attribute them separately from
+            // the home-location page writes.
+            self.vol.push_cause(WriteCause::PageImage);
             t = self.dwb.write_pages(self.vol, first_slot, &run, t).expect("dwb run");
             // The copies must be durable before any home write starts.
             t = self.vol.fsync(t).expect("data volume");
+            self.vol.pop_cause();
             self.stats.dwb_writes += pages.len() as u64;
         }
         for (page_no, data) in pages {

@@ -51,6 +51,86 @@ impl std::error::Error for DevError {}
 /// Result alias for device operations.
 pub type DevResult<T> = Result<T, DevError>;
 
+/// Why a page write happened — the provenance tag threaded from the host
+/// software (WAL, double-write buffer, document-store COW path) through the
+/// volume into the device, and inside the device from the write cache down
+/// to the media. Every boundary counts pages per cause, so write
+/// amplification can be attributed end to end instead of reported as one
+/// opaque ratio.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum WriteCause {
+    /// Ordinary host data: table/index pages, raw fio blocks — anything no
+    /// layer claimed a more specific cause for.
+    #[default]
+    HostData,
+    /// Write-ahead-log appends (relstore WAL blocks, docstore headers ride
+    /// their own cause below).
+    WalAppend,
+    /// Full page images: the double-write buffer area and WAL page-image
+    /// sidecars (InnoDB full-page-writes analogue).
+    PageImage,
+    /// Document-store copy-on-write rewrites: the appended docs, B-tree
+    /// path nodes and commit headers of the couchstore-style engine.
+    DocRewrite,
+    /// FTL garbage collection relocating still-valid slots.
+    GcRelocate,
+    /// FTL mapping-journal persistence (meta-block programs).
+    MapPersist,
+    /// Re-programs of cache slots recovered from an emergency capacitor
+    /// dump after a power cut.
+    EmergencyDump,
+    /// HDD write-cache destages to the platter.
+    Destage,
+}
+
+impl WriteCause {
+    /// Number of causes (array dimension for per-cause counters).
+    pub const COUNT: usize = 8;
+
+    /// Every cause, in `index()` order.
+    pub const ALL: [WriteCause; WriteCause::COUNT] = [
+        WriteCause::HostData,
+        WriteCause::WalAppend,
+        WriteCause::PageImage,
+        WriteCause::DocRewrite,
+        WriteCause::GcRelocate,
+        WriteCause::MapPersist,
+        WriteCause::EmergencyDump,
+        WriteCause::Destage,
+    ];
+
+    /// Dense index for per-cause counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            WriteCause::HostData => 0,
+            WriteCause::WalAppend => 1,
+            WriteCause::PageImage => 2,
+            WriteCause::DocRewrite => 3,
+            WriteCause::GcRelocate => 4,
+            WriteCause::MapPersist => 5,
+            WriteCause::EmergencyDump => 6,
+            WriteCause::Destage => 7,
+        }
+    }
+
+    /// Stable snake_case label (JSON keys, report columns).
+    pub fn label(self) -> &'static str {
+        match self {
+            WriteCause::HostData => "host_data",
+            WriteCause::WalAppend => "wal_append",
+            WriteCause::PageImage => "page_image",
+            WriteCause::DocRewrite => "doc_rewrite",
+            WriteCause::GcRelocate => "gc_relocate",
+            WriteCause::MapPersist => "map_persist",
+            WriteCause::EmergencyDump => "emergency_dump",
+            WriteCause::Destage => "destage",
+        }
+    }
+}
+
+/// Per-cause page counters (indexed by [`WriteCause::index`]).
+pub type CauseCounts = [u64; WriteCause::COUNT];
+
 /// Cumulative device statistics, used by the experiment harnesses.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DeviceStats {
@@ -70,6 +150,14 @@ pub struct DeviceStats {
     pub gc_erases: u64,
     /// Total block erases (SSD only).
     pub erases: u64,
+    /// Host-issued logical pages received, split by the cause the host
+    /// declared (device-received boundary; sums to `pages_written`).
+    pub pages_by_cause: CauseCounts,
+    /// Media pages written per cause, in logical-page units (NAND programs
+    /// for SSDs, platter writes for HDDs; sums to `media_pages_written`).
+    /// Device-internal traffic (GC, mapping persistence, dump recovery,
+    /// destage) appears only here, never in `pages_by_cause`.
+    pub media_pages_by_cause: CauseCounts,
 }
 
 /// A simulated block device.
@@ -112,6 +200,14 @@ pub trait BlockDevice {
     fn discard(&mut self, lpn: u64, pages: u32, now: Nanos) -> DevResult<Nanos> {
         let _ = (lpn, pages);
         Ok(now)
+    }
+
+    /// Declare the cause of subsequent writes (provenance tag). The volume
+    /// calls this before every write with the innermost cause its host
+    /// pushed; devices that account per-cause WAF store it, others ignore
+    /// it. Default: no-op.
+    fn set_write_cause(&mut self, cause: WriteCause) {
+        let _ = cause;
     }
 
     /// Cumulative host-visible delay (ns) caused by background garbage

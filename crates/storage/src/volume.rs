@@ -1,7 +1,9 @@
 //! Volumes: a block device plus the host's barrier policy, and a trivial
 //! extent allocator for carving page files out of a device.
 
-use crate::device::{check_io, BlockDevice, DevResult, DeviceStats};
+use crate::device::{
+    check_io, BlockDevice, CauseCounts, DevResult, DeviceStats, WriteCause, LOGICAL_PAGE,
+};
 use forensics::{EvidenceKind, Ledger};
 use simkit::Nanos;
 use telemetry::{Stall, Telemetry};
@@ -44,12 +46,48 @@ pub struct Volume<D: BlockDevice> {
     fsyncs: u64,
     tel: Option<VolumeTel>,
     ledger: Option<Ledger>,
+    /// Write-provenance stack: the innermost pushed cause tags every write
+    /// until popped ([`WriteCause::HostData`] when empty). Same discipline
+    /// as the telemetry stall-context stack.
+    cause_stack: Vec<WriteCause>,
+    /// Host-issued logical pages per declared cause (host boundary of the
+    /// WAF pipeline; the device counts its own received/media boundaries).
+    host_pages_by_cause: CauseCounts,
 }
 
 impl<D: BlockDevice> Volume<D> {
     /// Mount `dev` with the given barrier policy.
     pub fn new(dev: D, barriers: bool) -> Self {
-        Self { dev, barriers, fsyncs: 0, tel: None, ledger: None }
+        Self {
+            dev,
+            barriers,
+            fsyncs: 0,
+            tel: None,
+            ledger: None,
+            cause_stack: Vec::new(),
+            host_pages_by_cause: CauseCounts::default(),
+        }
+    }
+
+    /// Push a write-provenance cause: every write until the matching
+    /// [`Volume::pop_cause`] is tagged with it (innermost wins).
+    pub fn push_cause(&mut self, cause: WriteCause) {
+        self.cause_stack.push(cause);
+    }
+
+    /// Pop the innermost write-provenance cause.
+    pub fn pop_cause(&mut self) {
+        self.cause_stack.pop();
+    }
+
+    /// The cause the next write would be tagged with.
+    pub fn current_cause(&self) -> WriteCause {
+        self.cause_stack.last().copied().unwrap_or_default()
+    }
+
+    /// Host-issued logical pages per cause (see [`WriteCause::index`]).
+    pub fn host_pages_by_cause(&self) -> CauseCounts {
+        self.host_pages_by_cause
     }
 
     /// Attach a durability ledger: every fsync acknowledgement is recorded
@@ -120,8 +158,12 @@ impl<D: BlockDevice> Volume<D> {
         Ok(done)
     }
 
-    /// Direct write of logical pages.
+    /// Direct write of logical pages, tagged with the innermost pushed
+    /// cause (provenance for the WAF accounting at every boundary below).
     pub fn write(&mut self, lpn: u64, data: &[u8], now: Nanos) -> DevResult<Nanos> {
+        let cause = self.current_cause();
+        self.host_pages_by_cause[cause.index()] += (data.len() / LOGICAL_PAGE) as u64;
+        self.dev.set_write_cause(cause);
         let gc0 = self.tel.as_ref().map(|_| self.dev.gc_time());
         if let Some(tel) = &self.tel {
             tel.tel.trace_begin("dev", &tel.write, now);
@@ -355,6 +397,33 @@ mod tests {
         let mut back = vec![0u8; LOGICAL_PAGE];
         v.read(3, 1, &mut back, t).unwrap();
         assert_eq!(back, data, "no-op discard keeps data");
+    }
+
+    #[test]
+    fn cause_stack_innermost_wins_and_defaults_to_host_data() {
+        use crate::device::WriteCause;
+        let mut v = Volume::new(MemDevice::new(16), true);
+        let data = vec![7u8; LOGICAL_PAGE];
+        // No declared cause: host data.
+        assert_eq!(v.current_cause(), WriteCause::HostData);
+        v.write(0, &data, 0).unwrap();
+        // Nested contexts: the innermost annotation wins.
+        v.push_cause(WriteCause::WalAppend);
+        v.write(1, &data, 10).unwrap();
+        v.push_cause(WriteCause::PageImage);
+        assert_eq!(v.current_cause(), WriteCause::PageImage);
+        v.write(2, &data, 20).unwrap();
+        v.pop_cause();
+        v.write(3, &data, 30).unwrap();
+        v.pop_cause();
+        // Popped back to the default.
+        v.write(4, &data, 40).unwrap();
+        let by_cause = v.host_pages_by_cause();
+        assert_eq!(by_cause[WriteCause::HostData.index()], 2);
+        assert_eq!(by_cause[WriteCause::WalAppend.index()], 2);
+        assert_eq!(by_cause[WriteCause::PageImage.index()], 1);
+        let total: u64 = by_cause.iter().sum();
+        assert_eq!(total, v.device_stats().pages_written, "every host page attributed");
     }
 
     #[test]

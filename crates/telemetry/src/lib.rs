@@ -132,6 +132,34 @@ impl StallTotals {
     }
 }
 
+/// A point-in-time copy of a registry's counters (see
+/// [`Registry::snapshot`]): the start or end edge of a measurement window.
+#[derive(Debug, Clone, Default)]
+pub struct CounterSnapshot {
+    counters: BTreeMap<String, u64>,
+}
+
+impl CounterSnapshot {
+    /// Value of `name` at snapshot time (0 if the counter did not exist).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Per-counter increase from `self` (the earlier edge) to `later`.
+    /// Counters born inside the window count from zero; counters that did
+    /// not move are omitted.
+    pub fn delta(&self, later: &CounterSnapshot) -> BTreeMap<String, u64> {
+        let mut out = BTreeMap::new();
+        for (name, &v) in &later.counters {
+            let d = v.saturating_sub(self.counter(name));
+            if d > 0 {
+                out.insert(name.clone(), d);
+            }
+        }
+        out
+    }
+}
+
 /// The backing store for one telemetry domain: named histograms, counters,
 /// gauges, per-kind stall totals, the stall-attribution context stack, and
 /// (when enabled) the event-trace ring, trace-ID stack and gauge sampler.
@@ -227,6 +255,13 @@ impl Registry {
     /// Named counter (0 if never incremented).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Point-in-time copy of every named counter. Counters are cumulative;
+    /// to measure a steady-state window (excluding warm-up), snapshot at
+    /// the window edges and diff with [`CounterSnapshot::delta`].
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot { counters: self.counters.clone() }
     }
 
     /// Named gauge, if set.
@@ -497,6 +532,12 @@ impl Telemetry {
         self.inner.borrow().counter(name)
     }
 
+    /// Copy of every counter, for steady-state delta windows (see
+    /// [`Registry::snapshot`]).
+    pub fn snapshot(&self) -> CounterSnapshot {
+        self.inner.borrow().snapshot()
+    }
+
     /// Named gauge value.
     pub fn gauge(&self, name: &str) -> Option<i64> {
         self.inner.borrow().gauge(name)
@@ -633,6 +674,27 @@ mod tests {
         assert_eq!(t.gauge("depth"), Some(-4));
         assert_eq!(t.counter("missing"), 0);
         assert_eq!(t.gauge("missing"), None);
+    }
+
+    #[test]
+    fn counter_snapshot_deltas_bound_a_window() {
+        let t = Telemetry::new();
+        t.incr("warmup_only", 7);
+        t.incr("ops", 10);
+        let start = t.snapshot();
+        t.incr("ops", 5);
+        t.incr("born_in_window", 2);
+        let end = t.snapshot();
+        // Snapshots are frozen copies: later increments don't leak in.
+        t.incr("ops", 100);
+        let d = start.delta(&end);
+        assert_eq!(d.get("ops"), Some(&5));
+        assert_eq!(d.get("born_in_window"), Some(&2));
+        // Unchanged counters are omitted from the delta entirely.
+        assert!(!d.contains_key("warmup_only"));
+        assert_eq!(start.counter("ops"), 10);
+        assert_eq!(end.counter("ops"), 15);
+        assert_eq!(end.counter("never_seen"), 0);
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod record;
 
 use forensics::{EvidenceKind, Ledger};
 use simkit::{crc32, Nanos};
-use storage::device::{BlockDevice, LOGICAL_PAGE};
+use storage::device::{BlockDevice, WriteCause, LOGICAL_PAGE};
 use storage::file::PageFile;
 use storage::volume::{Volume, VolumeManager};
 use telemetry::{Stall, Telemetry};
@@ -162,6 +162,9 @@ pub struct Wal {
     commits_since_ckpt: u64,
     /// Content of the current partial tail block, as durable on disk.
     tail_image: Vec<u8>,
+    /// Bytes of the tail buffer occupied by [`LogRecord::PageImages`]
+    /// frames; classifies the next flush's write provenance.
+    image_bytes_buffered: u64,
     /// Grow-only scratch for materialising the block run of a flush; reused
     /// across flushes so steady-state commits do not allocate.
     run_scratch: Vec<u8>,
@@ -204,6 +207,7 @@ impl Wal {
             policy: CheckpointPolicy::default(),
             commits_since_ckpt: 0,
             tail_image: vec![0u8; BLOCK],
+            image_bytes_buffered: 0,
             run_scratch: Vec::new(),
             stats: WalStats::default(),
             tel: None,
@@ -285,7 +289,12 @@ impl Wal {
 
     /// Append a typed record; returns its LSN. Not yet durable.
     pub fn append(&mut self, rec: &LogRecord) -> Lsn {
-        self.append_raw(&rec.encode())
+        let before = self.buf.len();
+        let lsn = self.append_raw(&rec.encode());
+        if matches!(rec, LogRecord::PageImages { .. }) {
+            self.image_bytes_buffered += (self.buf.len() - before) as u64;
+        }
+        lsn
     }
 
     /// Append a pre-encoded payload. Exposed for corruption-injection
@@ -330,6 +339,17 @@ impl Wal {
             tel.push_context(Stall::WalFsync);
             tel.trace_begin("wal", "wal.flush", now);
         }
+        // Provenance: a flush dominated by full-page-image sidecars is
+        // page-image traffic, otherwise plain log appends. (One flush covers
+        // one cause — block-granular classification by majority byte count,
+        // documented in DESIGN.md.)
+        let cause = if self.image_bytes_buffered * 2 >= self.buf.len() as u64 {
+            WriteCause::PageImage
+        } else {
+            WriteCause::WalAppend
+        };
+        vol.push_cause(cause);
+        self.image_bytes_buffered = 0;
         let start_block = self.buf_start / BLOCK as u64;
         let start_off = (self.buf_start % BLOCK as u64) as usize;
         let end = self.buf_start + self.buf.len() as u64;
@@ -366,6 +386,7 @@ impl Wal {
             b += len;
         }
         let t = vol.fsync(t).expect("log device reachable");
+        vol.pop_cause();
         // Remember the new partial tail image.
         let tail_off = (end % BLOCK as u64) as usize;
         if tail_off == 0 {
@@ -555,8 +576,10 @@ impl Wal {
         if let Some(tel) = &self.tel {
             tel.push_context(Stall::WalFsync);
         }
+        vol.push_cause(WriteCause::WalAppend);
         let t = self.files[0].write_page(vol, 0, &hdr, now).expect("header block exists");
         let t = vol.fsync(t).expect("log device reachable");
+        vol.pop_cause();
         if let Some(tel) = &self.tel {
             tel.pop_context();
         }
@@ -589,6 +612,7 @@ impl Wal {
             policy: CheckpointPolicy::default(),
             commits_since_ckpt: 0,
             tail_image: vec![0u8; BLOCK],
+            image_bytes_buffered: 0,
             run_scratch: Vec::new(),
             stats: WalStats::default(),
             tel: None,

@@ -7,10 +7,11 @@
 //! zero acked-lost units at every cut point; a volatile cache without
 //! barriers must show losses attributed to its discarded dirty slots.
 
+use bench::schema::check_forensics_report;
 use durassd::{Ssd, SsdConfig};
 use forensics::{
-    reconcile, validate_report, AckContract, CampaignReport, Classification, CutReport, Forensic,
-    Ledger, LossLayer, Probe, ProbeResult, UnitKind,
+    reconcile, AckContract, CampaignReport, Classification, CutReport, Forensic, Ledger, LossLayer,
+    Probe, ProbeResult, UnitKind,
 };
 use relstore::{Engine, EngineConfig};
 use storage::device::{BlockDevice, LOGICAL_PAGE};
@@ -223,7 +224,8 @@ fn docstore_ledger_round_trip_and_report_validation() {
     }
     // The row aggregates into a schema-valid campaign report.
     let report = CampaignReport { seed: 1, keys: n, cuts: 1, rows: vec![row] };
-    validate_report(&report.to_json()).expect("report validates");
+    let fails = check_forensics_report(&report.to_json());
+    assert!(fails.is_empty(), "report validates: {fails:?}");
     assert!(report.acked_lost_for("doc volatile") > 0);
 }
 
