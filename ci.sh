@@ -71,4 +71,21 @@ cargo run -p bench --release -q --bin waf -- \
 test -s "$TRACE_TMP/waf.json"
 grep -q '"schema":"durassd.waf.v1"' "$TRACE_TMP/waf.json"
 
+echo "== latency smoke (per-op anatomy, schema-validated BENCH_latency.json) =="
+# --check fails on schema drift, a conservation violation (segments exceed
+# an op's wall latency), any flush-cache time in a durable tail, or a
+# volatile tail that is not flush-dominated.
+cargo run -p bench --release -q --bin latency -- \
+    --fio-ops 4000 --fio-span 512 --ycsb-records 200 --ycsb-ops 1500 \
+    --warehouses 1 --txns 100 --out "$TRACE_TMP/latency.json" --check \
+    >"$TRACE_TMP/latency.out"
+test -s "$TRACE_TMP/latency.json"
+grep -q '"schema":"durassd.latency.v1"' "$TRACE_TMP/latency.json"
+
+echo "== tail smoke (anatomy-backed tail claim: durable runs flush-free) =="
+cargo run -p bench --release -q --bin tail -- \
+    --ops 20000 --json "$TRACE_TMP/tail.json" --check >"$TRACE_TMP/tail.out"
+test -s "$TRACE_TMP/tail.json"
+grep -q '"schema":"durassd.latency.v1"' "$TRACE_TMP/tail.json"
+
 echo "tier-1 gate: OK"

@@ -7,22 +7,33 @@
 //!   * a volatile-cache SSD with barriers (fsync ⇒ FLUSH CACHE stalls), and
 //!   * DuraSSD with `nobarrier` (fsync never reaches the device).
 //!
-//! Run: `cargo run -p bench --release --bin tail [--ops N]`
+//! Each run records the full latency anatomy: per-segment-kind histograms
+//! plus the slowest captured read and write with their breakdowns. `--json
+//! PATH` writes the reads/writes × durable/volatile rows as a
+//! `durassd.latency.v1` document, and `--check` gates the anatomy form of
+//! the tail claim — the durable runs contain zero flush-cache segment time
+//! while the slowest volatile ops are flush-dominated.
+//!
+//! Run: `cargo run -p bench --release --bin tail [--ops N] [--json PATH]
+//! [--check]`
 
+use bench::schema::{check_latency_report_with, LATENCY_SCHEMA};
 use bench::{
-    arg_u64, durassd_bench, print_telemetry, rule, ssd_a_bench, ssd_health_line, TelemetrySink,
+    arg_flag, arg_str, arg_u64, durassd_bench, latency_row_json, print_telemetry, rule,
+    ssd_a_bench, ssd_health_line, write_atomic, TelemetrySink,
 };
+use durassd::Ssd;
 use forensics::{DeviceHealth, Forensic};
 use simkit::dist::rng;
 use simkit::dist::Rng;
 use simkit::stats::LatencyStats;
 use simkit::ClosedLoop;
-use storage::device::{BlockDevice, LOGICAL_PAGE};
+use storage::device::LOGICAL_PAGE;
 use storage::volume::Volume;
 use telemetry::Telemetry;
 
-fn mixed_run<D: BlockDevice + Forensic>(
-    dev: D,
+fn mixed_run(
+    dev: Ssd,
     barriers: bool,
     ops: u64,
     tel: &Telemetry,
@@ -36,8 +47,10 @@ fn mixed_run<D: BlockDevice + Forensic>(
         t = vol.write(lpn, &page, t).unwrap();
     }
     t = vol.fsync(t).unwrap();
-    // Attach after the preload so only the mixed phase is measured.
+    // Attach after the preload so only the mixed phase is measured; the
+    // device needs its own attach for the anatomy segments it charges.
     vol.attach_telemetry(tel.clone(), "tail");
+    vol.device_mut().attach_telemetry(tel.clone());
     // 64 readers + 16 writers, writers fsync every 8 writes.
     let clients = 80usize;
     let mut rngs: Vec<_> = (0..clients).map(|c| rng(0xFEED ^ (c as u64) << 20)).collect();
@@ -88,12 +101,24 @@ fn report(name: &str, reads: &mut LatencyStats, writes: &mut LatencyStats) {
     );
 }
 
+/// Anatomy rows for one run: the slowest reads and writes with their
+/// causally attributed breakdowns.
+fn anatomy_rows(tel: &Telemetry, mode: &str, device: &str) -> Vec<String> {
+    [("tail_mixed_reads", "dev.tail.read"), ("tail_mixed_writes", "dev.tail.write")]
+        .iter()
+        .filter_map(|(workload, op)| latency_row_json(workload, mode, device, op, tel))
+        .collect()
+}
+
 fn main() {
     let mut sink = TelemetrySink::from_args();
     let ops = arg_u64("--ops", 60_000);
+    let json_out = arg_str("--json");
+    let check = arg_flag("--check");
     println!("Tail latency under mixed read/write load (64 readers, 16 writers, fsync/8)\n");
     rule(110);
     let tel1 = Telemetry::new();
+    tel1.enable_anatomy(8);
     let (mut r1, mut w1, h1) = mixed_run(ssd_a_bench(true), true, ops, &tel1);
     report("volatile SSD, barriers ON", &mut r1, &mut w1);
     print_telemetry("    ", &tel1, &["dev.tail.read", "dev.tail.flush"]);
@@ -102,6 +127,7 @@ fn main() {
     }
     sink.add("volatile SSD, barriers ON", &tel1);
     let tel2 = Telemetry::new();
+    tel2.enable_anatomy(8);
     let (mut r2, mut w2, h2) = mixed_run(durassd_bench(true), false, ops, &tel2);
     report("DuraSSD, nobarrier", &mut r2, &mut w2);
     print_telemetry("    ", &tel2, &["dev.tail.read", "dev.tail.flush"]);
@@ -119,4 +145,28 @@ fn main() {
         f(&mut r1, &mut r2, 99.0),
         f(&mut r1, &mut r2, 99.9)
     );
+
+    if json_out.is_some() || check {
+        let mut rows = anatomy_rows(&tel1, "volatile", "ssd_a");
+        rows.extend(anatomy_rows(&tel2, "durable", "durassd"));
+        let doc = format!("{{\"schema\":\"{LATENCY_SCHEMA}\",\"rows\":[{}]}}", rows.join(","));
+        if let Some(path) = &json_out {
+            write_atomic(path, &doc).expect("tail output path is writable");
+            println!("wrote {path}");
+        }
+        if check {
+            let failures = check_latency_report_with(&doc, 2);
+            if failures.is_empty() {
+                println!(
+                    "check : OK (anatomy conserved; durable runs flush-free, \
+                     volatile tails flush-dominated)"
+                );
+            } else {
+                for fmsg in &failures {
+                    eprintln!("check FAILED: {fmsg}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -8,7 +8,7 @@
 use durassd::{Ssd, SsdConfig};
 use forensics::DeviceHealth;
 use hdd::{Hdd, HddConfig};
-use telemetry::Telemetry;
+use telemetry::{OpBreakdown, SegKind, Telemetry};
 
 pub mod schema;
 
@@ -254,6 +254,98 @@ pub fn print_telemetry(indent: &str, tel: &Telemetry, names: &[&str]) {
             println!("{indent}{line}");
         }
     }
+}
+
+/// Per-segment-kind run histograms as a JSON object, empty kinds skipped:
+/// `{"<label>":{"count":..,"total_ns":..,"p50":..,"p99":..,"max":..},...}`.
+/// The table is the run-wide view of the latency anatomy — the per-op view
+/// is [`breakdown_tail_json`].
+pub fn seg_table_json(tel: &Telemetry) -> String {
+    let mut out = String::from("{");
+    let mut first = true;
+    for k in SegKind::ALL {
+        let Some(h) = tel.histogram(k.hist_name()) else { continue };
+        if h.count() == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\"{}\":{{\"count\":{},\"total_ns\":{},\"p50\":{},\"p99\":{},\"max\":{}}}",
+            k.label(),
+            h.count(),
+            h.sum(),
+            h.p50(),
+            h.p99(),
+            h.max()
+        ));
+    }
+    out.push('}');
+    out
+}
+
+/// One captured op breakdown rendered as a `tail` object for
+/// `durassd.latency.v1` rows: wall latency, its flush-cache share (the
+/// durability gate both `latency --check` and `tail --check` run on), the
+/// trace-ID for cross-referencing the Chrome trace, and the non-zero
+/// segments.
+pub fn breakdown_tail_json(bd: &OpBreakdown) -> String {
+    let flush = bd.seg(SegKind::FlushCache);
+    let frac = flush as f64 / bd.wall.max(1) as f64;
+    let mut segs = String::from("{");
+    let mut first = true;
+    for k in SegKind::ALL {
+        let ns = bd.seg(k);
+        if ns == 0 {
+            continue;
+        }
+        if !first {
+            segs.push(',');
+        }
+        first = false;
+        segs.push_str(&format!("\"{}\":{ns}", k.label()));
+    }
+    segs.push('}');
+    format!(
+        "{{\"wall\":{},\"flush_cache_ns\":{flush},\"flush_frac\":{frac:.4},\
+         \"trace\":{},\"segments\":{segs}}}",
+        bd.wall, bd.trace
+    )
+}
+
+/// One `durassd.latency.v1` row for op `commit_op` out of `tel`: percentile
+/// ladder, conservation-violation count, run segment table, and the slowest
+/// captured breakdown. `None` when the op never ran (no histogram or no
+/// captured outlier).
+pub fn latency_row_json(
+    workload: &str,
+    mode: &str,
+    device: &str,
+    commit_op: &str,
+    tel: &Telemetry,
+) -> Option<String> {
+    let h = tel.histogram(commit_op)?;
+    if h.count() == 0 {
+        return None;
+    }
+    let tail = tel.outliers_for(commit_op);
+    let tail = tail.first()?;
+    Some(format!(
+        "{{\"workload\":\"{workload}\",\"mode\":\"{mode}\",\"device\":\"{device}\",\
+         \"commit_op\":\"{commit_op}\",\"count\":{},\"min\":{},\"p50\":{},\"p99\":{},\
+         \"p999\":{},\"max\":{},\"violations\":{},\"segments\":{},\"tail\":{}}}",
+        h.count(),
+        h.min(),
+        h.p50(),
+        h.p99(),
+        h.p999(),
+        h.max(),
+        tel.anatomy_violations(),
+        seg_table_json(tel),
+        breakdown_tail_json(tail),
+    ))
 }
 
 /// Format an IOPS/TPS value with thousands separators.

@@ -23,6 +23,9 @@ pub const RECOVERY_SCHEMA: &str = "durassd.recovery.v1";
 pub const FORENSICS_SCHEMA: &str = "durassd.forensics.v1";
 /// Schema tag for `BENCH_waf.json` (the `waf` bin).
 pub const WAF_SCHEMA: &str = "durassd.waf.v1";
+/// Schema tag for `BENCH_latency.json` (the `latency` bin) and the `tail`
+/// bin's `--json` output.
+pub const LATENCY_SCHEMA: &str = "durassd.latency.v1";
 
 type Obj = BTreeMap<String, JsonValue>;
 
@@ -402,6 +405,166 @@ pub fn check_waf_report(doc: &str) -> Vec<String> {
     failures
 }
 
+/// Validate one latency-anatomy segment table (`segments` object): every key
+/// must be a known [`telemetry::SegKind`] label and every entry must carry
+/// non-negative `count` / `total_ns` / `p50` / `p99` / `max` fields.
+fn check_segment_table(tag: &str, segs: &Obj, failures: &mut Vec<String>) {
+    let known: Vec<&str> = telemetry::SegKind::ALL.iter().map(|k| k.label()).collect();
+    for (label, entry) in segs {
+        if !known.contains(&label.as_str()) {
+            failures.push(format!("{tag}.segments.{label}: unknown segment kind"));
+            continue;
+        }
+        let Some(entry) = entry.as_object() else {
+            failures.push(format!("{tag}.segments.{label}: not an object"));
+            continue;
+        };
+        for key in ["count", "total_ns", "p50", "p99", "max"] {
+            match entry.get(key).and_then(|v| v.as_f64()) {
+                Some(x) if x >= 0.0 && x.is_finite() => {}
+                other => failures.push(format!(
+                    "{tag}.segments.{label}.{key} = {other:?}: want finite non-negative"
+                )),
+            }
+        }
+    }
+}
+
+/// Validate a serialized `BENCH_latency.json` document:
+///
+/// - parses as JSON, carries the [`LATENCY_SCHEMA`] tag;
+/// - a non-empty `rows` array covering ≥ 3 distinct workloads, each present
+///   in both a `durable` and a `volatile` row;
+/// - every row has a positive commit-op `count`, ordered percentiles
+///   (`min ≤ p50 ≤ p99 ≤ p999 ≤ max`), zero conservation `violations`, a
+///   non-empty per-segment-kind table (known labels only), and a `tail`
+///   object (slowest captured commit) whose breakdown is present;
+/// - the paper's durability claim as a latency gate: durable-mode tails
+///   contain **zero** flush-cache time (the write cache is power-loss-proof,
+///   so commits never wait on FLUSH CACHE), while every volatile tail is
+///   flush-dominated (`flush_frac ≥ 0.5`).
+pub fn check_latency_report(doc: &str) -> Vec<String> {
+    check_latency_report_with(doc, 3)
+}
+
+/// [`check_latency_report`] with a caller-chosen floor on distinct
+/// workloads: the `tail` bin's mixed run emits two (reads and writes), the
+/// full `latency` observatory emits three.
+pub fn check_latency_report_with(doc: &str, min_workloads: usize) -> Vec<String> {
+    let v = match top_object(doc, "BENCH_latency.json") {
+        Ok(v) => v,
+        Err(f) => return f,
+    };
+    let obj = v.as_object().expect("checked by top_object");
+    let mut failures = Vec::new();
+    check_tag(obj, LATENCY_SCHEMA, &mut failures);
+    let Some(rows) = obj.get("rows").and_then(|r| r.as_array()) else {
+        failures.push("rows array missing".into());
+        return failures;
+    };
+    if rows.is_empty() {
+        failures.push("rows array empty".into());
+        return failures;
+    }
+    let mut workloads: BTreeMap<String, (bool, bool)> = BTreeMap::new();
+    for (i, row) in rows.iter().enumerate() {
+        let Some(row) = row.as_object() else {
+            failures.push(format!("rows[{i}] is not an object"));
+            continue;
+        };
+        let workload = row.get("workload").and_then(|v| v.as_str()).unwrap_or("?");
+        let mode = row.get("mode").and_then(|v| v.as_str()).unwrap_or("?");
+        let tag = format!("{workload}/{mode}");
+        let slot = workloads.entry(workload.to_string()).or_default();
+        match mode {
+            "durable" => slot.0 = true,
+            "volatile" => slot.1 = true,
+            _ => failures.push(format!("{tag}: mode must be durable|volatile")),
+        }
+        for key in ["device", "commit_op"] {
+            if row.get(key).and_then(|v| v.as_str()).is_none() {
+                failures.push(format!("{tag}: {key} missing"));
+            }
+        }
+        match num(row, "count") {
+            Some(x) if x > 0.0 => {}
+            other => failures.push(format!("{tag}.count = {other:?}: want positive")),
+        }
+        let pct: Vec<Option<f64>> =
+            ["min", "p50", "p99", "p999", "max"].iter().map(|k| num(row, k)).collect();
+        if pct.iter().any(|p| !matches!(p, Some(x) if x.is_finite() && *x >= 0.0)) {
+            failures.push(format!("{tag}: min/p50/p99/p999/max must all be present: {pct:?}"));
+        } else if pct.windows(2).any(|w| w[0] > w[1]) {
+            failures.push(format!("{tag}: percentiles not monotone: {pct:?}"));
+        }
+        match num(row, "violations") {
+            Some(0.0) => {}
+            other => failures
+                .push(format!("{tag}.violations = {other:?}: segment sums exceeded wall latency")),
+        }
+        match row.get("segments").and_then(|v| v.as_object()) {
+            None => failures.push(format!("{tag}: segments object missing")),
+            Some(segs) if segs.is_empty() => failures.push(format!("{tag}: segments object empty")),
+            Some(segs) => check_segment_table(&tag, segs, &mut failures),
+        }
+        let Some(tail) = row.get("tail").and_then(|v| v.as_object()) else {
+            failures.push(format!("{tag}: tail object missing"));
+            continue;
+        };
+        match num(tail, "wall") {
+            Some(x) if x > 0.0 => {}
+            other => failures.push(format!("{tag}.tail.wall = {other:?}: want positive")),
+        }
+        if tail.get("segments").and_then(|v| v.as_object()).is_none() {
+            failures.push(format!("{tag}.tail: segments breakdown missing"));
+        }
+        let flush_ns = num(tail, "flush_cache_ns");
+        let flush_frac = num(tail, "flush_frac");
+        match mode {
+            "durable" => {
+                // Durable cache: FLUSH CACHE is free, so the *slowest* commit
+                // observed must contain zero flush time — and so must the
+                // whole run (segment histogram absent or empty).
+                match flush_ns {
+                    Some(0.0) => {}
+                    other => failures.push(format!(
+                        "{tag}: durable tail has flush_cache time {other:?}, want 0"
+                    )),
+                }
+                if let Some(segs) = row.get("segments").and_then(|v| v.as_object()) {
+                    if let Some(fc) = segs.get("flush_cache").and_then(|v| v.as_object()) {
+                        match fc.get("count").and_then(|v| v.as_f64()) {
+                            Some(0.0) => {}
+                            c => failures.push(format!(
+                                "{tag}: durable run recorded {c:?} flush_cache segments, want 0"
+                            )),
+                        }
+                    }
+                }
+            }
+            "volatile" => match flush_frac {
+                Some(f) if f >= 0.5 => {}
+                other => failures.push(format!(
+                    "{tag}: volatile tail flush_frac = {other:?}, want ≥ 0.5 (flush-dominated)"
+                )),
+            },
+            _ => {}
+        }
+    }
+    if workloads.len() < min_workloads {
+        let names: Vec<_> = workloads.keys().collect();
+        failures.push(format!("want ≥ {min_workloads} distinct workloads, got {names:?}"));
+    }
+    for (workload, (dur, vol)) in &workloads {
+        if !(*dur && *vol) {
+            failures.push(format!(
+                "{workload}: need both durable and volatile rows (durable {dur}, volatile {vol})"
+            ));
+        }
+    }
+    failures
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -494,6 +657,96 @@ mod tests {
         ]);
         let fails = check_waf_report(&doc);
         assert!(fails.iter().any(|f| f.contains("distinct workloads")), "{fails:?}");
+        assert!(fails.iter().any(|f| f.contains("both durable and volatile")), "{fails:?}");
+    }
+
+    fn seg_entry(count: u64, total: u64) -> String {
+        format!(
+            "{{\"count\":{count},\"total_ns\":{total},\"p50\":{p},\"p99\":{p},\"max\":{p}}}",
+            p = if count == 0 { 0 } else { total / count.max(1) }
+        )
+    }
+
+    fn latency_row(workload: &str, mode: &str) -> String {
+        let durable = mode == "durable";
+        let (flush_ns, flush_frac) = if durable { (0u64, 0.0) } else { (90_000u64, 0.9) };
+        let mut segs = format!("\"wal_fsync\":{}", seg_entry(100, 5_000_000));
+        if !durable {
+            segs.push_str(&format!(",\"flush_cache\":{}", seg_entry(100, 9_000_000)));
+        }
+        format!(
+            "{{\"workload\":\"{workload}\",\"mode\":\"{mode}\",\"device\":\"d\",\
+             \"commit_op\":\"engine.commit\",\"count\":100,\"min\":10,\"p50\":50,\
+             \"p99\":900,\"p999\":1000,\"max\":100000,\"violations\":0,\
+             \"segments\":{{{segs}}},\
+             \"tail\":{{\"wall\":100000,\"flush_cache_ns\":{flush_ns},\
+             \"flush_frac\":{flush_frac:.2},\"segments\":{{\"wal_fsync\":10000}}}}}}"
+        )
+    }
+
+    fn latency_doc(rows: &[String]) -> String {
+        format!("{{\"schema\":\"{LATENCY_SCHEMA}\",\"rows\":[{}]}}", rows.join(","))
+    }
+
+    fn full_latency_doc() -> Vec<String> {
+        ["fio", "ycsb_a", "tpcc"]
+            .iter()
+            .flat_map(|w| ["durable", "volatile"].iter().map(|m| latency_row(w, m)))
+            .collect()
+    }
+
+    #[test]
+    fn latency_report_validation_accepts_good_documents() {
+        let doc = latency_doc(&full_latency_doc());
+        let fails = check_latency_report(&doc);
+        assert!(fails.is_empty(), "{fails:?}");
+    }
+
+    #[test]
+    fn latency_report_validation_rejects_violations() {
+        assert!(!check_latency_report("nope").is_empty());
+        assert!(!check_latency_report("{\"schema\":\"other.v1\",\"rows\":[]}").is_empty());
+
+        // A durable tail containing flush-cache time contradicts the paper.
+        let mut rows = full_latency_doc();
+        rows[0] = rows[0].replace("\"flush_cache_ns\":0", "\"flush_cache_ns\":5000");
+        let fails = check_latency_report(&latency_doc(&rows));
+        assert!(fails.iter().any(|f| f.contains("durable tail has flush_cache")), "{fails:?}");
+
+        // A durable run recording any flush_cache segments fails too.
+        let mut rows = full_latency_doc();
+        let inject = format!("}},\"flush_cache\":{}}},\"tail\"", seg_entry(3, 1000));
+        rows[0] = rows[0].replacen("}},\"tail\"", &inject, 1);
+        let fails = check_latency_report(&latency_doc(&rows));
+        assert!(fails.iter().any(|f| f.contains("flush_cache segments")), "{fails:?}");
+
+        // A volatile tail that is not flush-dominated.
+        let mut rows = full_latency_doc();
+        rows[1] = rows[1].replace("\"flush_frac\":0.90", "\"flush_frac\":0.10");
+        let fails = check_latency_report(&latency_doc(&rows));
+        assert!(fails.iter().any(|f| f.contains("flush-dominated")), "{fails:?}");
+
+        // Conservation violations gate the report outright.
+        let mut rows = full_latency_doc();
+        rows[2] = rows[2].replace("\"violations\":0", "\"violations\":2");
+        let fails = check_latency_report(&latency_doc(&rows));
+        assert!(fails.iter().any(|f| f.contains("exceeded wall")), "{fails:?}");
+
+        // Unknown segment kinds are typos, not data.
+        let mut rows = full_latency_doc();
+        rows[3] = rows[3].replace("\"wal_fsync\":{\"count\"", "\"wal_fsyncc\":{\"count\"");
+        let fails = check_latency_report(&latency_doc(&rows));
+        assert!(fails.iter().any(|f| f.contains("unknown segment kind")), "{fails:?}");
+
+        // Non-monotone percentiles.
+        let mut rows = full_latency_doc();
+        rows[4] = rows[4].replace("\"p999\":1000", "\"p999\":5");
+        let fails = check_latency_report(&latency_doc(&rows));
+        assert!(fails.iter().any(|f| f.contains("not monotone")), "{fails:?}");
+
+        // Missing mode twin.
+        let rows = full_latency_doc();
+        let fails = check_latency_report(&latency_doc(&rows[..5]));
         assert!(fails.iter().any(|f| f.contains("both durable and volatile")), "{fails:?}");
     }
 

@@ -15,7 +15,7 @@ use std::collections::VecDeque;
 use storage::device::{
     check_io, BlockDevice, DevError, DevResult, DeviceStats, WriteCause, LOGICAL_PAGE,
 };
-use telemetry::Telemetry;
+use telemetry::{SegKind, Telemetry};
 
 /// SSD-specific statistics on top of the generic [`DeviceStats`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -253,10 +253,37 @@ impl Ssd {
         self.nand.purge_before(watermark);
     }
 
+    /// Pure host-interface service time for `bytes` (fixed command cost +
+    /// transfer at the interface rate) — the `xfer` anatomy segment; any
+    /// extra time [`Ssd::sata_transfer`] reports is NCQ queueing wait.
+    fn sata_cost(&self, bytes: usize) -> Nanos {
+        self.cfg.sata_fixed + (bytes as u64 * 1_000) / self.cfg.sata_bytes_per_us
+    }
+
     /// SATA transfer of `bytes` starting no earlier than `now`.
     fn sata_transfer(&mut self, now: Nanos, bytes: usize) -> Nanos {
-        let t = self.cfg.sata_fixed + (bytes as u64 * 1_000) / self.cfg.sata_bytes_per_us;
+        let t = self.sata_cost(bytes);
         self.sata.acquire(now, t)
+    }
+
+    /// Charge a latency-anatomy segment for the in-progress host command
+    /// (free no-op without telemetry or with anatomy disabled).
+    fn seg(&self, kind: SegKind, ns: Nanos) {
+        if ns == 0 {
+            return;
+        }
+        if let Some(tel) = &self.tel {
+            tel.seg(kind, ns);
+        }
+    }
+
+    /// Split one completed SATA transfer into anatomy segments: queueing
+    /// wait behind other interface traffic (`ncq_wait`) and the command's
+    /// own transfer service (`xfer`).
+    fn seg_sata(&self, issued: Nanos, done: Nanos, bytes: usize) {
+        let service = self.sata_cost(bytes);
+        self.seg(SegKind::NcqWait, done.saturating_sub(issued).saturating_sub(service));
+        self.seg(SegKind::Xfer, service);
     }
 
     /// Drain one pair of dirty slots to NAND at `t`; returns the program's
@@ -372,11 +399,13 @@ impl Ssd {
             return Ok(done);
         }
         let xfer_done = self.sata_transfer(now, data.len());
+        self.seg_sata(now, xfer_done, data.len());
         // Flow control: when the cache is full, admission proceeds at the
         // backend drain rate. Schedule every needed drain immediately (the
         // dispatch pipe serialises them at the sustained media rate), then
         // wait for completions to free slots — the flusher and the host
         // overlap, as in the real firmware.
+        let gc_before = self.ftl.gc_time();
         let mut t = xfer_done;
         let mut guard = 0u32;
         loop {
@@ -410,6 +439,14 @@ impl Ssd {
                 _ => break,
             }
         }
+        // Anatomy: the admission window is GC interference wherever the
+        // drains that freed our slot were preempted by GC (measured before
+        // the trailing opportunistic drain so background GC is never
+        // charged to this command), and cache-full stall for the rest.
+        let admit = t - xfer_done;
+        let gc_delta = (self.ftl.gc_time() - gc_before).min(admit);
+        self.seg(SegKind::GcWait, gc_delta);
+        self.seg(SegKind::CacheAdmit, admit - gc_delta);
         // Atomic writer: stage the slots, remembering pre-images until the
         // command acknowledgement time passes; the flusher ignores the
         // entries until then.
@@ -436,9 +473,15 @@ impl Ssd {
     fn write_direct(&mut self, lpn: u64, data: &[u8], now: Nanos) -> DevResult<Nanos> {
         let n = data.len() / LOGICAL_PAGE;
         let xfer_done = self.sata_transfer(now, data.len());
+        self.seg_sata(now, xfer_done, data.len());
         let spp = self.cfg.slots_per_page();
         let mut media_done = xfer_done;
         let mut idx = 0usize;
+        // Anatomy: all chunks issue at `xfer_done` and overlap across
+        // planes, so only the critical chunk (the one achieving
+        // `media_done`) is attributed: its dispatch-pipe + NAND queueing
+        // wait, the GC pause that preempted it, and its program service.
+        let mut crit = None;
         while idx < n {
             let take = spp.min(n - idx);
             let items: Vec<(u64, &[u8])> = (0..take)
@@ -454,8 +497,20 @@ impl Ssd {
                 .ftl
                 .program_slots_tagged(&mut self.nand, &items, &causes[..items.len()], grant)
                 .map_err(Error::into_dev)?;
-            media_done = media_done.max(done);
+            if done >= media_done {
+                media_done = done;
+                crit = Some((grant, self.ftl.last_gc_pause(), self.nand.last_split()));
+            }
             idx += take;
+        }
+        if let Some((grant, gc_pause, (wait, service))) = crit {
+            // wait + service == media_done - grant exactly; the GC pause is
+            // part of the NAND queueing wait (the program queued behind the
+            // GC work on its plane), split out as its own cause.
+            let gc = gc_pause.min(wait);
+            self.seg(SegKind::GcWait, gc);
+            self.seg(SegKind::ChannelWait, (grant - xfer_done) + (wait - gc));
+            self.seg(SegKind::MediaProgram, service);
         }
         // Without a durable cache to hold the mapping, careful firmware
         // journals it before completing the command (§2.3); lazy-journal
@@ -465,6 +520,7 @@ impl Ssd {
         } else {
             media_done
         };
+        self.seg(SegKind::MapPersist, meta_done - media_done);
         Ok(meta_done + self.cfg.host_write_overhead)
     }
 
@@ -541,12 +597,26 @@ impl Ssd {
         tel.set_gauge("ftl.unpersisted_map", unpersisted);
         tel.set_gauge("ftl.free_blocks", self.ftl.free_blocks() as i64);
         tel.set_gauge("ftl.gc_debt", self.ftl.gc_debt() as i64);
+        // Queue-depth observability: the admission queue (dirty slots
+        // waiting for the drain engine) and the host-interface NCQ backlog
+        // (accepted-but-unfinished transfer time at the arrival watermark).
+        tel.set_gauge("ssd.cache_dirty", self.cache.dirty() as i64);
+        tel.set_gauge(
+            "ssd.ncq_backlog_ns",
+            self.sata.backlog_at(self.last_arrival).min(i64::MAX as u64) as i64,
+        );
         // The valid ratio walks every block's counter; refresh it on a
-        // stride so the write hot path stays O(1).
+        // stride so the write hot path stays O(1). Per-channel occupancy
+        // shares the stride: its gauge names are formatted, so sampling
+        // every command would put an allocation on the hot path.
         if self.gauge_tick.is_multiple_of(64) {
             let (live, total) = self.ftl.live_slots();
             if let Some(pm) = (live * 1000).checked_div(total) {
                 tel.set_gauge("ftl.valid_ratio_pm", pm as i64);
+            }
+            for ch in 0..self.nand.channel_count() {
+                let occ = self.nand.channel_occupancy_at(ch, self.last_arrival);
+                tel.set_gauge(&format!("nand.ch{ch}.queue"), occ as i64);
             }
         }
         self.gauge_tick = self.gauge_tick.wrapping_add(1);
@@ -572,6 +642,11 @@ impl BlockDevice for Ssd {
         let start = now.max(self.barrier_until);
         let mut media_done = start;
         let mut all_cached = true;
+        // Anatomy: the page reads all issue at `start` and overlap across
+        // planes, so only the *critical* read — the one that achieves
+        // `media_done` — is attributed (summing the overlapped ones would
+        // exceed wall time and break conservation).
+        let mut crit_split = None;
         for i in 0..pages as u64 {
             let off = i as usize * LOGICAL_PAGE;
             let out = &mut buf[off..off + LOGICAL_PAGE];
@@ -585,7 +660,12 @@ impl BlockDevice for Ssd {
                 .read_slot(&mut self.nand, lpn + i, out, start)
                 .map_err(Error::into_dev)?
             {
-                SlotRead::Ok(done) => media_done = media_done.max(done),
+                SlotRead::Ok(done) => {
+                    if done >= media_done {
+                        media_done = done;
+                        crit_split = Some(self.nand.last_split());
+                    }
+                }
                 SlotRead::Unmapped => {}
                 SlotRead::Shorn => {
                     self.xstats.shorn_reads += 1;
@@ -596,7 +676,13 @@ impl BlockDevice for Ssd {
         if all_cached {
             self.xstats.cache_hit_reads += 1;
         }
+        self.seg(SegKind::FlushCache, start - now);
+        if let Some((wait, service)) = crit_split {
+            self.seg(SegKind::ChannelWait, wait);
+            self.seg(SegKind::MediaRead, service);
+        }
         let xfer_done = self.sata_transfer(media_done, buf.len());
+        self.seg_sata(media_done, xfer_done, buf.len());
         let done = xfer_done + self.cfg.host_read_overhead;
         self.opportunistic_drain(now)?;
         Ok(done)
@@ -613,6 +699,9 @@ impl BlockDevice for Ssd {
         self.stats.pages_written += pages as u64;
         self.stats.pages_by_cause[self.cur_cause.index()] += pages as u64;
         let start = now.max(self.barrier_until);
+        // A pending write barrier delays admission: charge the wait to the
+        // flush that caused it.
+        self.seg(SegKind::FlushCache, start - now);
         let done = if self.cfg.cache_enabled {
             self.write_cached(lpn, data, start)?
         } else {
@@ -639,6 +728,7 @@ impl BlockDevice for Ssd {
             // never emits: the trace-level twin of the flush_cache stall.
             tel.trace_begin("ssd", "flush_cache", start);
         }
+        let gc_before = self.ftl.gc_time();
         let drained = self.drain_all(start)?;
         if let Some(tel) = &self.tel {
             // The cache-flush-queue drain time: how long FLUSH CACHE spends
@@ -652,6 +742,23 @@ impl BlockDevice for Ssd {
             drained
         };
         let done = persisted + self.cfg.flush_fixed_cost;
+        // Anatomy: everything the barrier forces — the queue behind a prior
+        // barrier, the drain itself, the barrier-triggered mapping persist,
+        // the fixed command cost — is flush-cache time. Only GC interference
+        // stolen from the drain keeps its own cause (it could have fired on
+        // any path). Threshold-triggered journal commits on the *write* path
+        // still charge map_persist; a persist the barrier demanded is part
+        // of the drain. Segments sum to wall exactly.
+        let drain_span = drained - start;
+        let gc_delta = (self.ftl.gc_time() - gc_before).min(drain_span);
+        self.seg(SegKind::GcWait, gc_delta);
+        self.seg(
+            SegKind::FlushCache,
+            (start - now)
+                + (drain_span - gc_delta)
+                + (persisted - drained)
+                + self.cfg.flush_fixed_cost,
+        );
         self.barrier_until = done;
         if let Some(tel) = &self.tel {
             tel.trace_end("ssd", "flush_cache", done);
@@ -1364,6 +1471,188 @@ mod tests {
         let s = d.stats();
         let media_sum: u64 = s.media_pages_by_cause.iter().sum();
         assert_eq!(media_sum, s.media_pages_written);
+    }
+
+    /// Run one device command inside an anatomy frame and assert the
+    /// conservation identity on the resulting breakdown.
+    fn framed(
+        d: &mut Ssd,
+        tel: &Telemetry,
+        name: &str,
+        now: Nanos,
+        f: impl FnOnce(&mut Ssd, Nanos) -> DevResult<Nanos>,
+    ) -> (Nanos, telemetry::OpBreakdown) {
+        tel.begin_frame(name, now);
+        let done = f(d, now).unwrap();
+        tel.end_frame(name, done);
+        let bd = tel.last_breakdown().expect("frame closed");
+        assert_eq!(bd.wall, done - now, "{name}: wall is the op latency");
+        assert!(bd.is_conserved(), "{name}: segments must sum to wall");
+        assert_eq!(tel.anatomy_violations(), 0, "{name}: no over-attribution");
+        (done, bd)
+    }
+
+    fn anatomy_dev(cfg: SsdConfig) -> (Ssd, Telemetry) {
+        let mut d = Ssd::new(cfg);
+        let tel = Telemetry::new();
+        tel.enable_anatomy(4);
+        d.attach_telemetry(tel.clone());
+        (d, tel)
+    }
+
+    #[test]
+    fn anatomy_conserves_across_command_mix() {
+        let (mut d, tel) = anatomy_dev(SsdConfig::tiny_test());
+        let cap = d.capacity_pages();
+        let mut t = 0;
+        for i in 0..(cap * 3) {
+            let (done, _) = framed(&mut d, &tel, "dev.write", t, |d, now| {
+                d.write(i % cap, &page(i as u8), now)
+            });
+            t = done;
+            if i % 7 == 0 {
+                let (done, _) = framed(&mut d, &tel, "dev.read", t, |d, now| {
+                    let mut buf = page(0);
+                    d.read(i % cap, 1, &mut buf, now)
+                });
+                t = done;
+            }
+            if i % 97 == 0 {
+                let (done, _) = framed(&mut d, &tel, "dev.flush", t, |d, now| d.flush(now));
+                t = done;
+            }
+        }
+        let (_, _) = framed(&mut d, &tel, "dev.discard", t, |d, now| d.discard(0, 4, now));
+        assert_eq!(tel.anatomy_violations(), 0);
+        // The mix exercised the taxonomy: transfers on every command, media
+        // reads on cache misses, programs via direct flush drains.
+        assert!(tel.histogram("seg.xfer").unwrap().count() > 0);
+        assert!(tel.histogram("seg.flush_cache").unwrap().count() > 0);
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn durable_write_tail_has_no_flush_cache_segment() {
+        // The paper's claim at device granularity: with the capacitor-backed
+        // cache absorbing fsync, no write ever carries flush-cache time.
+        let (mut d, tel) = anatomy_dev(SsdConfig::tiny_test());
+        let mut t = 0;
+        for i in 0..64u64 {
+            let (done, bd) =
+                framed(&mut d, &tel, "dev.write", t, |d, now| d.write(i % 16, &page(1), now));
+            assert_eq!(bd.seg(SegKind::FlushCache), 0, "no barrier, no flush segment");
+            t = done;
+        }
+        // A volatile deployment flushing between writes pays it on the very
+        // next command (the barrier pushes admission out).
+        let (mut v, vtel) = anatomy_dev(SsdConfig::tiny_volatile());
+        let t1 = v.write(0, &page(1), 0).unwrap();
+        let fl = v.flush(t1).unwrap();
+        let (_, bd) =
+            framed(&mut v, &vtel, "dev.write", fl - 1, |d, now| d.write(1, &page(2), now));
+        assert!(bd.seg(SegKind::FlushCache) > 0, "barrier wait is flush-cache time");
+    }
+
+    #[test]
+    fn flush_breakdown_is_fully_attributed() {
+        let (mut d, tel) = anatomy_dev(SsdConfig::tiny_volatile());
+        let mut t = 0;
+        for i in 0..8u64 {
+            t = d.write(i, &page(i as u8), t).unwrap();
+        }
+        let (_, bd) = framed(&mut d, &tel, "dev.flush", t, |d, now| d.flush(now));
+        assert!(bd.seg(SegKind::FlushCache) > 0, "drain time is flush-cache");
+        assert_eq!(
+            bd.seg(SegKind::MapPersist),
+            0,
+            "the barrier-triggered mapping persist is part of the flush-cache cost"
+        );
+        assert_eq!(bd.seg(SegKind::Host), 0, "flush is attributed to the nanosecond");
+    }
+
+    #[test]
+    fn gc_segment_appears_only_when_gc_preempted_the_op() {
+        let (mut d, tel) = anatomy_dev(SsdConfig::tiny_test());
+        let cap = d.capacity_pages();
+        let mut t = 0;
+        let mut gc_charged_ops = 0u64;
+        for i in 0..(cap * 6) {
+            let gc_before = d.ftl_stats().gc_ns;
+            let (done, bd) = framed(&mut d, &tel, "dev.write", t, |d, now| {
+                d.write(i % cap, &page(i as u8), now)
+            });
+            t = done;
+            let gc_delta = d.ftl_stats().gc_ns - gc_before;
+            if gc_delta == 0 {
+                assert_eq!(
+                    bd.seg(SegKind::GcWait),
+                    0,
+                    "op {i}: GC segment without any GC activity"
+                );
+            }
+            if bd.seg(SegKind::GcWait) > 0 {
+                assert!(gc_delta > 0, "op {i}: GC segment requires GC preemption");
+                gc_charged_ops += 1;
+            }
+        }
+        assert!(d.ftl_stats().gc_erases > 0, "workload must trigger GC");
+        assert!(
+            gc_charged_ops > 0,
+            "sustained overwrite pressure must surface GC interference in some op"
+        );
+        // First write on a fresh device can never carry a GC segment.
+        let (mut fresh, ftel) = anatomy_dev(SsdConfig::tiny_test());
+        let (_, bd) = framed(&mut fresh, &ftel, "dev.write", 0, |d, now| d.write(0, &page(1), now));
+        assert_eq!(bd.seg(SegKind::GcWait), 0);
+    }
+
+    #[test]
+    fn littles_law_holds_on_the_host_interface() {
+        // Utilization form of Little's law on the SATA link: the
+        // time-average number of commands in service, L = busy_time / T,
+        // equals λ·S̄ = (N/T)·(Σ service / N). Cross-multiplying, simkit's
+        // Timeline busy-time accounting must equal the anatomy's `seg.xfer`
+        // attribution *exactly* — two independent accountings of the same
+        // nanoseconds.
+        let (mut d, tel) = anatomy_dev(SsdConfig::tiny_test());
+        let mut t = 0;
+        let n = 200u64;
+        for i in 0..n {
+            let (done, _) =
+                framed(&mut d, &tel, "dev.write", t, |d, now| d.write(i % 32, &page(1), now));
+            t = done;
+        }
+        let xfer = tel.histogram("seg.xfer").unwrap();
+        assert_eq!(xfer.count(), n);
+        let (sata_busy, _, _) = d.busy_times();
+        assert_eq!(
+            xfer.sum(),
+            sata_busy as u128,
+            "anatomy transfer attribution must equal Timeline busy time"
+        );
+        // Closed loop at queue depth 1: no command ever queues behind
+        // another on the interface, so the wait side of the split is zero...
+        assert!(tel.histogram("seg.ncq_wait").is_none());
+        // ...while a burst issued at one instant serialises: command k
+        // waits behind k predecessors, and the measured waits match the
+        // deterministic k·S (k-1)/2 total of a D/D/1 queue exactly.
+        let (mut b, btel) = anatomy_dev(SsdConfig::tiny_test());
+        let k = 8u64;
+        let mut last = 0;
+        for i in 0..k {
+            btel.begin_frame("dev.write", 0);
+            last = b.write(i, &page(1), 0).unwrap();
+            btel.end_frame("dev.write", last);
+        }
+        let svc = (btel.histogram("seg.xfer").unwrap().sum() / k as u128) as u64;
+        let waits = btel.histogram("seg.ncq_wait").unwrap();
+        assert_eq!(waits.sum(), (svc * k * (k - 1) / 2) as u128, "D/D/1 burst queueing");
+        assert_eq!(btel.anatomy_violations(), 0);
+        // The admission/NCQ queue-depth gauges are live after the burst.
+        assert!(btel.gauge("ssd.cache_dirty").is_some());
+        assert!(btel.gauge("ssd.ncq_backlog_ns").is_some());
+        assert!(btel.gauge("nand.ch0.queue").is_some());
+        let _ = last;
     }
 
     #[test]

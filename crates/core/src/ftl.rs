@@ -114,6 +114,11 @@ pub struct Ftl {
     gc_data: Vec<u8>,
     stats: FtlStats,
     tel: Option<Telemetry>,
+    /// GC pause of the most recent [`Ftl::program_slots_tagged`] call (0
+    /// when no GC preempted it): the latency-anatomy `gc_wait` segment for
+    /// the command that suffered it. Read together with
+    /// `NandArray::last_split` for the same call's wait/service split.
+    last_gc_pause: Nanos,
 }
 
 impl Ftl {
@@ -173,6 +178,7 @@ impl Ftl {
             gc_data: Vec::new(),
             stats: FtlStats::default(),
             tel: None,
+            last_gc_pause: 0,
         }
     }
 
@@ -191,6 +197,12 @@ impl Ftl {
     /// Cumulative host-visible GC pause time (ns).
     pub fn gc_time(&self) -> Nanos {
         self.stats.gc_ns
+    }
+
+    /// GC pause suffered by the most recent `program_slots*` call (0 when
+    /// GC did not preempt it).
+    pub fn last_gc_pause(&self) -> Nanos {
+        self.last_gc_pause
     }
 
     /// Number of mapping entries modified since the last persist.
@@ -323,6 +335,7 @@ impl Ftl {
         assert_eq!(items.len(), causes.len(), "one cause per slot");
         let plane = self.next_plane();
         let gc_end = self.maybe_gc(nand, plane, now)?;
+        self.last_gc_pause = gc_end.saturating_sub(now);
         if gc_end > now {
             // The foreground program queues behind the GC work on this
             // plane: the whole episode is a host-visible GC pause, recorded

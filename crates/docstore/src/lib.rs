@@ -201,7 +201,11 @@ impl<D: BlockDevice> DocStore<D> {
 
     /// Open a per-operation trace scope (see `relstore::Engine::begin_op`):
     /// spans emitted below the store while the operation runs share the
-    /// trace-ID allocated here. Paired with the `end_op` in `note_op`.
+    /// trace-ID allocated here, and with latency anatomy enabled the scope
+    /// is also the attribution frame lower layers charge segments against
+    /// (frames nest: `doc.set` may contain a `doc.commit` frame; both see
+    /// the same segments, so each level's conservation identity holds).
+    /// Paired with the `end_op` in `note_op`.
     fn begin_op(&self, name: &str, now: Nanos) {
         if let Some(tel) = &self.tel {
             tel.begin_op("doc", name, now);
@@ -796,6 +800,24 @@ mod tests {
 
     fn doc(i: u64) -> Vec<u8> {
         format!("document-{i}-{}", "d".repeat(200)).into_bytes()
+    }
+
+    #[test]
+    fn anatomy_frames_doc_sets_and_conserve() {
+        let tel = Telemetry::new();
+        tel.enable_anatomy(4);
+        let mut s = store(1);
+        s.attach_telemetry(tel.clone());
+        let mut t = 0;
+        for i in 0..20u64 {
+            t = s.set(format!("k{i}").as_bytes(), &doc(i), t);
+            let bd = tel.last_breakdown().expect("set closes a frame");
+            assert_eq!(bd.name, "doc.set");
+            assert!(bd.is_conserved(), "segments within wall: {}", bd.to_json());
+        }
+        assert_eq!(tel.anatomy_violations(), 0);
+        assert_eq!(tel.frame_depth(), 0);
+        assert!(!tel.outliers_for("doc.set").is_empty());
     }
 
     #[test]

@@ -24,7 +24,7 @@ use std::collections::{BTreeMap, BinaryHeap};
 use storage::device::{
     check_io, BlockDevice, DevError, DevResult, DeviceStats, WriteCause, LOGICAL_PAGE,
 };
-use telemetry::Telemetry;
+use telemetry::{SegKind, Telemetry};
 
 /// Tunable disk parameters. Defaults approximate a 15krpm enterprise drive.
 #[derive(Debug, Clone, Copy)]
@@ -248,6 +248,16 @@ impl Hdd {
         done
     }
 
+    /// Charge a latency-anatomy segment on the enclosing op frame, if any.
+    fn seg(&self, kind: SegKind, ns: Nanos) {
+        if ns == 0 {
+            return;
+        }
+        if let Some(tel) = &self.tel {
+            tel.seg(kind, ns);
+        }
+    }
+
     /// Drain the entire cache (FLUSH CACHE path).
     fn destage_all(&mut self, now: Nanos) -> Nanos {
         let mut done = now;
@@ -269,7 +279,9 @@ impl BlockDevice for Hdd {
         }
         check_io(lpn, pages, buf.len(), self.cfg.capacity_pages)?;
         self.stats.reads += 1;
+        let arrival = now;
         let now = now.max(self.barrier_until);
+        self.seg(SegKind::FlushCache, now - arrival);
         // Serve from write cache when possible (all pages must be cached).
         let all_cached = self.cfg.cache_enabled
             && (0..pages as u64).all(|i| self.cache.contains_key(&(lpn + i)));
@@ -278,7 +290,10 @@ impl BlockDevice for Hdd {
             now + self.cfg.command_overhead
         } else {
             let service = self.arm_service_depth(lpn, pages, depth);
-            self.arm.acquire(now, service) + self.cfg.command_overhead
+            let end = self.arm.acquire(now, service);
+            self.seg(SegKind::NcqWait, end.saturating_sub(service).saturating_sub(now));
+            self.seg(SegKind::MediaRead, service);
+            end + self.cfg.command_overhead
         };
         self.inflight.push(done);
         for i in 0..pages as u64 {
@@ -299,7 +314,9 @@ impl BlockDevice for Hdd {
         let pages = (data.len() / LOGICAL_PAGE) as u32;
         check_io(lpn, pages, data.len(), self.cfg.capacity_pages)?;
         self.stats.writes += 1;
+        let arrival = now;
         let now = now.max(self.barrier_until);
+        self.seg(SegKind::FlushCache, now - arrival);
         self.stats.pages_written += pages as u64;
         self.stats.pages_by_cause[self.cur_cause.index()] += pages as u64;
         if self.cfg.cache_enabled {
@@ -328,6 +345,9 @@ impl BlockDevice for Hdd {
                     _ => break,
                 }
             }
+            // A full write cache throttles the host to the destage rate;
+            // that admission stall is destage interference, not queueing.
+            self.seg(SegKind::HddDestage, t - now);
             for i in 0..pages as u64 {
                 let off = i as usize * LOGICAL_PAGE;
                 self.cache.insert(lpn + i, data[off..off + LOGICAL_PAGE].into());
@@ -336,7 +356,10 @@ impl BlockDevice for Hdd {
         } else {
             let depth = self.queue_depth(now);
             let service = self.arm_service_depth(lpn, pages, depth);
-            let done = self.arm.acquire(now, service) + self.cfg.command_overhead;
+            let end = self.arm.acquire(now, service);
+            self.seg(SegKind::NcqWait, end.saturating_sub(service).saturating_sub(now));
+            self.seg(SegKind::MediaProgram, service);
+            let done = end + self.cfg.command_overhead;
             self.inflight.push(done);
             for i in 0..pages as u64 {
                 let off = i as usize * LOGICAL_PAGE;
@@ -353,14 +376,18 @@ impl BlockDevice for Hdd {
             return Err(DevError::PoweredOff);
         }
         self.stats.flushes += 1;
+        let arrival = now;
         let now = now.max(self.barrier_until);
+        self.seg(SegKind::FlushCache, now - arrival);
         if let Some(tel) = &self.tel {
             tel.trace_begin("hdd", "flush_cache", now);
         }
         let drained = self.destage_all(now);
+        self.seg(SegKind::HddDestage, drained - now);
         self.draining.clear();
         // Journal commit for file metadata rides on every fsync-driven flush.
         let done = self.arm.acquire(drained, self.cfg.flush_journal_cost);
+        self.seg(SegKind::FlushCache, done - drained);
         let done = done + self.cfg.command_overhead;
         self.barrier_until = done;
         if let Some(tel) = &self.tel {
@@ -455,6 +482,36 @@ mod tests {
 
     fn page(fill: u8) -> Vec<u8> {
         vec![fill; LOGICAL_PAGE]
+    }
+
+    #[test]
+    fn anatomy_attributes_hdd_ops_and_conserves() {
+        let tel = Telemetry::new();
+        tel.enable_anatomy(2);
+        let mut d = disk(true);
+        d.attach_telemetry(tel.clone());
+        tel.begin_frame("w", 0);
+        let t = d.write(0, &page(1), 0).unwrap();
+        tel.end_frame("w", t);
+        assert!(tel.last_breakdown().unwrap().is_conserved());
+        // Flush: cache destage plus journal commit, fully attributed.
+        tel.begin_frame("f", t);
+        let t2 = d.flush(t).unwrap();
+        tel.end_frame("f", t2);
+        let bd = tel.last_breakdown().unwrap();
+        assert!(bd.seg(SegKind::HddDestage) > 0, "destage span attributed");
+        assert!(bd.seg(SegKind::FlushCache) > 0, "journal commit attributed");
+        assert!(bd.is_conserved());
+        // Write-through disk: mechanical service shows up as media program.
+        let mut d2 = disk(false);
+        d2.attach_telemetry(tel.clone());
+        tel.begin_frame("w2", 0);
+        let t = d2.write(0, &page(1), 0).unwrap();
+        tel.end_frame("w2", t);
+        let bd = tel.last_breakdown().unwrap();
+        assert!(bd.seg(SegKind::MediaProgram) > 0);
+        assert!(bd.is_conserved());
+        assert_eq!(tel.anatomy_violations(), 0);
     }
 
     #[test]

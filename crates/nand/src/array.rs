@@ -120,6 +120,14 @@ pub struct NandArray {
     /// at the source, under whatever trace-ID the host operation above us
     /// pushed — the bottom of the causal chain.
     tel: Option<Telemetry>,
+    /// Queueing wait of the most recent read/program (completion minus
+    /// issue minus pure service): the raw material for the latency-anatomy
+    /// channel-wait attribution. Stamped by [`NandArray::read`] and
+    /// [`NandArray::program`].
+    last_wait: Nanos,
+    /// Pure service time (cell op + bus transfer) of the most recent
+    /// read/program.
+    last_service: Nanos,
 }
 
 impl NandArray {
@@ -137,7 +145,35 @@ impl NandArray {
             erase_scratch: Vec::new(),
             page_pool: BufPool::new(geo.page_size),
             tel: None,
+            last_wait: 0,
+            last_service: 0,
         }
+    }
+
+    /// `(queue wait, service)` split of the most recent read or program:
+    /// `wait + service == done - now` for that command, exactly. The wait
+    /// is time spent queued behind other plane/bus work (including GC);
+    /// the service is the command's own cell + bus time.
+    pub fn last_split(&self) -> (Nanos, Nanos) {
+        (self.last_wait, self.last_service)
+    }
+
+    /// Number of channel buses (gauge fan-out bound).
+    pub fn channel_count(&self) -> usize {
+        self.channel_bus.len()
+    }
+
+    /// Pending-work backlog of one channel bus at virtual time `t`, in
+    /// nanoseconds (see [`Timeline::backlog_at`]).
+    pub fn channel_backlog_at(&self, channel: usize, t: Nanos) -> Nanos {
+        self.channel_bus[channel].backlog_at(t)
+    }
+
+    /// Disjoint busy intervals still open on one channel bus at `t` — the
+    /// NCQ-style occupancy gauge (lower bound; back-to-back commands
+    /// coalesce).
+    pub fn channel_occupancy_at(&self, channel: usize, t: Nanos) -> usize {
+        self.channel_bus[channel].intervals_after(t)
     }
 
     /// Attach a telemetry handle: every program/erase (and read) emits a
@@ -257,6 +293,8 @@ impl NandArray {
         let channel = self.geo.channel_of_block(block);
         let cell_done = self.planes[plane].acquire(now, self.geo.t_read);
         let done = self.channel_bus[channel].acquire(cell_done, self.geo.bus_time(buf.len()));
+        self.last_service = self.geo.t_read + self.geo.bus_time(buf.len());
+        self.last_wait = (done - now).saturating_sub(self.last_service);
         self.stats.reads += 1;
         self.trace_span("nand.read", now, done);
         match self.pages.get(&ppn) {
@@ -297,6 +335,8 @@ impl NandArray {
         let channel = self.geo.channel_of_block(block);
         let xfer_done = self.channel_bus[channel].acquire(now, self.geo.bus_time(data.len()));
         let done = self.planes[plane].acquire(xfer_done, self.geo.t_program);
+        self.last_service = self.geo.bus_time(data.len()) + self.geo.t_program;
+        self.last_wait = (done - now).saturating_sub(self.last_service);
         // Reuse the target page's old buffer when overwriting after a shear
         // (normal programs never hit an occupied slot); otherwise lease a
         // buffer from the slab — erases return buffers there, so the pool
@@ -449,6 +489,32 @@ mod tests {
         let mut buf = page(0);
         a.read(0, &mut buf, done).unwrap();
         assert_eq!(buf, page(7));
+    }
+
+    #[test]
+    fn last_split_decomposes_command_latency_exactly() {
+        let mut a = array();
+        let g = *a.geometry();
+        let d1 = a.program(0, &page(1), 0).unwrap();
+        let (w1, s1) = a.last_split();
+        assert_eq!(w1, 0, "idle array: pure service");
+        assert_eq!(s1, g.bus_time(g.page_size) + g.t_program);
+        assert_eq!(w1 + s1, d1);
+        // Same plane, issued while the first program still runs: queued.
+        let d2 = a.program(1, &page(2), 0).unwrap();
+        let (w2, s2) = a.last_split();
+        assert!(w2 > 0, "second program must wait behind the first");
+        assert_eq!(w2 + s2, d2, "wait + service == done - now, exactly");
+        // Reads split the same way.
+        let d3 = a.read(0, &mut page(0), d2).unwrap();
+        let (w3, s3) = a.last_split();
+        assert_eq!(s3, g.t_read + g.bus_time(g.page_size));
+        assert_eq!(w3 + s3, d3 - d2);
+        // Channel gauges see the accepted work.
+        assert!(a.channel_count() >= 1);
+        assert_eq!(a.channel_backlog_at(0, d3), 0);
+        assert!(a.channel_backlog_at(0, 0) > 0);
+        assert!(a.channel_occupancy_at(0, 0) >= 1);
     }
 
     #[test]

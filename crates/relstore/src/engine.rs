@@ -433,6 +433,10 @@ impl<D: BlockDevice, L: BlockDevice> Engine<D, L> {
     /// engine while this operation runs (WAL flush, pool eviction, device
     /// write, cache drain, NAND program, ...) carries the trace-ID
     /// allocated here, so a whole commit renders as one track in Perfetto.
+    /// When latency anatomy is enabled the same scope doubles as the op's
+    /// attribution frame: device, WAL, and cache layers charge queueing and
+    /// service segments against it, and the close in [`Engine::note_op`]
+    /// audits that the segments never exceed the op's wall latency.
     /// Paired with the `end_op` inside [`Engine::note_op`].
     fn begin_op(&self, name: &str, now: Nanos) {
         if let Some(tel) = &self.tel {

@@ -58,6 +58,31 @@ mod tests {
     }
 
     #[test]
+    fn anatomy_frames_commits_end_to_end() {
+        let tel = telemetry::Telemetry::new();
+        tel.enable_anatomy(4);
+        let mut data = Ssd::new(SsdConfig::durassd(64));
+        data.attach_telemetry(tel.clone());
+        let log = MemDevice::new(4 * 1024);
+        let mut e = Engine::create(data, log, small_cfg(4096), 0).value;
+        e.attach_telemetry(tel.clone());
+        let (t0, mut now) = e.create_tree(0).into_parts();
+        for i in 0..40u64 {
+            now = e.put(t0, format!("k{:04}", i).as_bytes(), b"v", now);
+            now = e.commit(now);
+            let bd = tel.last_breakdown().expect("commit closes a frame");
+            assert_eq!(bd.name, "engine.commit");
+            assert!(bd.is_conserved(), "segments within wall: {}", bd.to_json());
+        }
+        assert_eq!(tel.anatomy_violations(), 0);
+        assert_eq!(tel.frame_depth(), 0, "no dangling frames after a batch");
+        // The capturer kept the slowest commits with their breakdowns.
+        let worst = tel.outliers_for("engine.commit");
+        assert!(!worst.is_empty());
+        assert!(worst[0].wall >= worst[worst.len() - 1].wall);
+    }
+
+    #[test]
     fn put_get_round_trip() {
         let mut e = mem_engine(4096);
         let (t0, mut now) = e.create_tree(0).into_parts();

@@ -118,6 +118,21 @@ impl Timeline {
         self.busy_time
     }
 
+    /// Nanoseconds of already-accepted work still pending at virtual time
+    /// `t` — the queue backlog a command arriving now would wait behind
+    /// (plus its own service). Zero when the resource is idle at `t`.
+    pub fn backlog_at(&self, t: Nanos) -> Nanos {
+        self.busy_until().saturating_sub(t)
+    }
+
+    /// Number of disjoint busy intervals still open at or after `t` — a
+    /// lower bound on the commands outstanding (contiguous commands
+    /// coalesce into one interval), used as a cheap occupancy gauge.
+    pub fn intervals_after(&self, t: Nanos) -> usize {
+        let cut = self.intervals.partition_point(|&(_, e)| e <= t);
+        self.intervals.len() - cut
+    }
+
     /// Drop intervals that end at or before `t`: no future request will
     /// arrive earlier (the caller's arrival watermark). Keeps the interval
     /// list proportional to in-flight work.
@@ -245,6 +260,32 @@ mod tests {
         t.acquire(20, 10);
         // All merged: a request at 5 queues to the very end.
         assert_eq!(t.acquire(5, 5), 35);
+    }
+
+    #[test]
+    fn timeline_backlog_and_occupancy() {
+        let mut t = Timeline::new();
+        assert_eq!(t.backlog_at(0), 0);
+        assert_eq!(t.intervals_after(0), 0);
+        t.acquire(0, 10); // [0,10)
+        t.acquire(0, 10); // queued: [10,20)
+        t.acquire(50, 5); // disjoint future work: [50,55)
+        assert_eq!(t.backlog_at(0), 55, "all accepted work pending at t=0");
+        assert_eq!(t.backlog_at(20), 35, "gap counts toward completion time");
+        assert_eq!(t.backlog_at(55), 0);
+        assert_eq!(t.backlog_at(1_000), 0);
+        // Two disjoint intervals at t=0 (the first two coalesced).
+        assert_eq!(t.intervals_after(0), 2);
+        assert_eq!(t.intervals_after(20), 1);
+        assert_eq!(t.intervals_after(55), 0);
+        // Wait derivation: start = end - service >= arrival, so the caller
+        // can split any acquire into (queue wait, service) exactly.
+        let arrival = 3;
+        let service = 7;
+        let end = t.acquire(arrival, service);
+        assert!(end - service >= arrival);
+        let wait = end - service - arrival;
+        assert_eq!(wait + service, end - arrival, "wait/service decomposition is exact");
     }
 
     #[test]

@@ -1,6 +1,12 @@
 //! Replays op sequences against the real implementations, checking every
 //! observable against the shadow oracles and auditing structural
 //! invariants after every single step.
+//!
+//! Every case runs with latency anatomy enabled: each op executes inside a
+//! telemetry frame and the audit after every step asserts the conservation
+//! identity (attributed segments never exceed the op's wall latency) and
+//! that a GC-interference segment only ever appears when the device's GC
+//! clock actually advanced during that op.
 
 use docstore::{DocStore, DocStoreConfig};
 use durassd::{Ssd, SsdConfig};
@@ -8,6 +14,7 @@ use relstore::{Engine, EngineConfig};
 use simkit::rng::SimRng;
 use simkit::Nanos;
 use storage::device::{BlockDevice, LOGICAL_PAGE};
+use telemetry::{SegKind, Telemetry};
 
 use crate::ops::{generate, Alphabet, Op};
 use crate::oracle::{page_bytes, parse_page, DeviceOracle, KvOracle};
@@ -130,19 +137,77 @@ fn fail(step: usize, op: &Op, msg: impl Into<String>) -> Failure {
     Failure { step, op: op.to_string(), msg: msg.into() }
 }
 
+/// A fresh anatomy-enabled registry for one fuzz case.
+fn fuzz_tel() -> Telemetry {
+    let tel = Telemetry::new();
+    tel.enable_anatomy(4);
+    tel
+}
+
+/// The per-step anatomy audit: the conservation counter must never tick,
+/// and no frame may be left dangling between steps.
+fn audit_anatomy(tel: &Telemetry) -> Result<(), String> {
+    if tel.anatomy_violations() > 0 {
+        let last = tel.last_breakdown().map(|b| b.to_json()).unwrap_or_default();
+        return Err(format!("anatomy conservation violated (last op: {last})"));
+    }
+    if tel.frame_depth() != 0 {
+        return Err(format!("{} anatomy frame(s) left open after the op", tel.frame_depth()));
+    }
+    Ok(())
+}
+
 // ---------------------------------------------------------------- device
 
 struct DeviceCase {
     dev: Ssd,
     now: Nanos,
     oracle: DeviceOracle,
+    tel: Telemetry,
+    /// GC clock at the open of the current frame; a `gc_wait` segment in
+    /// the closing breakdown without this clock advancing is a false
+    /// attribution.
+    gc_mark: Nanos,
 }
 
 impl DeviceCase {
     fn new(volatile: bool) -> Self {
         let cfg = fuzz_cfg(volatile);
         let cap = cfg.logical_capacity_pages;
-        Self { dev: Ssd::new(cfg), now: 0, oracle: DeviceOracle::new(cap, volatile) }
+        let tel = fuzz_tel();
+        let mut dev = Ssd::new(cfg);
+        dev.attach_telemetry(tel.clone());
+        Self { dev, now: 0, oracle: DeviceOracle::new(cap, volatile), tel, gc_mark: 0 }
+    }
+
+    /// Run one device command inside an anatomy frame, auditing the
+    /// conservation identity and GC attribution when it closes. Failed
+    /// commands close the frame at issue time so no frame dangles.
+    fn framed<E: std::fmt::Display>(
+        &mut self,
+        name: &'static str,
+        issue: Nanos,
+        f: impl FnOnce(&mut Ssd) -> Result<Nanos, E>,
+    ) -> Result<Nanos, String> {
+        self.gc_mark = self.dev.gc_time();
+        self.tel.begin_frame(name, issue);
+        let res = f(&mut self.dev);
+        self.tel.end_frame(name, *res.as_ref().unwrap_or(&issue));
+        self.audit(name)?;
+        res.map_err(|e| format!("{name} failed: {e}"))
+    }
+
+    fn audit(&self, name: &str) -> Result<(), String> {
+        audit_anatomy(&self.tel).map_err(|m| format!("{name}: {m}"))?;
+        if let Some(bd) = self.tel.last_breakdown() {
+            let gc = bd.seg(SegKind::GcWait);
+            if gc > 0 && self.dev.gc_time() == self.gc_mark {
+                return Err(format!(
+                    "{name}: breakdown charges {gc}ns of gc_wait but GC never ran during the op"
+                ));
+            }
+        }
+        Ok(())
     }
 
     fn acked_write(&mut self, lpn: u64, pages: u32) -> Result<(), String> {
@@ -151,8 +216,8 @@ impl DeviceCase {
         for i in 0..pages as u64 {
             data.extend_from_slice(&page_bytes(lpn + i, v));
         }
-        let done =
-            self.dev.write(lpn, &data, self.now).map_err(|e| format!("write failed: {e}"))?;
+        let now = self.now;
+        let done = self.framed("dev.write", now, |d| d.write(lpn, &data, now))?;
         self.now = self.now.max(done);
         for i in 0..pages as u64 {
             self.oracle.write(lpn + i, v);
@@ -162,7 +227,13 @@ impl DeviceCase {
 
     fn checked_read(&mut self, lpn: u64, pages: u32) -> Result<(), String> {
         let mut buf = vec![0u8; pages as usize * LOGICAL_PAGE];
-        match self.dev.read(lpn, pages, &mut buf, self.now) {
+        let now = self.now;
+        self.gc_mark = self.dev.gc_time();
+        self.tel.begin_frame("dev.read", now);
+        let res = self.dev.read(lpn, pages, &mut buf, now);
+        self.tel.end_frame("dev.read", *res.as_ref().unwrap_or(&now));
+        self.audit("dev.read")?;
+        match res {
             Ok(done) => {
                 self.now = self.now.max(done);
                 for i in 0..pages as u64 {
@@ -181,10 +252,8 @@ impl DeviceCase {
             Op::Write { lpn, pages } => self.acked_write(lpn, pages),
             Op::Read { lpn, pages } => self.checked_read(lpn, pages),
             Op::Trim { lpn, pages } => {
-                let done = self
-                    .dev
-                    .discard(lpn, pages, self.now)
-                    .map_err(|e| format!("discard failed: {e}"))?;
+                let now = self.now;
+                let done = self.framed("dev.discard", now, |d| d.discard(lpn, pages, now))?;
                 self.now = self.now.max(done);
                 for i in 0..pages as u64 {
                     self.oracle.trim(lpn + i);
@@ -192,22 +261,22 @@ impl DeviceCase {
                 Ok(())
             }
             Op::Flush => {
-                let done = self.dev.flush(self.now).map_err(|e| format!("flush failed: {e}"))?;
+                let now = self.now;
+                let done = self.framed("dev.flush", now, |d| d.flush(now))?;
                 self.now = self.now.max(done);
                 self.oracle.flush();
                 Ok(())
             }
             Op::Burst { lpn, n } => {
                 // All issued at the same clock value: NCQ-depth pressure.
+                // Each write gets its own frame — overlapping commands at
+                // one t0 must each conserve individually.
                 let t0 = self.now;
                 let mut latest = t0;
                 for i in 0..n as u64 {
                     let v = self.oracle.issue_version();
                     let data = page_bytes(lpn + i, v);
-                    let done = self
-                        .dev
-                        .write(lpn + i, &data, t0)
-                        .map_err(|e| format!("burst write failed: {e}"))?;
+                    let done = self.framed("dev.write", t0, |d| d.write(lpn + i, &data, t0))?;
                     latest = latest.max(done);
                     self.oracle.write(lpn + i, v);
                 }
@@ -235,10 +304,8 @@ impl DeviceCase {
                 for i in 0..pages as u64 {
                     data.extend_from_slice(&page_bytes(lpn + i, v));
                 }
-                let done = self
-                    .dev
-                    .write(lpn, &data, self.now)
-                    .map_err(|e| format!("write failed: {e}"))?;
+                let now = self.now;
+                let done = self.framed("dev.write", now, |d| d.write(lpn, &data, now))?;
                 // Cut strictly inside the un-acked window: the host never
                 // saw the ack, so the write must roll back completely.
                 self.dev.power_cut(done.saturating_sub(1));
@@ -251,12 +318,10 @@ impl DeviceCase {
             Op::TrimCutDuringWrite { lpn } => {
                 let v = self.oracle.issue_version();
                 let data = page_bytes(lpn, v);
-                let done = self
-                    .dev
-                    .write(lpn, &data, self.now)
-                    .map_err(|e| format!("write failed: {e}"))?;
+                let now = self.now;
+                let done = self.framed("dev.write", now, |d| d.write(lpn, &data, now))?;
                 // TRIM the same lpn while the write is still un-acked...
-                self.dev.discard(lpn, 1, self.now).map_err(|e| format!("discard failed: {e}"))?;
+                self.framed("dev.discard", now, |d| d.discard(lpn, 1, now))?;
                 // ...then cut before the ack. The un-acked write rolls
                 // back; the trim is the last surviving word on this lpn.
                 self.dev.power_cut(done.saturating_sub(1));
@@ -337,7 +402,13 @@ fn check_engine_invariants(e: &Engine<Ssd, Ssd>) -> Result<(), String> {
 
 fn run_engine_case(ops: &[Op]) -> Result<(), Failure> {
     let cfg = engine_cfg();
-    let (mut eng, t0) = Engine::create(engine_dev(), engine_dev(), cfg, 0).into_parts();
+    let tel = fuzz_tel();
+    let mut data = engine_dev();
+    data.attach_telemetry(tel.clone());
+    let mut log = engine_dev();
+    log.attach_telemetry(tel.clone());
+    let (mut eng, t0) = Engine::create(data, log, cfg, 0).into_parts();
+    eng.attach_telemetry(tel.clone());
     let (tree, t1) = eng.create_tree(t0).into_parts();
     let mut now = eng.checkpoint(t1);
     let mut oracle = KvOracle::new();
@@ -389,6 +460,10 @@ fn run_engine_case(ops: &[Op]) -> Result<(), Failure> {
                     .map_err(|e| fail(step, op, format!("recovery failed: {e}")))?;
                 let (e2, t2) = recovered.into_parts();
                 eng = e2;
+                // The devices keep their telemetry through the crash;
+                // recovery itself runs unframed, post-recovery ops frame
+                // again once the engine is re-attached.
+                eng.attach_telemetry(tel.clone());
                 now = t2;
                 for key in oracle.keys() {
                     let (got, t) = eng.get(tree, &key_of(key), now).into_parts();
@@ -407,6 +482,7 @@ fn run_engine_case(ops: &[Op]) -> Result<(), Failure> {
         }
         check_engine_invariants(&eng)
             .map_err(|m| fail(step, op, format!("invariant violation: {m}")))?;
+        audit_anatomy(&tel).map_err(|m| fail(step, op, format!("anatomy audit: {m}")))?;
     }
     Ok(())
 }
@@ -424,7 +500,11 @@ fn doc_cfg() -> DocStoreConfig {
 }
 
 fn run_doc_case(ops: &[Op]) -> Result<(), Failure> {
-    let mut store = DocStore::create(engine_dev(), doc_cfg());
+    let tel = fuzz_tel();
+    let mut dev = engine_dev();
+    dev.attach_telemetry(tel.clone());
+    let mut store = DocStore::create(dev, doc_cfg());
+    store.attach_telemetry(tel.clone());
     let mut now: Nanos = store.commit_header(0);
     let mut oracle = KvOracle::new();
     for (step, op) in ops.iter().enumerate() {
@@ -471,6 +551,7 @@ fn run_doc_case(ops: &[Op]) -> Result<(), Failure> {
                 let dev = store.crash(now + 1);
                 let (s2, t2) = DocStore::recover(dev, doc_cfg(), now + 2).into_parts();
                 store = s2;
+                store.attach_telemetry(tel.clone());
                 now = t2;
                 for key in oracle.keys() {
                     let (got, t) = store.get(&key_of(key), now).into_parts();
@@ -491,6 +572,7 @@ fn run_doc_case(ops: &[Op]) -> Result<(), Failure> {
             .device()
             .check_invariants()
             .map_err(|m| fail(step, op, format!("invariant violation: {m}")))?;
+        audit_anatomy(&tel).map_err(|m| fail(step, op, format!("anatomy audit: {m}")))?;
     }
     Ok(())
 }
@@ -541,5 +623,31 @@ mod tests {
         let ops = parse_trace("p:1 p:2 gk:1 c gk:2 d:1 gk:1 c gk:1").unwrap();
         run_case(Target::Engine, &ops).unwrap();
         run_case(Target::Doc, &ops).unwrap();
+    }
+
+    #[test]
+    fn gc_attribution_survives_gc_pressure() {
+        // Hammer the 8-blocks/plane device into steady GC; the per-op audit
+        // inside `framed` rejects any gc_wait segment charged to an op the
+        // GC clock cannot explain, and requires exact conservation — so a
+        // passing run IS the regression assertion.
+        let ops =
+            parse_trace("g:0:96 g:96:96 f g:0:96 b:0:8 g:96:96 r:5:1 g:0:96 f r:50:1").unwrap();
+        run_case(Target::Dura, &ops).unwrap();
+        run_case(Target::Volatile, &ops).unwrap();
+    }
+
+    #[test]
+    fn anatomy_audit_holds_across_seeded_cases() {
+        // A miniature soak (the CI soak runs hundreds of cases): every
+        // target, a few seeds, per-op conservation audited at every step.
+        for target in Target::all() {
+            for seed in 0..5u64 {
+                let (ops, verdict) = run_seed(target, 0xA0A0 + seed, 120);
+                if let Err(f) = verdict {
+                    panic!("{}/{seed}: {f} (trace: {} ops)", target.name(), ops.len());
+                }
+            }
+        }
     }
 }

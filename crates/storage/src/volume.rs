@@ -6,7 +6,7 @@ use crate::device::{
 };
 use forensics::{EvidenceKind, Ledger};
 use simkit::Nanos;
-use telemetry::{Stall, Telemetry};
+use telemetry::{SegKind, Stall, Telemetry};
 
 /// Cost of an `fsync` that does **not** reach the device (metadata bookkeeping
 /// in the kernel): a couple of microseconds. This is what the paper's
@@ -145,17 +145,32 @@ impl<D: BlockDevice> Volume<D> {
     }
 
     /// Direct read of logical pages.
+    ///
+    /// The volume opens a latency-anatomy frame around every device
+    /// command (`begin_frame`/`end_frame`), so the device's segment
+    /// charges — NCQ wait, channel wait, media service, GC, flush-cache —
+    /// land both in the command's own breakdown and, because frames nest,
+    /// in whatever host operation (engine commit, docstore set) encloses
+    /// it.
     pub fn read(&mut self, lpn: u64, pages: u32, buf: &mut [u8], now: Nanos) -> DevResult<Nanos> {
         let gc0 = self.tel.as_ref().map(|_| self.dev.gc_time());
         if let Some(tel) = &self.tel {
             tel.tel.trace_begin("dev", &tel.read, now);
+            tel.tel.begin_frame(&tel.read, now);
         }
-        let done = self.dev.read(lpn, pages, buf, now)?;
+        let res = self.dev.read(lpn, pages, buf, now);
         if let (Some(tel), Some(gc0)) = (&self.tel, gc0) {
-            Self::note_media(tel, 0, done.saturating_sub(now), self.dev.gc_time() - gc0);
-            tel.tel.trace_end("dev", &tel.read, done);
+            // Close the frame on the error path too (at `now`): a failed
+            // command must not leave a dangling frame that would corrupt
+            // the attribution of every later operation.
+            let end = *res.as_ref().unwrap_or(&now);
+            if res.is_ok() {
+                Self::note_media(tel, 0, end.saturating_sub(now), self.dev.gc_time() - gc0);
+            }
+            tel.tel.end_frame(&tel.read, end);
+            tel.tel.trace_end("dev", &tel.read, end);
         }
-        Ok(done)
+        res
     }
 
     /// Direct write of logical pages, tagged with the innermost pushed
@@ -167,13 +182,18 @@ impl<D: BlockDevice> Volume<D> {
         let gc0 = self.tel.as_ref().map(|_| self.dev.gc_time());
         if let Some(tel) = &self.tel {
             tel.tel.trace_begin("dev", &tel.write, now);
+            tel.tel.begin_frame(&tel.write, now);
         }
-        let done = self.dev.write(lpn, data, now)?;
+        let res = self.dev.write(lpn, data, now);
         if let (Some(tel), Some(gc0)) = (&self.tel, gc0) {
-            Self::note_media(tel, 1, done.saturating_sub(now), self.dev.gc_time() - gc0);
-            tel.tel.trace_end("dev", &tel.write, done);
+            let end = *res.as_ref().unwrap_or(&now);
+            if res.is_ok() {
+                Self::note_media(tel, 1, end.saturating_sub(now), self.dev.gc_time() - gc0);
+            }
+            tel.tel.end_frame(&tel.write, end);
+            tel.tel.trace_end("dev", &tel.write, end);
         }
-        Ok(done)
+        res
     }
 
     /// `fsync`: flush the device cache if barriers are on, otherwise only
@@ -191,28 +211,42 @@ impl<D: BlockDevice> Volume<D> {
             let gc0 = self.tel.as_ref().map(|_| self.dev.gc_time());
             if let Some(tel) = &self.tel {
                 tel.tel.trace_begin("dev", &tel.flush, now);
+                tel.tel.begin_frame(&tel.flush, now);
             }
-            let done = self.dev.flush(now)?;
+            let res = self.dev.flush(now);
             if let (Some(tel), Some(gc0)) = (&self.tel, gc0) {
-                let dur = done.saturating_sub(now);
-                let gc = (self.dev.gc_time() - gc0).min(dur);
-                tel.tel.record(&tel.flush, dur);
-                if gc > 0 {
-                    tel.tel.stall(Stall::Gc, gc);
+                let end = *res.as_ref().unwrap_or(&now);
+                if res.is_ok() {
+                    let dur = end.saturating_sub(now);
+                    let gc = (self.dev.gc_time() - gc0).min(dur);
+                    tel.tel.record(&tel.flush, dur);
+                    if gc > 0 {
+                        tel.tel.stall(Stall::Gc, gc);
+                    }
+                    tel.tel.stall(Stall::FlushCache, dur - gc);
                 }
-                tel.tel.stall(Stall::FlushCache, dur - gc);
-                tel.tel.trace_end("dev", &tel.flush, done);
+                tel.tel.end_frame(&tel.flush, end);
+                tel.tel.trace_end("dev", &tel.flush, end);
             }
+            let done = res?;
             if let Some(ledger) = &self.ledger {
                 ledger.evidence(EvidenceKind::FsyncAck, self.fsyncs, done, true);
             }
             Ok(done)
         } else {
+            let done = now + FSYNC_SOFT_COST;
             if let Some(tel) = &self.tel {
                 tel.tel.record(&tel.fsync_soft, FSYNC_SOFT_COST);
                 tel.tel.trace_instant("dev", &tel.fsync_soft, now);
+                // The in-kernel cost of a nobarrier fsync is WAL-fsync
+                // time in the anatomy: it is what commit-time durability
+                // costs when no FLUSH CACHE is issued, and it is the
+                // *only* durability segment a durable-cache deployment
+                // should ever show.
+                tel.tel.begin_frame(&tel.fsync_soft, now);
+                tel.tel.seg(SegKind::WalFsync, FSYNC_SOFT_COST);
+                tel.tel.end_frame(&tel.fsync_soft, done);
             }
-            let done = now + FSYNC_SOFT_COST;
             if let Some(ledger) = &self.ledger {
                 // No barrier was issued: the ack rides on the device cache's
                 // own contract.
@@ -237,13 +271,18 @@ impl<D: BlockDevice> Volume<D> {
         let gc0 = self.tel.as_ref().map(|_| self.dev.gc_time());
         if let Some(tel) = &self.tel {
             tel.tel.trace_begin("dev", &tel.discard, now);
+            tel.tel.begin_frame(&tel.discard, now);
         }
-        let done = self.dev.discard(lpn, pages, now)?;
+        let res = self.dev.discard(lpn, pages, now);
         if let (Some(tel), Some(gc0)) = (&self.tel, gc0) {
-            Self::note_media(tel, 2, done.saturating_sub(now), self.dev.gc_time() - gc0);
-            tel.tel.trace_end("dev", &tel.discard, done);
+            let end = *res.as_ref().unwrap_or(&now);
+            if res.is_ok() {
+                Self::note_media(tel, 2, end.saturating_sub(now), self.dev.gc_time() - gc0);
+            }
+            tel.tel.end_frame(&tel.discard, end);
+            tel.tel.trace_end("dev", &tel.discard, end);
         }
-        Ok(done)
+        res
     }
 
     /// Cut power to the underlying device.
@@ -424,6 +463,61 @@ mod tests {
         assert_eq!(by_cause[WriteCause::PageImage.index()], 1);
         let total: u64 = by_cause.iter().sum();
         assert_eq!(total, v.device_stats().pages_written, "every host page attributed");
+    }
+
+    #[test]
+    fn volume_ops_open_anatomy_frames() {
+        let tel = Telemetry::new();
+        tel.enable_anatomy(2);
+        let mut v = Volume::new(MemDevice::new(16), true);
+        v.attach_telemetry(tel.clone(), "t");
+        let data = vec![7u8; LOGICAL_PAGE];
+        let t = v.write(3, &data, 0).unwrap();
+        let bd = tel.last_breakdown().unwrap();
+        assert_eq!(bd.name, "dev.t.write");
+        assert!(bd.is_conserved());
+        let mut back = vec![0u8; LOGICAL_PAGE];
+        let t = v.read(3, 1, &mut back, t).unwrap();
+        assert_eq!(tel.last_breakdown().unwrap().name, "dev.t.read");
+        let t = v.fsync(t).unwrap();
+        assert_eq!(tel.last_breakdown().unwrap().name, "dev.t.flush");
+        v.discard(3, 1, t).unwrap();
+        assert_eq!(tel.last_breakdown().unwrap().name, "dev.t.discard");
+        assert_eq!(tel.anatomy_violations(), 0);
+        assert_eq!(tel.frame_depth(), 0, "no dangling frames");
+    }
+
+    #[test]
+    fn nobarrier_fsync_charges_wal_fsync_not_flush_cache() {
+        let tel = Telemetry::new();
+        tel.enable_anatomy(2);
+        let mut v = Volume::new(MemDevice::new(16), false);
+        v.attach_telemetry(tel.clone(), "t");
+        // Enclosing host-op frame, as a commit would open.
+        tel.begin_frame("engine.commit", 0);
+        let done = v.fsync(0).unwrap();
+        tel.end_frame("engine.commit", done);
+        let bd = tel.last_breakdown().unwrap();
+        assert_eq!(bd.seg(SegKind::WalFsync), FSYNC_SOFT_COST, "soft cost is wal_fsync");
+        assert_eq!(bd.seg(SegKind::FlushCache), 0, "nobarrier: no flush segment, ever");
+        assert!(bd.is_conserved());
+        // The fsync's own frame conserved too.
+        let soft = tel.outliers_for("dev.t.fsync_soft");
+        assert_eq!(soft.len(), 1);
+        assert_eq!(soft[0].wall, FSYNC_SOFT_COST);
+        assert_eq!(soft[0].seg(SegKind::WalFsync), FSYNC_SOFT_COST);
+    }
+
+    #[test]
+    fn failed_command_does_not_leak_a_frame() {
+        let tel = Telemetry::new();
+        tel.enable_anatomy(2);
+        let mut v = Volume::new(MemDevice::new(16), true);
+        v.attach_telemetry(tel.clone(), "t");
+        let data = vec![7u8; LOGICAL_PAGE];
+        assert!(v.write(99, &data, 0).is_err(), "out of range");
+        assert_eq!(tel.frame_depth(), 0, "error path must close its frame");
+        assert_eq!(tel.anatomy_violations(), 0);
     }
 
     #[test]

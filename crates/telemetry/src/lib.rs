@@ -17,6 +17,11 @@
 //!   close at the operation's virtual completion time.
 //! * [`Stall`] — the stall taxonomy: every nanosecond the host blocks is
 //!   tagged `media`, `flush_cache`, `gc`, `wal_fsync`, or `pool_eviction`.
+//! * [`SegKind`] / [`OpBreakdown`] — the per-operation latency anatomy:
+//!   each host op carries a segment breakdown (queueing wait vs service per
+//!   resource) that sums exactly to its wall latency, plus per-kind
+//!   histograms and a bounded tail-outlier capturer (see [`anatomy`](crate)
+//!   module docs).
 //! * JSON export/import ([`Telemetry::to_json`], [`Registry::from_json`]) —
 //!   hand-rolled, no external dependencies, exact round-trip.
 //!
@@ -37,10 +42,12 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
+mod anatomy;
 mod hist;
 mod json;
 mod trace;
 
+pub use anatomy::{Anatomy, OpBreakdown, OutlierCap, SegKind, N_SEG};
 pub use hist::Histogram;
 pub use json::{parse as parse_json, JsonValue};
 pub use trace::{
@@ -174,6 +181,7 @@ pub struct Registry {
     trace_stack: Vec<TraceId>,
     next_trace: u64,
     sampler: Option<Sampler>,
+    anatomy: Option<Anatomy>,
 }
 
 impl Registry {
@@ -292,22 +300,27 @@ impl Registry {
     /// Open a host-operation scope: allocates a fresh [`TraceId`], pushes
     /// it on the trace-ID stack (every event emitted underneath — WAL,
     /// volume, device, NAND — inherits it), and records the opening
-    /// `Begin`. Pair with [`Registry::end_op`]. Returns 0 and does nothing
-    /// when tracing is disabled.
+    /// `Begin`. When anatomy is enabled, also opens an attribution frame
+    /// (see [`Registry::begin_frame`]). Pair with [`Registry::end_op`].
+    /// Returns 0 (no trace-ID) when tracing is disabled; the anatomy frame
+    /// opens regardless.
     pub fn begin_op(&mut self, cat: &str, name: &str, ts: Nanos) -> TraceId {
-        let Some(t) = self.trace.as_mut() else {
-            return 0;
-        };
-        self.next_trace += 1;
-        let id = self.next_trace;
-        self.trace_stack.push(id);
-        t.push(ts, id, Phase::Begin, cat, name);
+        let mut id = 0;
+        if let Some(t) = self.trace.as_mut() {
+            self.next_trace += 1;
+            id = self.next_trace;
+            self.trace_stack.push(id);
+            t.push(ts, id, Phase::Begin, cat, name);
+        }
+        self.begin_frame(name, ts);
         id
     }
 
     /// Close the innermost host-operation scope opened by
-    /// [`Registry::begin_op`].
+    /// [`Registry::begin_op`]: closes the anatomy frame (if enabled), then
+    /// pops the trace-ID and records the `End` event.
     pub fn end_op(&mut self, cat: &str, name: &str, ts: Nanos) {
+        self.end_frame(name, ts);
         if let Some(t) = self.trace.as_mut() {
             let id = self.trace_stack.pop().unwrap_or(0);
             t.push(ts, id, Phase::End, cat, name);
@@ -369,6 +382,85 @@ impl Registry {
         self.sampler.as_ref()
     }
 
+    /// Start per-operation latency-anatomy tracking, capturing the `k`
+    /// slowest ops per name in the tail-outlier capturer. Until this is
+    /// called, every frame/segment hook is a free no-op.
+    pub fn enable_anatomy(&mut self, k: usize) {
+        self.anatomy = Some(Anatomy::new(k));
+    }
+
+    /// True once [`Registry::enable_anatomy`] was called.
+    pub fn anatomy_enabled(&self) -> bool {
+        self.anatomy.is_some()
+    }
+
+    /// Open an attribution frame for op `name` at `ts` without emitting
+    /// any trace event (used for device-level ops that are not trace
+    /// scopes, and by [`Registry::begin_op`] for ops that are). The frame
+    /// inherits the current trace-ID. No-op when anatomy is disabled.
+    pub fn begin_frame(&mut self, name: &str, ts: Nanos) {
+        let trace = *self.trace_stack.last().unwrap_or(&0);
+        if let Some(a) = self.anatomy.as_mut() {
+            a.begin(name, ts, trace);
+        }
+    }
+
+    /// Close the innermost attribution frame at `ts`: audits the
+    /// conservation identity, sweeps the unattributed remainder into
+    /// [`SegKind::Host`] (recording it in the `seg.host` histogram), and
+    /// offers the breakdown to the outlier capturer. No-op when anatomy is
+    /// disabled or no frame is open.
+    pub fn end_frame(&mut self, name: &str, ts: Nanos) {
+        let host = match self.anatomy.as_mut() {
+            Some(a) => a.end(name, ts),
+            None => None,
+        };
+        if let Some(host) = host {
+            if host > 0 {
+                self.record(SegKind::Host.hist_name(), host);
+            }
+        }
+    }
+
+    /// Charge `ns` nanoseconds of causally attributed segment `kind` into
+    /// every open frame and the per-kind `seg.<label>` histogram. A charge
+    /// with no open frame (background work outside any host op) is
+    /// dropped; zero-length charges are free no-ops.
+    pub fn seg(&mut self, kind: SegKind, ns: Nanos) {
+        if ns == 0 {
+            return;
+        }
+        let charged = match self.anatomy.as_mut() {
+            Some(a) => a.charge(kind, ns),
+            None => false,
+        };
+        if charged {
+            self.record(kind.hist_name(), ns);
+        }
+    }
+
+    /// Ops whose claimed segments exceeded wall latency (must stay 0; the
+    /// anatomy conservation audit).
+    pub fn anatomy_violations(&self) -> u64 {
+        self.anatomy.as_ref().map_or(0, |a| a.violations())
+    }
+
+    /// The most recently closed per-op breakdown, if anatomy is enabled
+    /// and at least one frame has closed.
+    pub fn last_breakdown(&self) -> Option<&OpBreakdown> {
+        self.anatomy.as_ref().and_then(|a| a.last())
+    }
+
+    /// Number of attribution frames currently open.
+    pub fn frame_depth(&self) -> usize {
+        self.anatomy.as_ref().map_or(0, |a| a.depth())
+    }
+
+    /// The tail-outlier capturer, if anatomy is enabled.
+    pub fn outliers(&self) -> Option<&OutlierCap> {
+        self.anatomy.as_ref().map(|a| a.outliers())
+    }
+
     /// Drop all recorded data (contexts are preserved; tracing and
     /// sampling stay enabled but their buffers empty).
     pub fn reset(&mut self) {
@@ -381,6 +473,9 @@ impl Registry {
         }
         if let Some(s) = &mut self.sampler {
             s.clear();
+        }
+        if let Some(a) = &mut self.anatomy {
+            a.clear();
         }
     }
 
@@ -617,6 +712,57 @@ impl Telemetry {
     /// Export the sampled gauge series as CSV, if sampling is enabled.
     pub fn series_csv(&self) -> Option<String> {
         self.inner.borrow().sampler().map(|s| s.to_csv())
+    }
+
+    /// Start per-op latency anatomy (top-`k` tail outliers per op name).
+    pub fn enable_anatomy(&self, k: usize) {
+        self.inner.borrow_mut().enable_anatomy(k);
+    }
+
+    /// True once anatomy was enabled on this domain.
+    pub fn anatomy_enabled(&self) -> bool {
+        self.inner.borrow().anatomy_enabled()
+    }
+
+    /// Open an attribution frame (see [`Registry::begin_frame`]).
+    pub fn begin_frame(&self, name: &str, ts: Nanos) {
+        self.inner.borrow_mut().begin_frame(name, ts);
+    }
+
+    /// Close the innermost attribution frame (see [`Registry::end_frame`]).
+    pub fn end_frame(&self, name: &str, ts: Nanos) {
+        self.inner.borrow_mut().end_frame(name, ts);
+    }
+
+    /// Charge an attributed latency segment (see [`Registry::seg`]).
+    pub fn seg(&self, kind: SegKind, ns: Nanos) {
+        self.inner.borrow_mut().seg(kind, ns);
+    }
+
+    /// Conservation-audit counter: ops that over-claimed segments.
+    pub fn anatomy_violations(&self) -> u64 {
+        self.inner.borrow().anatomy_violations()
+    }
+
+    /// Clone of the most recently closed per-op breakdown.
+    pub fn last_breakdown(&self) -> Option<OpBreakdown> {
+        self.inner.borrow().last_breakdown().cloned()
+    }
+
+    /// Number of attribution frames currently open.
+    pub fn frame_depth(&self) -> usize {
+        self.inner.borrow().frame_depth()
+    }
+
+    /// Retained tail outliers for one op name, slowest first.
+    pub fn outliers_for(&self, name: &str) -> Vec<OpBreakdown> {
+        self.inner.borrow().outliers().map_or_else(Vec::new, |o| o.for_op(name).to_vec())
+    }
+
+    /// JSON export of the tail-outlier capturer (written next to the
+    /// Chrome trace), if anatomy is enabled.
+    pub fn outliers_json(&self) -> Option<String> {
+        self.inner.borrow().outliers().map(|o| o.to_json())
     }
 
     /// Drop all recorded data.
@@ -858,6 +1004,122 @@ mod tests {
         // Trace-IDs keep advancing; no reuse after reset.
         t.set_gauge("g", 2);
         assert!(t.begin_op("engine", "op", 10) > id);
+    }
+
+    #[test]
+    fn anatomy_frames_ride_op_scopes_and_conserve() {
+        let t = Telemetry::new();
+        // Disabled: all hooks are free no-ops.
+        t.begin_frame("engine.commit", 0);
+        t.seg(SegKind::WalFsync, 10);
+        t.end_frame("engine.commit", 100);
+        assert!(t.last_breakdown().is_none());
+        assert_eq!(t.anatomy_violations(), 0);
+
+        t.enable_anatomy(4);
+        // Frames open via begin_op even with tracing disabled (trace-ID 0).
+        assert_eq!(t.begin_op("engine", "engine.commit", 1_000), 0);
+        assert_eq!(t.frame_depth(), 1);
+        t.begin_frame("dev.log.write", 1_100);
+        t.seg(SegKind::MediaProgram, 300);
+        t.seg(SegKind::NcqWait, 50);
+        t.end_frame("dev.log.write", 1_500);
+        let dev = t.last_breakdown().unwrap();
+        assert_eq!(dev.wall, 400);
+        assert_eq!(dev.seg(SegKind::MediaProgram), 300);
+        assert_eq!(dev.seg(SegKind::Host), 50, "400 - 350 attributed");
+        assert!(dev.is_conserved());
+        t.seg(SegKind::WalFsync, 200);
+        t.end_op("engine", "engine.commit", 2_000);
+        let op = t.last_breakdown().unwrap();
+        assert_eq!(op.name, "engine.commit");
+        assert_eq!(op.wall, 1_000);
+        // Child's segments rolled up into the enclosing commit frame.
+        assert_eq!(op.seg(SegKind::MediaProgram), 300);
+        assert_eq!(op.seg(SegKind::WalFsync), 200);
+        assert!(op.is_conserved());
+        assert_eq!(t.anatomy_violations(), 0);
+        assert_eq!(t.frame_depth(), 0);
+        // Per-kind histograms recorded on every charge + host remainders.
+        assert_eq!(t.histogram("seg.media_program").unwrap().count(), 1);
+        assert_eq!(t.histogram("seg.wal_fsync").unwrap().count(), 1);
+        assert_eq!(t.histogram("seg.host").unwrap().count(), 2);
+        // Both closed frames were offered to the outlier capturer.
+        assert_eq!(t.outliers_for("engine.commit").len(), 1);
+        assert_eq!(t.outliers_for("dev.log.write").len(), 1);
+        assert!(t.outliers_json().unwrap().contains("\"engine.commit\""));
+    }
+
+    #[test]
+    fn anatomy_frames_inherit_trace_ids() {
+        let t = Telemetry::new();
+        t.enable_tracing(256);
+        t.enable_anatomy(2);
+        let id = t.begin_op("doc", "doc.set", 10);
+        t.begin_frame("dev.doc.write", 20);
+        t.end_frame("dev.doc.write", 30);
+        assert_eq!(t.last_breakdown().unwrap().trace, id, "frame carries op trace-ID");
+        t.end_op("doc", "doc.set", 40);
+        assert_eq!(t.last_breakdown().unwrap().trace, id);
+        // Frames emit no trace events: only the op's Begin/End pair exists.
+        assert_eq!(t.trace_counts(), Some((2, 0)));
+    }
+
+    #[test]
+    fn outlier_capturer_agrees_with_exact_hist_extremes() {
+        // The histogram's exact min/max (not log-bucket approximations)
+        // cross-check the tail capturer: the slowest retained outlier must
+        // be *the* max the op histogram observed.
+        let t = Telemetry::new();
+        t.enable_anatomy(3);
+        let walls = [700u64, 23, 9_999, 140, 3, 9_999, 512];
+        let mut now = 0;
+        for w in walls {
+            t.begin_frame("doc.set", now);
+            t.end_frame("doc.set", now + w);
+            t.record("doc.set", w);
+            now += w;
+        }
+        let h = t.histogram("doc.set").unwrap();
+        assert_eq!(h.max(), 9_999);
+        assert_eq!(h.min(), 3);
+        let top = t.outliers_for("doc.set");
+        assert_eq!(top[0].wall, h.max(), "slowest outlier is the exact hist max");
+        assert_eq!(top.len(), 3);
+        assert!(top.iter().all(|b| b.wall >= 512), "top-3 of the wall list");
+        // Every retained wall really was observed by the histogram.
+        assert!(top.iter().all(|b| b.wall >= h.min() && b.wall <= h.max()));
+    }
+
+    #[test]
+    fn anatomy_json_export_is_unchanged() {
+        // Anatomy state lives outside the registry JSON (outliers export
+        // separately), so the exact round-trip contract is unaffected.
+        let t = Telemetry::new();
+        t.incr("ops", 1);
+        let before = t.to_json();
+        t.enable_anatomy(4);
+        assert_eq!(t.to_json(), before);
+        let reg = Registry::from_json(&before).expect("parse back");
+        assert_eq!(reg.to_json(), before);
+    }
+
+    #[test]
+    fn reset_clears_anatomy_but_keeps_it_enabled() {
+        let t = Telemetry::new();
+        t.enable_anatomy(3);
+        t.begin_frame("op", 0);
+        t.seg(SegKind::Xfer, 10);
+        t.end_frame("op", 50);
+        assert!(t.last_breakdown().is_some());
+        t.reset();
+        assert!(t.anatomy_enabled());
+        assert!(t.last_breakdown().is_none());
+        assert_eq!(t.anatomy_violations(), 0);
+        assert!(t.outliers_for("op").is_empty());
+        t.begin_frame("op2", 100);
+        t.end_frame("op2", 130);
+        assert_eq!(t.last_breakdown().unwrap().wall, 30);
     }
 
     #[test]

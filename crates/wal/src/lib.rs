@@ -50,7 +50,7 @@ use simkit::{crc32, Nanos};
 use storage::device::{BlockDevice, WriteCause, LOGICAL_PAGE};
 use storage::file::PageFile;
 use storage::volume::{Volume, VolumeManager};
-use telemetry::{Stall, Telemetry};
+use telemetry::{SegKind, Stall, Telemetry};
 
 pub use record::{CheckpointPolicy, LogRecord, RECORD_VERSION};
 
@@ -423,11 +423,17 @@ impl Wal {
 
     /// Charge time spent waiting on an in-flight or promised log flush (a
     /// wait that never reaches the device layer) to the `wal_fsync` stall
-    /// bucket.
-    fn note_wait(&self, ns: Nanos) {
+    /// bucket, and — when latency anatomy is enabled — to the enclosing
+    /// op's breakdown so group-commit queueing shows up per op. The segment
+    /// kind follows what the awaited flush *is*: with write barriers the
+    /// flush is overwhelmingly a FLUSH CACHE drain, so queueing behind it
+    /// is `flush_cache` time; on a nobarrier (durable-cache) deployment it
+    /// is pure log commit, `wal_fsync`.
+    fn note_wait(&self, ns: Nanos, barriers: bool) {
         if ns > 0 {
             if let Some(tel) = &self.tel {
                 tel.stall_exact(Stall::WalFsync, ns);
+                tel.seg(if barriers { SegKind::FlushCache } else { SegKind::WalFsync }, ns);
             }
         }
     }
@@ -480,7 +486,7 @@ impl Wal {
         if let Some((end, upto)) = self.inflight {
             if lsn < upto {
                 self.stats.piggybacked_commits += 1;
-                self.note_wait(end.saturating_sub(t));
+                self.note_wait(end.saturating_sub(t), vol.barriers());
                 return t.max(end);
             }
             if self.group_commit {
@@ -490,11 +496,11 @@ impl Wal {
                 let est = end + self.last_flush_dur;
                 let promised = self.group_end.map_or(est, |g| g.max(est)).max(now);
                 self.group_end = Some(promised);
-                self.note_wait(promised - now);
+                self.note_wait(promised - now, vol.barriers());
                 return promised;
             }
             // Strict mode: wait out the in-flight flush.
-            self.note_wait(end.saturating_sub(t));
+            self.note_wait(end.saturating_sub(t), vol.barriers());
             t = t.max(end);
             self.durable_lsn = self.durable_lsn.max(upto);
             self.inflight = None;
@@ -527,7 +533,7 @@ impl Wal {
         }
         let mut t = now;
         if let Some((end, upto)) = self.inflight.take() {
-            self.note_wait(end.saturating_sub(t));
+            self.note_wait(end.saturating_sub(t), vol.barriers());
             t = t.max(end);
             self.durable_lsn = self.durable_lsn.max(upto);
         }
